@@ -1,0 +1,80 @@
+// T-SCALE — machine-size scaling. The SIMD control unit broadcasts once
+// regardless of PE count, so MSC cycles grow only with *divergence*
+// (more PEs populate more distinct paths → more meta transitions), while
+// the interpreter additionally serializes over every opcode type present.
+// The paper's 16K-PE MasPar context makes this the deployment-relevant
+// curve.
+#include "bench_util.hpp"
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/interp/machine.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+using bench::Table;
+
+namespace {
+
+ir::CostModel kCost;
+constexpr std::uint64_t kSeed = 59;
+
+void report() {
+  std::printf("== T-SCALE: cycles vs. machine size ==\n");
+
+  for (const char* name : {"listing1", "branchy4"}) {
+    auto compiled = driver::compile(workload::kernel(name).source);
+    auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+    Table t({"PEs", "msc cyc", "msc transitions", "msc util", "interp cyc",
+             "interp iters", "mimd makespan"},
+            {6, 10, 16, 10, 12, 13, 14});
+    for (std::int64_t n : {1, 4, 16, 64, 256, 1024}) {
+      mimd::RunConfig cfg;
+      cfg.nprocs = n;
+      simd::SimdStats ss;
+      driver::run_simd(compiled, conv, cfg, kSeed, kCost, {}, &ss);
+      interp::InterpMachine im(compiled.graph, kCost, cfg,
+                               interp::Dispatch::GlobalOr);
+      driver::seed_machine(im, compiled, cfg, kSeed);
+      im.run();
+      mimd::MimdStats ms;
+      driver::run_oracle(compiled, cfg, kSeed, &ms);
+      t.row({bench::num(n), bench::num(ss.control_cycles),
+             bench::num(ss.meta_transitions), bench::pct(ss.utilization()),
+             bench::num(im.stats().control_cycles),
+             bench::num(im.stats().iterations), bench::num(ms.makespan)});
+    }
+    t.print(std::string(name) +
+            ": SIMD cycles saturate once every path is populated; the MIMD "
+            "makespan is the per-PE critical path");
+  }
+}
+
+void BM_SimdAtScale(benchmark::State& state) {
+  auto compiled = driver::compile(workload::listing1().source);
+  auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+  mimd::RunConfig cfg;
+  cfg.nprocs = state.range(0);
+  for (auto _ : state) {
+    simd::SimdMachine m(prog, kCost, cfg);
+    driver::seed_machine(m, compiled, cfg, kSeed);
+    m.run();
+    benchmark::DoNotOptimize(m.stats());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimdAtScale)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_OracleAtScale(benchmark::State& state) {
+  auto compiled = driver::compile(workload::listing1().source);
+  mimd::RunConfig cfg;
+  cfg.nprocs = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(driver::run_oracle(compiled, cfg, kSeed));
+}
+BENCHMARK(BM_OracleAtScale)->RangeMultiplier(4)->Range(4, 1024);
+
+}  // namespace
+
+MSC_BENCH_MAIN(report)

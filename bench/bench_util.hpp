@@ -1,0 +1,74 @@
+#ifndef MSC_BENCH_UTIL_HPP
+#define MSC_BENCH_UTIL_HPP
+
+// Shared plumbing for the experiment benches. Each bench binary prints the
+// paper-reproduction table(s) first (captured into bench_output.txt /
+// EXPERIMENTS.md) and then runs its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "msc/support/str.hpp"
+
+namespace msc::bench {
+
+/// Fixed-width table printer for paper-style result tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<int> widths = {})
+      : headers_(std::move(headers)), widths_(std::move(widths)) {
+    if (widths_.empty())
+      for (const std::string& h : headers_)
+        widths_.push_back(static_cast<int>(h.size()) + 4);
+  }
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print(const std::string& title) const {
+    std::printf("\n### %s\n", title.c_str());
+    print_cells(headers_);
+    std::string rule;
+    for (int w : widths_) rule += std::string(static_cast<std::size_t>(w), '-');
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) print_cells(r);
+    std::fflush(stdout);
+  }
+
+ private:
+  void print_cells(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      line += pad_right(cells[i],
+                        static_cast<std::size_t>(
+                            i < widths_.size() ? widths_[i] : 12));
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string num(std::int64_t v) { return std::to_string(v); }
+inline std::string num(std::size_t v) { return std::to_string(v); }
+inline std::string pct(double f) { return fmt_double(100.0 * f, 1) + "%"; }
+inline std::string ratio(double f) { return fmt_double(f, 2) + "x"; }
+
+/// Standard main: print the reproduction report, then run timings.
+#define MSC_BENCH_MAIN(report_fn)                                     \
+  int main(int argc, char** argv) {                                   \
+    report_fn();                                                      \
+    ::benchmark::Initialize(&argc, argv);                             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                            \
+    ::benchmark::Shutdown();                                          \
+    return 0;                                                         \
+  }
+
+}  // namespace msc::bench
+
+#endif  // MSC_BENCH_UTIL_HPP

@@ -1,0 +1,179 @@
+// mscc — the meta-state converter driver, a command-line equivalent of the
+// paper's prototype (§4): MIMDC in, meta-state automaton / MPL-style SIMD
+// code / DOT graphs out, with optional execution on the simulated machines.
+//
+// Usage:
+//   mscc [options] file.mimdc
+//   mscc [options] --kernel listing1
+//
+// Options:
+//   --compress          §2.5 meta-state compression
+//   --adaptive          base conversion, compress only on state explosion
+//   --no-subsume        keep subset meta states when compressing
+//   --prune             §2.6 barrier handling exactly as in the paper
+//   --split             §2.4 MIMD-state time splitting
+//   --no-csi            serialize meta-state bodies instead of CSI (§3.1)
+//   --emit mpl|meta|mimd|dot|dot-mimd|profile|module   what to print (default meta)
+//   --run               also execute on SIMD machine + MIMD oracle
+//   --trace             like --run, plus a per-meta-state occupancy trace
+//   --nprocs N          PEs (default 8)
+//   --active N          initially active PEs (default all)
+//   --seed S            per-PE input seed (default 1)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "msc/codegen/program.hpp"
+#include "msc/core/profile.hpp"
+#include "msc/core/serialize.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/simd/machine.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mscc [--compress] [--no-subsume] [--prune] [--split] "
+               "[--no-csi]\n"
+               "            [--emit mpl|meta|mimd|dot|dot-mimd|profile|module] [--run]\n"
+               "            [--nprocs N] [--active N] [--seed S]\n"
+               "            (file.mimdc | --kernel <name>)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source, emit = "meta";
+  core::ConvertOptions copts;
+  codegen::CodegenOptions gopts;
+  mimd::RunConfig config;
+  config.nprocs = 8;
+  bool run = false;
+  bool adaptive = false;
+  bool trace = false;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--compress") copts.compress = true;
+    else if (arg == "--adaptive") adaptive = true;
+    else if (arg == "--no-subsume") copts.subsume = false;
+    else if (arg == "--prune") copts.barrier_mode = core::BarrierMode::PaperPrune;
+    else if (arg == "--split") copts.time_split = true;
+    else if (arg == "--no-csi") gopts.use_csi = false;
+    else if (arg == "--emit") emit = next();
+    else if (arg == "--run") run = true;
+    else if (arg == "--trace") { run = true; trace = true; }
+    else if (arg == "--nprocs") config.nprocs = std::atoll(next());
+    else if (arg == "--active") config.initial_active = std::atoll(next());
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--kernel") source = workload::kernel(next()).source;
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "mscc: cannot open '%s'\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      source = ss.str();
+    }
+  }
+  if (source.empty()) return usage();
+
+  try {
+    driver::Compiled compiled = driver::compile(source);
+    for (const std::string& msg : compiled.diags.messages())
+      std::fprintf(stderr, "%s\n", msg.c_str());
+
+    ir::CostModel cost;
+    auto conv = adaptive
+                    ? core::meta_state_convert_adaptive(compiled.graph, cost, copts)
+                    : core::meta_state_convert(compiled.graph, cost, copts);
+
+    if (emit == "mimd") {
+      std::printf("%s", conv.graph.dump().c_str());
+    } else if (emit == "meta") {
+      std::printf("%s", conv.automaton.dump().c_str());
+    } else if (emit == "dot") {
+      std::printf("%s", conv.automaton.to_dot().c_str());
+    } else if (emit == "dot-mimd") {
+      std::printf("%s", conv.graph.to_dot().c_str());
+    } else if (emit == "profile") {
+      std::printf("%s", core::profile(conv.automaton).to_string().c_str());
+    } else if (emit == "module") {
+      std::printf("%s", core::serialize(
+                            core::Module{conv.graph, conv.automaton})
+                            .c_str());
+    } else if (emit == "mpl") {
+      auto prog = codegen::generate(conv.automaton, conv.graph, cost, gopts);
+      std::printf("%s", codegen::to_mpl(prog, conv.graph).c_str());
+    } else {
+      return usage();
+    }
+
+    if (run) {
+      simd::SimdStats stats;
+      auto oracle = driver::run_oracle(compiled, config, seed);
+      if (trace) {
+        // Step the SIMD machine manually, printing occupancy per state.
+        class Printer final : public simd::SimdTracer {
+         public:
+          void on_state(core::MetaId id, const DynBitset& occ,
+                        std::int64_t alive) override {
+            std::printf("%5d  ms%-4u occ=%-18s alive=%lld\n", step_++, id,
+                        occ.to_string().c_str(), static_cast<long long>(alive));
+          }
+          void on_transition(core::MetaId, core::MetaId to,
+                             const DynBitset& apc) override {
+            if (to == core::kNoMeta)
+              std::printf("       exit on apc=%s\n", apc.to_string().c_str());
+          }
+
+         private:
+          int step_ = 0;
+        } printer;
+        auto prog = codegen::generate(conv.automaton, conv.graph, cost, gopts);
+        simd::SimdMachine machine(prog, cost, config);
+        driver::seed_machine(machine, compiled, config, seed);
+        machine.set_tracer(&printer);
+        std::printf("\n%5s  %-6s %-22s %s\n", "step", "state", "occupancy",
+                    "alive");
+        machine.run();
+      }
+      auto simd = driver::run_simd(compiled, conv, config, seed, cost, gopts,
+                                   &stats);
+      std::printf("\noracle: %s\n", oracle.to_string().c_str());
+      std::printf("simd  : %s\n", simd.to_string().c_str());
+      std::printf("match : %s\n", oracle == simd ? "yes" : "NO");
+      std::printf("meta states=%zu cycles=%lld utilization=%.1f%% "
+                  "global-ors=%lld\n",
+                  conv.automaton.num_states(),
+                  static_cast<long long>(stats.control_cycles),
+                  100.0 * stats.utilization(),
+                  static_cast<long long>(stats.global_ors));
+    }
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "mscc: compile error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mscc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

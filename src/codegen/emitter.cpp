@@ -1,0 +1,103 @@
+#include <sstream>
+
+#include "msc/codegen/program.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::codegen {
+
+namespace {
+
+std::string meta_name(const DynBitset& members) {
+  std::string n = "ms";
+  for (std::size_t b : members.bits()) n += cat("_", b);
+  return n;
+}
+
+std::string guard_expr(const DynBitset& guard) {
+  std::vector<std::string> bits;
+  for (std::size_t b : guard.bits()) bits.push_back(cat("BIT(", b, ")"));
+  if (bits.size() == 1) return cat("pc & ", bits[0]);
+  return cat("pc & (", join(bits, " | "), ")");
+}
+
+std::string sop_text(const SOp& op) {
+  switch (op.kind) {
+    case SOpKind::Data:
+      return op.instr.to_string();
+    case SOpKind::SetPc:
+      return cat("Jump(", op.a, ")");
+    case SOpKind::CondSetPc:
+      return cat("JumpF(", op.b, ",", op.a, ")");  // (FALSE, TRUE) as in Listing 5
+    case SOpKind::HaltPc:
+      return "Ret";
+    case SOpKind::SpawnPc:
+      return cat("Spawn(", op.a, ")");
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_mpl(const SimdProgram& program, const ir::StateGraph& graph) {
+  (void)graph;
+  std::ostringstream os;
+  os << "/* meta-state SIMD automaton, MPL-style (cf. paper Listing 5) */\n";
+  for (const MetaCode& mc : program.states) {
+    os << meta_name(mc.members) << ":\n";
+    // Group consecutive ops under one enable-mask `if`, like Listing 5.
+    std::size_t i = 0;
+    while (i < mc.code.size()) {
+      std::size_t j = i;
+      while (j < mc.code.size() && mc.code[j].guard == mc.code[i].guard) ++j;
+      os << "  if (" << guard_expr(mc.code[i].guard) << ") {\n    ";
+      for (std::size_t k = i; k < j; ++k) {
+        os << sop_text(mc.code[k]);
+        os << (((k - i) % 4 == 3 && k + 1 < j) ? "\n    " : " ");
+      }
+      os << "\n  }\n";
+      i = j;
+    }
+    switch (mc.trans) {
+      case TransKind::Exit:
+        os << "  /* no next meta state */\n  exit(0);\n";
+        break;
+      case TransKind::Direct:
+        if (mc.needs_apc)
+          os << "  if (!globalor(pc != NOWHERE)) exit(0);\n";
+        if (mc.fallthrough)
+          os << "  /* fall through to "
+             << meta_name(program.states[mc.direct_target].members) << " */\n";
+        else
+          os << "  goto " << meta_name(program.states[mc.direct_target].members)
+             << ";\n";
+        break;
+      case TransKind::Multiway: {
+        os << "  apc = globalor(pc);\n";
+        if (!mc.sw.is_linear()) {
+          os << "  switch (" << mc.sw.fn.render("apc") << ") {\n";
+          for (std::size_t c = 0; c < mc.case_targets.size(); ++c) {
+            std::uint64_t v = mc.sw.fn.eval(mc.case_keys[c].fold64());
+            os << "  case " << v << ": goto "
+               << meta_name(program.states[mc.case_targets[c]].members) << ";\n";
+          }
+          if (mc.fallback != core::kNoMeta)
+            os << "  default: goto "
+               << meta_name(program.states[mc.fallback].members) << ";\n";
+          os << "  }\n";
+        } else {
+          for (std::size_t c = 0; c < mc.case_targets.size(); ++c)
+            os << "  if (apc == " << mc.case_keys[c].fold64() << "ull) goto "
+               << meta_name(program.states[mc.case_targets[c]].members) << ";\n";
+          if (mc.fallback != core::kNoMeta)
+            os << "  goto " << meta_name(program.states[mc.fallback].members)
+               << ";\n";
+        }
+        break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace msc::codegen

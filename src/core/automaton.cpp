@@ -1,0 +1,133 @@
+#include "msc/core/automaton.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msc/support/dot.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::core {
+
+MetaId MetaAutomaton::add(DynBitset members) {
+  MetaId id = static_cast<MetaId>(states.size());
+  MetaState ms;
+  ms.id = id;
+  ms.members = members;
+  states.push_back(std::move(ms));
+  index.emplace(std::move(members), id);
+  return id;
+}
+
+std::size_t MetaAutomaton::num_arcs() const {
+  std::size_t n = 0;
+  for (const MetaState& s : states) n += s.arcs.size();
+  return n;
+}
+
+std::size_t MetaAutomaton::max_width() const {
+  std::size_t w = 0;
+  for (const MetaState& s : states) w = std::max(w, s.width());
+  return w;
+}
+
+double MetaAutomaton::mean_width() const {
+  if (states.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const MetaState& s : states) total += s.width();
+  return static_cast<double>(total) / static_cast<double>(states.size());
+}
+
+DynBitset MetaAutomaton::transition_key(const DynBitset& apc) const {
+  if (barrier_mode == BarrierMode::TrackOccupancy || barriers.empty()) return apc;
+  // §3.2.4: proceed normally if everyone is at a barrier, otherwise the
+  // next meta state is determined by subtracting the barrier states.
+  if (apc.is_subset_of(barriers)) return apc;
+  return apc - barriers;
+}
+
+std::vector<std::string> MetaAutomaton::validate(const ir::StateGraph& graph) const {
+  std::vector<std::string> problems;
+  auto bad = [&](const std::string& m) { problems.push_back(m); };
+  if (states.empty()) {
+    bad("automaton has no states");
+    return problems;
+  }
+  if (start >= states.size()) bad("start meta state out of range");
+  DynBitset all(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) all.set(i);
+  for (const MetaState& s : states) {
+    if (s.members.empty()) bad(cat("meta state ", s.id, " has no members"));
+    if (!s.members.is_subset_of(all))
+      bad(cat("meta state ", s.id, " references MIMD states out of range"));
+    if (s.unconditional != kNoMeta) {
+      if (!compressed)
+        bad(cat("meta state ", s.id, ": unconditional arc in a base-mode automaton"));
+      if (s.unconditional >= states.size())
+        bad(cat("meta state ", s.id, ": unconditional target out of range"));
+    }
+    DynBitset prev;
+    bool first = true;
+    for (const auto& [key, target] : s.arcs) {
+      if (target >= states.size())
+        bad(cat("meta state ", s.id, ": arc target out of range"));
+      if (key.empty()) bad(cat("meta state ", s.id, ": empty arc key"));
+      if (!first && !(prev < key))
+        bad(cat("meta state ", s.id, ": arcs not sorted/unique"));
+      prev = key;
+      first = false;
+    }
+    // Exact-occupancy soundness: every keyed arc must lead to the meta
+    // state whose members equal the key (after this automaton's masking).
+    // (Compressed release arcs satisfy this too: all-barrier states are
+    // never subsumed.)
+    for (const auto& [key, target] : s.arcs) {
+      if (target >= states.size()) continue;  // already reported above
+      if (states[target].members != key)
+        bad(cat("meta state ", s.id, ": arc key ", key.to_string(),
+                " does not match target members ",
+                states[target].members.to_string()));
+    }
+  }
+  if (start < states.size() && !states[start].members.test(graph.start))
+    bad("start meta state does not contain the MIMD start state");
+  return problems;
+}
+
+std::string MetaAutomaton::dump() const {
+  std::ostringstream os;
+  os << "meta-state automaton: " << states.size() << " states, " << num_arcs()
+     << " arcs, start=" << start
+     << (compressed ? ", compressed" : "")
+     << (barrier_mode == BarrierMode::PaperPrune ? ", barrier=paper-prune"
+                                                 : ", barrier=track-occupancy")
+     << "\n";
+  for (const MetaState& s : states) {
+    os << "  ms" << s.id << " " << s.label();
+    if (s.terminal()) {
+      os << " -> exit\n";
+      continue;
+    }
+    os << "\n";
+    for (const auto& [key, target] : s.arcs)
+      os << "    on " << key.to_string() << " -> ms" << target << " "
+         << states[target].label() << "\n";
+    if (s.unconditional != kNoMeta)
+      os << "    else -> ms" << s.unconditional << " "
+         << states[s.unconditional].label() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetaAutomaton::to_dot(const std::string& name) const {
+  DotWriter w(name);
+  for (const MetaState& s : states) {
+    w.node(cat("m", s.id), s.label(), s.id == start ? "style=bold" : "");
+    for (const auto& [key, target] : s.arcs)
+      w.edge(cat("m", s.id), cat("m", target), key.to_string());
+    if (s.unconditional != kNoMeta)
+      w.edge(cat("m", s.id), cat("m", s.unconditional));
+  }
+  return w.finish();
+}
+
+}  // namespace msc::core

@@ -1,0 +1,330 @@
+#include "msc/core/convert.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "msc/core/straighten.hpp"
+#include "msc/core/time_split.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::core {
+
+using ir::Block;
+using ir::ExitKind;
+using ir::StateGraph;
+using ir::StateId;
+
+ExplosionError::ExplosionError(std::size_t limit)
+    : std::runtime_error(cat("meta-state space exceeded the configured limit of ",
+                             limit,
+                             " states (§1.2 warns of up to S!/(S-N)! states; "
+                             "try compression or barriers)")) {}
+
+namespace {
+
+/// Internal signal: a meta state triggered §2.4 time splitting, the graph
+/// changed, and "the construction of the meta-state automaton is restarted
+/// to ensure that the final meta-state automaton is consistent."
+struct RestartRequest {
+  int splits;
+};
+
+class Converter {
+ public:
+  Converter(StateGraph& graph, const ir::CostModel& cost,
+            const ConvertOptions& opts, bool allow_split, ConvertStats& stats)
+      : g_(graph), cost_(cost), opts_(opts), allow_split_(allow_split),
+        stats_(stats) {}
+
+  MetaAutomaton run() {
+    aut_ = MetaAutomaton{};
+    // A compressed transition is unconditional, so the §3.2.4 apc masking
+    // has nothing to key on; compression always tracks barrier occupancy.
+    aut_.barrier_mode =
+        opts_.compress ? BarrierMode::TrackOccupancy : opts_.barrier_mode;
+    aut_.barriers = g_.barrier_states();
+    aut_.compressed = opts_.compress;
+
+    DynBitset start(g_.size());
+    start.set(g_.start);
+    aut_.start = get_or_create(start);
+
+    // With ≥2 distinct barrier-wait states, the paper's pruning rule can
+    // reach a runtime aggregate (all PEs waiting, spread over several
+    // barriers) that conversion never enumerates, because earlier waiters
+    // were masked out of the keys. Pre-create every all-barrier subset so
+    // the §3.2.4 "proceed normally" lookup (the executor's rescue path)
+    // always has a target. See tests/soundness_test.cpp.
+    if (aut_.barrier_mode == BarrierMode::PaperPrune && !opts_.compress) {
+      std::vector<std::size_t> bits = aut_.barriers.to_vector();
+      if (bits.size() >= 2) {
+        if (bits.size() > 16)
+          throw std::runtime_error(
+              "more than 16 distinct barrier-wait states under PaperPrune; "
+              "use BarrierMode::TrackOccupancy");
+        for (std::uint32_t m = 1; m < (1u << bits.size()); ++m) {
+          DynBitset s(g_.size());
+          for (std::size_t i = 0; i < bits.size(); ++i)
+            if (m & (1u << i)) s.set(bits[i]);
+          get_or_create(s);
+        }
+      }
+    }
+
+    // meta_state_convert() main loop (§2.3): take an unmarked meta state,
+    // add arcs to every meta state it can reach, repeat until none remain.
+    // States are created in discovery order, so the worklist is an index.
+    for (MetaId next = 0; next < aut_.states.size(); ++next) process(next);
+
+    if (opts_.compress && opts_.subsume) subsume();
+
+    stats_.meta_states = aut_.num_states();
+    stats_.arcs = aut_.num_arcs();
+    return std::move(aut_);
+  }
+
+ private:
+  MetaId get_or_create(const DynBitset& members) {
+    MetaId found = aut_.find(members);
+    if (found != kNoMeta) return found;
+    if (aut_.states.size() >= opts_.max_meta_states)
+      throw ExplosionError(opts_.max_meta_states);
+    MetaId id = aut_.add(members);
+    if (allow_split_) {
+      int splits = time_split_state(g_, members, cost_, opts_.split_delta,
+                                    opts_.split_percent);
+      if (splits > 0) throw RestartRequest{splits};
+    }
+    return id;
+  }
+
+  void process(MetaId id) {
+    // Copy members: arcs mutation below may reallocate `states`.
+    const DynBitset members = aut_.at(id).members;
+    std::vector<StateId> mem;
+    for (std::size_t s : members.bits()) mem.push_back(static_cast<StateId>(s));
+
+    const bool all_barrier =
+        !aut_.barriers.empty() && members.is_subset_of(aut_.barriers);
+
+    std::set<DynBitset> raw_targets;
+    DynBitset t(g_.size());
+    reach(mem, 0, t, all_barrier, raw_targets);
+
+    if (opts_.compress) {
+      process_compressed(id, members, all_barrier, raw_targets);
+      return;
+    }
+
+    std::set<DynBitset> keys;
+    for (const DynBitset& raw : raw_targets) {
+      if (raw.empty()) continue;  // every process ended: terminal (§3.2.1)
+      keys.insert(mask(raw));
+    }
+    for (const DynBitset& key : keys) {
+      MetaId target = get_or_create(key);
+      aut_.at(id).arcs.emplace_back(key, target);
+    }
+  }
+
+  void process_compressed(MetaId id, const DynBitset& members, bool all_barrier,
+                          const std::set<DynBitset>& raw_targets) {
+    // §2.5: every member takes all paths, so reach() produced exactly one
+    // union — the unconditional successor (§3.2.2).
+    if (raw_targets.size() != 1)
+      throw std::logic_error("compressed reach must yield one successor");
+    const DynBitset& succ = *raw_targets.begin();
+    if (!succ.empty()) {
+      MetaId target = get_or_create(succ);
+      aut_.at(id).unconditional = target;
+    }
+    // Barrier release: when every live PE is waiting, occupancy is some
+    // nonempty subset of this state's barrier members; key each such
+    // occupancy to its dedicated all-barrier meta state so the compressed
+    // automaton cannot livelock on a barrier.
+    DynBitset b = members & aut_.barriers;
+    if (b.empty() || all_barrier) return;
+    std::vector<std::size_t> bits = b.to_vector();
+    if (bits.size() > 16)
+      throw std::runtime_error(
+          "more than 16 distinct barrier states in one compressed meta state");
+    std::set<DynBitset> keys;
+    for (std::uint32_t m = 1; m < (1u << bits.size()); ++m) {
+      DynBitset s(g_.size());
+      for (std::size_t i = 0; i < bits.size(); ++i)
+        if (m & (1u << i)) s.set(bits[i]);
+      if (s != succ) keys.insert(s);
+    }
+    for (const DynBitset& key : keys) {
+      MetaId target = get_or_create(key);
+      aut_.at(id).arcs.emplace_back(key, target);
+    }
+  }
+
+  /// §2.6 barrier_sync(): under the paper's rule, remove barrier states
+  /// from the meta state unless everyone has reached a barrier.
+  DynBitset mask(const DynBitset& raw) const {
+    if (aut_.barrier_mode == BarrierMode::TrackOccupancy || aut_.barriers.empty())
+      return raw;
+    if (raw.is_subset_of(aut_.barriers)) return raw;
+    return raw - aut_.barriers;
+  }
+
+  /// §2.3 reach(): enumerate every achievable union of per-member choices.
+  /// Each member contributes TRUE / FALSE / both for a two-exit state
+  /// (just both under §2.5 compression), its single successor for a jump,
+  /// both arcs for a spawn (§3.2.5), nothing when the process ends, and
+  /// itself when stalled at a barrier.
+  void reach(const std::vector<StateId>& mem, std::size_t i, const DynBitset& t,
+             bool all_barrier, std::set<DynBitset>& out) {
+    ++stats_.reach_calls;
+    if (i == mem.size()) {
+      out.insert(t);
+      return;
+    }
+    const Block& b = g_.at(mem[i]);
+    auto with = [&](std::initializer_list<StateId> add) {
+      DynBitset next = t;
+      for (StateId s : add) next.set(s);
+      return next;
+    };
+    if (b.barrier_wait && !all_barrier) {
+      // Waiting: this member cannot advance until everyone reaches a
+      // barrier; it keeps occupying its own state. (Under PaperPrune
+      // such members only appear in all-barrier states, so this path is
+      // TrackOccupancy/compressed-specific.)
+      reach(mem, i + 1, with({b.id}), all_barrier, out);
+      return;
+    }
+    switch (b.exit) {
+      case ExitKind::Halt:
+        reach(mem, i + 1, t, all_barrier, out);
+        return;
+      case ExitKind::Jump:
+        reach(mem, i + 1, with({b.target}), all_barrier, out);
+        return;
+      case ExitKind::Spawn:
+        reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out);
+        return;
+      case ExitKind::Branch:
+        if (opts_.compress) {
+          reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out);
+        } else {
+          reach(mem, i + 1, with({b.target}), all_barrier, out);
+          if (b.alt != b.target) {
+            reach(mem, i + 1, with({b.alt}), all_barrier, out);
+            reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out);
+          }
+        }
+        return;
+    }
+  }
+
+  /// Fig. 5 reduction: a compressed meta state X strictly contained in
+  /// another state Y can be replaced by Y, because Y holds (guarded) code
+  /// for every member of X and its unconditional successor covers X's.
+  /// All-barrier release states are exempt — a superset would stall their
+  /// waiting PEs forever — as is the start state (kept for entry).
+  void subsume() {
+    const std::size_t n = aut_.states.size();
+    std::vector<MetaId> rep(n);
+    for (std::size_t i = 0; i < n; ++i) rep[i] = static_cast<MetaId>(i);
+
+    for (std::size_t x = 0; x < n; ++x) {
+      if (x == aut_.start) continue;
+      const DynBitset& xm = aut_.states[x].members;
+      if (!aut_.barriers.empty() && xm.is_subset_of(aut_.barriers)) continue;
+      MetaId best = kNoMeta;
+      std::size_t best_count = 0;
+      for (std::size_t y = 0; y < n; ++y) {
+        if (y == x) continue;
+        const DynBitset& ym = aut_.states[y].members;
+        if (!xm.is_subset_of(ym) || xm == ym) continue;
+        std::size_t c = ym.count();
+        if (best == kNoMeta || c < best_count ||
+            (c == best_count && y < best)) {
+          best = static_cast<MetaId>(y);
+          best_count = c;
+        }
+      }
+      if (best != kNoMeta) rep[x] = best;
+    }
+    // Resolve chains (strict ⊂ is acyclic, so this terminates).
+    auto resolve = [&](MetaId id) {
+      while (rep[id] != id) id = rep[id];
+      return id;
+    };
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i)
+      if (resolve(static_cast<MetaId>(i)) != static_cast<MetaId>(i)) any = true;
+    if (!any) return;
+
+    // Compact surviving states and remap every reference.
+    std::vector<MetaId> newid(n, kNoMeta);
+    std::vector<MetaState> kept;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resolve(static_cast<MetaId>(i)) != static_cast<MetaId>(i)) continue;
+      newid[i] = static_cast<MetaId>(kept.size());
+      kept.push_back(std::move(aut_.states[i]));
+    }
+    auto remap = [&](MetaId id) {
+      return id == kNoMeta ? kNoMeta : newid[resolve(id)];
+    };
+    for (MetaState& s : kept) {
+      s.id = remap(s.id);
+      s.unconditional = remap(s.unconditional);
+      for (auto& [key, target] : s.arcs) target = remap(target);
+    }
+    aut_.start = remap(aut_.start);
+    aut_.states = std::move(kept);
+    aut_.index.clear();
+    for (const MetaState& s : aut_.states) aut_.index.emplace(s.members, s.id);
+  }
+
+  StateGraph& g_;
+  const ir::CostModel& cost_;
+  const ConvertOptions& opts_;
+  const bool allow_split_;
+  ConvertStats& stats_;
+  MetaAutomaton aut_;
+};
+
+}  // namespace
+
+ConvertResult meta_state_convert(const StateGraph& graph, const ir::CostModel& cost,
+                                 const ConvertOptions& options) {
+  ConvertResult res;
+  res.graph = graph;
+
+  int rounds = 0;
+  bool allow_split = options.time_split;
+  for (;;) {
+    try {
+      Converter conv(res.graph, cost, options, allow_split, res.stats);
+      res.automaton = conv.run();
+      if (options.straighten) straighten(res.automaton);
+      return res;
+    } catch (const RestartRequest& restart) {
+      res.stats.splits_performed += restart.splits;
+      ++res.stats.restarts;
+      if (++rounds >= options.max_split_rounds) {
+        // Too much churn: finish with splitting disabled so the automaton
+        // is still consistent with the (already split) graph.
+        allow_split = false;
+      }
+    }
+  }
+}
+
+ConvertResult meta_state_convert_adaptive(const StateGraph& graph,
+                                          const ir::CostModel& cost,
+                                          ConvertOptions options) {
+  try {
+    return meta_state_convert(graph, cost, options);
+  } catch (const ExplosionError&) {
+    options.compress = true;
+    return meta_state_convert(graph, cost, options);
+  }
+}
+
+}  // namespace msc::core

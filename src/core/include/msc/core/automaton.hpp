@@ -1,0 +1,91 @@
+#ifndef MSC_CORE_AUTOMATON_HPP
+#define MSC_CORE_AUTOMATON_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "msc/ir/graph.hpp"
+#include "msc/support/bitset.hpp"
+
+namespace msc::core {
+
+using MetaId = std::uint32_t;
+inline constexpr MetaId kNoMeta = 0xFFFFFFFFu;
+
+/// §2.6 handling of barrier-wait states during conversion and execution.
+enum class BarrierMode : std::uint8_t {
+  /// Sound generalization (default): occupied barrier states stay members
+  /// of the meta state and simply stall until every member is a barrier
+  /// state; transitions key on the raw aggregate pc. Handles programs
+  /// where different barrier-wait states are occupied concurrently.
+  TrackOccupancy,
+  /// The paper's rule, verbatim: barrier states are pruned from a meta
+  /// state unless *all* its members are barriers, and at runtime the
+  /// aggregate pc is masked by the barrier set (§3.2.4). Reproduces
+  /// Figure 6 exactly. Sound whenever at most one distinct barrier-wait
+  /// state can be occupied at a time (the common SPMD pattern).
+  PaperPrune,
+};
+
+/// One meta state: an aggregate of MIMD states (§1.2).
+struct MetaState {
+  MetaId id = kNoMeta;
+  /// The MIMD states merged into this meta state. Invariant (exact-
+  /// occupancy): on every runtime entry each member holds ≥1 PE, except
+  /// under compression where members over-approximate occupancy.
+  DynBitset members;
+  /// Transition arcs: aggregate-pc key → successor. Keys are raw apc
+  /// under TrackOccupancy, barrier-masked apc under PaperPrune. Sorted by
+  /// key for deterministic iteration. In compressed automata these hold
+  /// only the barrier-release transitions (keyed on all-waiting occupancy).
+  std::vector<std::pair<DynBitset, MetaId>> arcs;
+  /// §2.5/§3.2.2: the compressed, unconditional successor, taken when no
+  /// arc key matches. kNoMeta in base-mode automata.
+  MetaId unconditional = kNoMeta;
+
+  bool terminal() const { return arcs.empty() && unconditional == kNoMeta; }
+  std::size_t width() const { return members.count(); }
+  std::string label() const { return members.to_string(); }
+};
+
+/// The meta-state automaton: "literally ... a SIMD program that preserves
+/// the relative timing properties of MIMD execution" (§1.2).
+struct MetaAutomaton {
+  std::vector<MetaState> states;
+  MetaId start = kNoMeta;
+  BarrierMode barrier_mode = BarrierMode::TrackOccupancy;
+  DynBitset barriers;  ///< barrier-wait states of the source graph
+  bool compressed = false;
+
+  MetaId find(const DynBitset& members) const {
+    auto it = index.find(members);
+    return it == index.end() ? kNoMeta : it->second;
+  }
+  MetaId add(DynBitset members);
+  const MetaState& at(MetaId id) const { return states[id]; }
+  MetaState& at(MetaId id) { return states[id]; }
+
+  std::size_t num_states() const { return states.size(); }
+  std::size_t num_arcs() const;
+  std::size_t max_width() const;
+  double mean_width() const;
+
+  /// Apply this automaton's barrier masking to a runtime aggregate pc to
+  /// obtain the transition key (§3.2.4). Identity under TrackOccupancy.
+  DynBitset transition_key(const DynBitset& apc) const;
+
+  /// Structural checks against the source graph; empty = valid.
+  std::vector<std::string> validate(const ir::StateGraph& graph) const;
+
+  std::string dump() const;
+  std::string to_dot(const std::string& name = "meta") const;
+
+  std::unordered_map<DynBitset, MetaId, DynBitsetHash> index;
+};
+
+}  // namespace msc::core
+
+#endif  // MSC_CORE_AUTOMATON_HPP

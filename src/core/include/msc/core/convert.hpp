@@ -1,0 +1,87 @@
+#ifndef MSC_CORE_CONVERT_HPP
+#define MSC_CORE_CONVERT_HPP
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "msc/core/automaton.hpp"
+#include "msc/ir/cost.hpp"
+#include "msc/ir/graph.hpp"
+
+namespace msc::core {
+
+/// Options for meta-state conversion.
+struct ConvertOptions {
+  /// §2.5: assume both successors of every two-exit state are always
+  /// taken. Collapses the automaton dramatically (Fig. 5) at the cost of
+  /// wider (less efficient) meta states.
+  bool compress = false;
+
+  /// With compression, additionally merge any meta state whose member set
+  /// is strictly contained in another's into that superset (the paper's
+  /// "the case of both successors can always emulate either successor");
+  /// this is what reduces Listing 1's compressed automaton to the two
+  /// states of Fig. 5. Ignored in base mode, where transitions are keyed
+  /// on exact occupancy.
+  bool subsume = true;
+
+  /// Ignored under compression, which always tracks barrier occupancy
+  /// (a compressed transition is unconditional, so the §3.2.4 masking
+  /// trick has no key to adjust; release is handled by occupancy-keyed
+  /// arcs instead).
+  BarrierMode barrier_mode = BarrierMode::TrackOccupancy;
+
+  /// §4.2: straighten the finished automaton — lay single-successor chains
+  /// out consecutively so codegen emits fall-throughs instead of gotos.
+  bool straighten = true;
+
+  /// §2.4 MIMD-state time splitting. When a freshly created meta state
+  /// mixes member costs badly, the expensive members are split into a
+  /// min-cost head plus a tail state and the conversion restarts.
+  bool time_split = false;
+  std::int64_t split_delta = 4;     ///< cost noise level, in cycles
+  std::int64_t split_percent = 75;  ///< acceptable utilization, in percent
+  int max_split_rounds = 64;
+
+  /// Explosion guard (§1.2 warns of up to S!/(S−N)! states).
+  std::size_t max_meta_states = 250'000;
+};
+
+/// Thrown when `max_meta_states` is exceeded.
+class ExplosionError : public std::runtime_error {
+ public:
+  explicit ExplosionError(std::size_t limit);
+};
+
+struct ConvertStats {
+  std::size_t meta_states = 0;
+  std::size_t arcs = 0;
+  std::size_t reach_calls = 0;      ///< recursive successor enumerations
+  int splits_performed = 0;         ///< §2.4 state splits across all rounds
+  int restarts = 0;                 ///< conversion restarts due to splitting
+};
+
+struct ConvertResult {
+  /// The (possibly time-split) MIMD state graph the automaton refers to.
+  ir::StateGraph graph;
+  MetaAutomaton automaton;
+  ConvertStats stats;
+};
+
+/// Meta-state conversion (§2): build the meta-state automaton for `graph`.
+/// The input graph is copied; time splitting mutates only the copy.
+ConvertResult meta_state_convert(const ir::StateGraph& graph,
+                                 const ir::CostModel& cost,
+                                 const ConvertOptions& options = {});
+
+/// The practical policy the paper's §1.2 warning implies: run the base
+/// conversion under a state budget; if it explodes, fall back to §2.5
+/// compression (which is bounded by the reachable unions). The result
+/// records which mode actually ran via `automaton.compressed`.
+ConvertResult meta_state_convert_adaptive(const ir::StateGraph& graph,
+                                          const ir::CostModel& cost,
+                                          ConvertOptions options = {});
+
+}  // namespace msc::core
+
+#endif  // MSC_CORE_CONVERT_HPP

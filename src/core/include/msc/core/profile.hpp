@@ -1,0 +1,41 @@
+#ifndef MSC_CORE_PROFILE_HPP
+#define MSC_CORE_PROFILE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "msc/core/automaton.hpp"
+
+namespace msc::core {
+
+/// Structural statistics of a meta-state automaton — the quantities the
+/// paper's trade-off discussions revolve around (state count vs. width,
+/// branch fan-out vs. the 3^n bound).
+struct AutomatonProfile {
+  std::size_t states = 0;
+  std::size_t arcs = 0;
+  std::size_t terminal_states = 0;
+  std::size_t unconditional_states = 0;  ///< compressed direct transitions
+  std::size_t all_barrier_states = 0;
+  std::size_t max_width = 0;
+  double mean_width = 0.0;
+  std::size_t max_out_degree = 0;
+  /// width → number of meta states with that many members.
+  std::map<std::size_t, std::size_t> width_histogram;
+  /// out-degree (keyed arcs) → number of meta states.
+  std::map<std::size_t, std::size_t> out_degree_histogram;
+  /// For each MIMD state: in how many meta states it appears (the "code
+  /// duplication factor" of the SIMD coding).
+  std::vector<std::size_t> replication;
+
+  double mean_replication() const;
+  std::string to_string() const;
+};
+
+AutomatonProfile profile(const MetaAutomaton& automaton);
+
+}  // namespace msc::core
+
+#endif  // MSC_CORE_PROFILE_HPP

@@ -1,0 +1,22 @@
+#ifndef MSC_CORE_STRAIGHTEN_HPP
+#define MSC_CORE_STRAIGHTEN_HPP
+
+#include "msc/core/automaton.hpp"
+
+namespace msc::core {
+
+/// §4.2 step 4: "The resulting meta-state graph is straightened and
+/// output." Reorders the automaton's states so that whenever a meta state
+/// has a single (direct/unconditional) successor whose only predecessor is
+/// that state, the successor is laid out immediately after it. Codegen
+/// then turns the transition into a fall-through instead of a goto, and
+/// the emitted MPL reads as straight-line chains.
+///
+/// Pure permutation: ids are renumbered, `start`/arcs/index updated; no
+/// state is added, removed, or semantically altered. Returns the number of
+/// fall-through pairs created.
+std::size_t straighten(MetaAutomaton& automaton);
+
+}  // namespace msc::core
+
+#endif  // MSC_CORE_STRAIGHTEN_HPP

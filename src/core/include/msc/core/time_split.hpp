@@ -1,0 +1,39 @@
+#ifndef MSC_CORE_TIME_SPLIT_HPP
+#define MSC_CORE_TIME_SPLIT_HPP
+
+#include <cstdint>
+
+#include "msc/ir/cost.hpp"
+#include "msc/ir/graph.hpp"
+#include "msc/support/bitset.hpp"
+
+namespace msc::core {
+
+/// §2.4 MIMD-state time splitting, exposed separately for tests/benches.
+///
+/// Given the member set of a (candidate) meta state, decide whether the
+/// cost imbalance warrants splitting, and if so split every member whose
+/// cost exceeds the minimum into a head of roughly min cost followed
+/// unconditionally by a tail holding the remainder (Figs. 3–4). Returns
+/// the number of blocks split (0 = no change). Mutates `graph`.
+///
+/// Mirrors the paper's time_split_state():
+///  - members with zero cost are ignored ("you can't do anything about
+///    them anyway");
+///  - no split if min + split_delta > max (imbalance at noise level);
+///  - no split if min > split_percent% of max (utilization acceptable);
+///  - a block that cannot be divided (fewer than 2 body instructions)
+///    is left alone.
+int time_split_state(ir::StateGraph& graph, const DynBitset& members,
+                     const ir::CostModel& cost, std::int64_t split_delta,
+                     std::int64_t split_percent);
+
+/// The idle fraction a meta state with these members would induce:
+/// sum over members of (max_cost − cost) / (width · max_cost).
+double meta_state_idle_fraction(const ir::StateGraph& graph,
+                                const DynBitset& members,
+                                const ir::CostModel& cost);
+
+}  // namespace msc::core
+
+#endif  // MSC_CORE_TIME_SPLIT_HPP

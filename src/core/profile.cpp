@@ -1,0 +1,72 @@
+#include "msc/core/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msc/support/str.hpp"
+
+namespace msc::core {
+
+double AutomatonProfile::mean_replication() const {
+  if (replication.empty()) return 0.0;
+  std::size_t used = 0, total = 0;
+  for (std::size_t r : replication) {
+    if (r == 0) continue;
+    ++used;
+    total += r;
+  }
+  return used == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(used);
+}
+
+AutomatonProfile profile(const MetaAutomaton& automaton) {
+  AutomatonProfile p;
+  p.states = automaton.num_states();
+  p.arcs = automaton.num_arcs();
+
+  std::size_t mimd_states = 0;
+  for (const MetaState& s : automaton.states)
+    for (std::size_t m : s.members.bits())
+      mimd_states = std::max(mimd_states, m + 1);
+  p.replication.assign(mimd_states, 0);
+
+  std::size_t width_total = 0;
+  for (const MetaState& s : automaton.states) {
+    std::size_t w = s.width();
+    width_total += w;
+    p.max_width = std::max(p.max_width, w);
+    ++p.width_histogram[w];
+    ++p.out_degree_histogram[s.arcs.size()];
+    p.max_out_degree = std::max(p.max_out_degree, s.arcs.size());
+    if (s.terminal()) ++p.terminal_states;
+    if (s.unconditional != kNoMeta) ++p.unconditional_states;
+    if (!automaton.barriers.empty() && s.members.is_subset_of(automaton.barriers))
+      ++p.all_barrier_states;
+    for (std::size_t m : s.members.bits()) ++p.replication[m];
+  }
+  p.mean_width = p.states == 0
+                     ? 0.0
+                     : static_cast<double>(width_total) / static_cast<double>(p.states);
+  return p;
+}
+
+std::string AutomatonProfile::to_string() const {
+  std::ostringstream os;
+  os << "automaton profile:\n"
+     << "  states            " << states << "\n"
+     << "  arcs              " << arcs << "\n"
+     << "  terminal          " << terminal_states << "\n"
+     << "  unconditional     " << unconditional_states << "\n"
+     << "  all-barrier       " << all_barrier_states << "\n"
+     << "  width mean/max    " << fmt_double(mean_width, 2) << " / " << max_width
+     << "\n"
+     << "  out-degree max    " << max_out_degree << "\n"
+     << "  replication mean  " << fmt_double(mean_replication(), 2) << "\n"
+     << "  width histogram  ";
+  for (const auto& [w, n] : width_histogram) os << " " << w << ":" << n;
+  os << "\n  degree histogram ";
+  for (const auto& [d, n] : out_degree_histogram) os << " " << d << ":" << n;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace msc::core

@@ -1,0 +1,72 @@
+#include "msc/core/straighten.hpp"
+
+#include <vector>
+
+namespace msc::core {
+
+namespace {
+
+/// The unique successor a state would fall through to, or kNoMeta.
+MetaId single_successor(const MetaState& s) {
+  if (s.unconditional != kNoMeta && s.arcs.empty()) return s.unconditional;
+  if (s.unconditional == kNoMeta && s.arcs.size() == 1) return s.arcs[0].second;
+  return kNoMeta;
+}
+
+}  // namespace
+
+std::size_t straighten(MetaAutomaton& automaton) {
+  const std::size_t n = automaton.states.size();
+  if (n == 0) return 0;
+
+  // Count predecessors (all arc kinds).
+  std::vector<std::size_t> preds(n, 0);
+  for (const MetaState& s : automaton.states) {
+    if (s.unconditional != kNoMeta) ++preds[s.unconditional];
+    for (const auto& [key, target] : s.arcs) ++preds[target];
+  }
+
+  // Greedy chain layout: start from the entry state, then every remaining
+  // state in id order; follow single-successor links into states that have
+  // exactly one predecessor and are not the entry.
+  std::vector<MetaId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::size_t fallthroughs = 0;
+  auto lay_chain = [&](MetaId head) {
+    MetaId cur = head;
+    while (cur != kNoMeta && !placed[cur]) {
+      placed[cur] = true;
+      order.push_back(cur);
+      MetaId next = single_successor(automaton.states[cur]);
+      if (next == kNoMeta || next == cur || placed[next] ||
+          next == automaton.start || preds[next] != 1)
+        break;
+      ++fallthroughs;
+      cur = next;
+    }
+  };
+  lay_chain(automaton.start);
+  for (MetaId id = 0; id < n; ++id)
+    if (!placed[id]) lay_chain(id);
+
+  // Apply the permutation.
+  std::vector<MetaId> newid(n);
+  for (std::size_t pos = 0; pos < n; ++pos) newid[order[pos]] = static_cast<MetaId>(pos);
+  std::vector<MetaState> reordered(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    MetaState s = std::move(automaton.states[order[pos]]);
+    s.id = static_cast<MetaId>(pos);
+    if (s.unconditional != kNoMeta) s.unconditional = newid[s.unconditional];
+    for (auto& [key, target] : s.arcs) target = newid[target];
+    reordered[pos] = std::move(s);
+  }
+  automaton.states = std::move(reordered);
+  automaton.start = newid[automaton.start];
+  automaton.index.clear();
+  for (const MetaState& s : automaton.states)
+    automaton.index.emplace(s.members, s.id);
+  return fallthroughs;
+}
+
+}  // namespace msc::core

@@ -1,0 +1,97 @@
+#include "msc/core/time_split.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "msc/support/str.hpp"
+
+namespace msc::core {
+
+using ir::Block;
+using ir::ExitKind;
+using ir::StateGraph;
+using ir::StateId;
+
+namespace {
+
+/// Split `id` so the head costs roughly `target` cycles. Returns false if
+/// the block cannot be divided at any instruction boundary.
+bool split_block(StateGraph& graph, StateId id, std::int64_t target,
+                 const ir::CostModel& cost) {
+  Block& b = graph.at(id);
+  if (b.barrier_wait || b.body.size() < 2) return false;
+
+  // Longest instruction prefix with cost ≤ target (head also pays its
+  // Jump exit); always keep ≥1 instruction on each side.
+  std::int64_t budget = target - cost.jump;
+  std::int64_t acc = 0;
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i + 1 < b.body.size(); ++i) {
+    std::int64_t c = cost.instr_cost(b.body[i]);
+    if (cut > 0 && acc + c > budget) break;
+    acc += c;
+    cut = i + 1;
+  }
+  if (cut == 0 || cut >= b.body.size()) return false;
+
+  StateId tail = graph.add_block(b.label.empty() ? std::string("'") : b.label + "'");
+  Block& head = graph.at(id);  // re-fetch: add_block may reallocate
+  Block& tb = graph.at(tail);
+  tb.body.assign(head.body.begin() + static_cast<std::ptrdiff_t>(cut),
+                 head.body.end());
+  tb.exit = head.exit;
+  tb.target = head.target;
+  tb.alt = head.alt;
+  head.body.resize(cut);
+  head.exit = ExitKind::Jump;
+  head.target = tail;
+  head.alt = ir::kNoState;
+  return true;
+}
+
+}  // namespace
+
+int time_split_state(StateGraph& graph, const DynBitset& members,
+                     const ir::CostModel& cost, std::int64_t split_delta,
+                     std::int64_t split_percent) {
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = 0;
+  for (std::size_t s : members.bits()) {
+    std::int64_t c = cost.block_cost(graph.at(static_cast<StateId>(s)));
+    if (c == 0) continue;  // ignore zero-time components
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  if (max == 0) return 0;
+
+  // "Is enough time wasted to be worth splitting?"
+  if (min + split_delta > max) return 0;
+  if (min > (split_percent * max) / 100) return 0;
+
+  int did_split = 0;
+  for (std::size_t s : members.bits()) {
+    StateId id = static_cast<StateId>(s);
+    if (cost.block_cost(graph.at(id)) > min) {
+      if (split_block(graph, id, min, cost)) ++did_split;
+    }
+  }
+  return did_split;
+}
+
+double meta_state_idle_fraction(const StateGraph& graph, const DynBitset& members,
+                                const ir::CostModel& cost) {
+  std::int64_t max = 0;
+  std::vector<std::int64_t> costs;
+  for (std::size_t s : members.bits()) {
+    std::int64_t c = cost.block_cost(graph.at(static_cast<StateId>(s)));
+    costs.push_back(c);
+    max = std::max(max, c);
+  }
+  if (max == 0 || costs.empty()) return 0.0;
+  std::int64_t idle = 0;
+  for (std::int64_t c : costs) idle += max - c;
+  return static_cast<double>(idle) /
+         static_cast<double>(max * static_cast<std::int64_t>(costs.size()));
+}
+
+}  // namespace msc::core

@@ -1,0 +1,40 @@
+#ifndef MSC_DRIVER_PIPELINE_HPP
+#define MSC_DRIVER_PIPELINE_HPP
+
+#include <memory>
+#include <string>
+
+#include "msc/core/convert.hpp"
+#include "msc/frontend/ast.hpp"
+#include "msc/frontend/sema.hpp"
+#include "msc/ir/cost.hpp"
+#include "msc/ir/graph.hpp"
+#include "msc/support/diag.hpp"
+
+namespace msc::driver {
+
+/// Output of the MIMDC front half: analyzed AST, memory layout, and the
+/// simplified whole-program MIMD state graph (§2.1–2.2).
+struct Compiled {
+  std::unique_ptr<frontend::Program> program;
+  frontend::Layout layout;
+  Diagnostics diags;
+  ir::StateGraph graph;
+};
+
+/// Lex → parse → sema → CFG build → straighten. Throws CompileError on
+/// malformed input.
+Compiled compile(const std::string& source);
+
+/// compile() + meta_state_convert() in one call.
+struct Converted {
+  Compiled compiled;
+  core::ConvertResult conversion;
+};
+
+Converted convert(const std::string& source, const ir::CostModel& cost = {},
+                  const core::ConvertOptions& options = {});
+
+}  // namespace msc::driver
+
+#endif  // MSC_DRIVER_PIPELINE_HPP

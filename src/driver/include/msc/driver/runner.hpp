@@ -1,0 +1,64 @@
+#ifndef MSC_DRIVER_RUNNER_HPP
+#define MSC_DRIVER_RUNNER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "msc/codegen/program.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/mimd/machine.hpp"
+#include "msc/simd/machine.hpp"
+
+namespace msc::driver {
+
+/// What a run produced, in machine-independent form — the basis of every
+/// oracle-vs-SIMD equivalence check.
+struct Observed {
+  /// main's per-PE return value (Layout::kResultAddr); only meaningful
+  /// where `ran[p]` is true.
+  std::vector<Value> results;
+  std::vector<bool> ran;
+  /// Final values of every named poly global, per PE (arrays flattened).
+  std::map<std::string, std::vector<Value>> poly_globals;
+  /// Final values of every named mono global.
+  std::map<std::string, std::vector<Value>> mono_globals;
+
+  bool operator==(const Observed& o) const;
+  /// Per-PE-order-insensitive comparison (for spawn workloads, where PE
+  /// allocation order may differ between the asynchronous oracle and the
+  /// lockstep SIMD machine): multisets of (result, ran) plus globals.
+  bool equivalent_unordered(const Observed& o) const;
+  std::string to_string() const;
+};
+
+/// Deterministic per-PE input: value poked into poly global `x` (when the
+/// program declares one) before running. Shared by both machines.
+std::int64_t seed_input(std::uint64_t seed, std::int64_t pe);
+
+/// Write seeds/initial values into a machine via the layout. M is
+/// MimdMachine or SimdMachine (same poke interface).
+template <typename M>
+void seed_machine(M& machine, const Compiled& compiled,
+                  const mimd::RunConfig& config, std::uint64_t seed) {
+  const auto* slot = compiled.layout.find("x");
+  if (!slot || slot->storage != frontend::Storage::PolyStatic) return;
+  for (std::int64_t p = 0; p < config.nprocs; ++p)
+    machine.poke(p, slot->addr, Value::of_int(seed_input(seed, p)));
+}
+
+/// Run the MIMD oracle and collect observations.
+Observed run_oracle(const Compiled& compiled, const mimd::RunConfig& config,
+                    std::uint64_t seed, mimd::MimdStats* stats_out = nullptr);
+
+/// Convert + codegen + run on the SIMD machine and collect observations.
+Observed run_simd(const Compiled& compiled, const core::ConvertResult& conversion,
+                  const mimd::RunConfig& config, std::uint64_t seed,
+                  const ir::CostModel& cost = {},
+                  const codegen::CodegenOptions& cg = {},
+                  simd::SimdStats* stats_out = nullptr);
+
+}  // namespace msc::driver
+
+#endif  // MSC_DRIVER_RUNNER_HPP

@@ -1,0 +1,28 @@
+#include "msc/driver/pipeline.hpp"
+
+#include "msc/frontend/parser.hpp"
+#include "msc/ir/build.hpp"
+#include "msc/ir/passes.hpp"
+#include "msc/ir/peephole.hpp"
+
+namespace msc::driver {
+
+Compiled compile(const std::string& source) {
+  Compiled out;
+  out.program = frontend::parse_mimdc(source);
+  out.layout = frontend::analyze(*out.program, out.diags);
+  out.graph = ir::build_state_graph(*out.program, out.layout);
+  ir::simplify(out.graph);
+  ir::peephole(out.graph);
+  return out;
+}
+
+Converted convert(const std::string& source, const ir::CostModel& cost,
+                  const core::ConvertOptions& options) {
+  Converted out;
+  out.compiled = compile(source);
+  out.conversion = core::meta_state_convert(out.compiled.graph, cost, options);
+  return out;
+}
+
+}  // namespace msc::driver

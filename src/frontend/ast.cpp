@@ -1,0 +1,176 @@
+#include "msc/frontend/ast.hpp"
+
+#include <sstream>
+
+#include "msc/support/str.hpp"
+
+namespace msc::frontend {
+
+const char* ty_name(Ty t) {
+  switch (t) {
+    case Ty::Void: return "void";
+    case Ty::Int: return "int";
+    case Ty::Float: return "float";
+  }
+  return "?";
+}
+
+const char* qual_name(Qual q) { return q == Qual::Mono ? "mono" : "poly"; }
+
+const char* unop_name(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::Not: return "!";
+    case UnOp::BitNot: return "~";
+  }
+  return "?";
+}
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::LAnd: return "&&";
+    case BinOp::LOr: return "||";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitOr: return "|";
+    case BinOp::BitXor: return "^";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+  }
+  return "?";
+}
+
+FuncDecl* Program::find_func(const std::string& name) const {
+  for (const auto& f : funcs)
+    if (f->name == name) return f.get();
+  return nullptr;
+}
+
+VarDecl* Program::find_global(const std::string& name) const {
+  for (const auto& g : globals)
+    if (g->name == name) return g.get();
+  return nullptr;
+}
+
+std::string dump(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return std::to_string(static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::FloatLit:
+      return fmt_double(static_cast<const FloatLitExpr&>(e).value, 3);
+    case ExprKind::VarRef:
+      return static_cast<const VarRefExpr&>(e).name;
+    case ExprKind::Index: {
+      const auto& x = static_cast<const IndexExpr&>(e);
+      return cat("(index ", dump(*x.base), " ", dump(*x.index), ")");
+    }
+    case ExprKind::ParIndex: {
+      const auto& x = static_cast<const ParIndexExpr&>(e);
+      return cat("(par ", dump(*x.base), " ", dump(*x.proc), ")");
+    }
+    case ExprKind::Unary: {
+      const auto& x = static_cast<const UnaryExpr&>(e);
+      return cat("(", unop_name(x.op), " ", dump(*x.operand), ")");
+    }
+    case ExprKind::Binary: {
+      const auto& x = static_cast<const BinaryExpr&>(e);
+      return cat("(", binop_name(x.op), " ", dump(*x.lhs), " ", dump(*x.rhs), ")");
+    }
+    case ExprKind::Assign: {
+      const auto& x = static_cast<const AssignExpr&>(e);
+      return cat("(= ", dump(*x.target), " ", dump(*x.value), ")");
+    }
+    case ExprKind::CompoundAssign: {
+      const auto& x = static_cast<const CompoundAssignExpr&>(e);
+      return cat("(", binop_name(x.op), "= ", dump(*x.target), " ",
+                 dump(*x.value), ")");
+    }
+    case ExprKind::IncDec: {
+      const auto& x = static_cast<const IncDecExpr&>(e);
+      const char* op = x.is_increment ? "++" : "--";
+      if (x.is_prefix) return cat("(", op, "pre ", dump(*x.target), ")");
+      return cat("(", op, "post ", dump(*x.target), ")");
+    }
+    case ExprKind::Call: {
+      const auto& x = static_cast<const CallExpr&>(e);
+      std::string s = cat("(call ", x.callee);
+      for (const auto& a : x.args) s += cat(" ", dump(*a));
+      return s + ")";
+    }
+    case ExprKind::Builtin: {
+      const auto& x = static_cast<const BuiltinExpr&>(e);
+      return x.which == Builtin::ProcId ? "(procid)" : "(nprocs)";
+    }
+  }
+  return "?";
+}
+
+std::string dump(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Expr:
+      return cat("(expr ", dump(*static_cast<const ExprStmt&>(s).expr), ")");
+    case StmtKind::Decl: {
+      const auto& x = static_cast<const DeclStmt&>(s);
+      std::string r = cat("(decl ", qual_name(x.decl->qual), " ", ty_name(x.decl->ty),
+                          " ", x.decl->name);
+      if (x.decl->is_array()) r += cat("[", x.decl->array_size, "]");
+      if (x.init) r += cat(" ", dump(*x.init));
+      return r + ")";
+    }
+    case StmtKind::Block: {
+      const auto& x = static_cast<const BlockStmt&>(s);
+      std::string r = "(block";
+      for (const auto& st : x.stmts) r += cat(" ", dump(*st));
+      return r + ")";
+    }
+    case StmtKind::If: {
+      const auto& x = static_cast<const IfStmt&>(s);
+      std::string r = cat("(if ", dump(*x.cond), " ", dump(*x.then_branch));
+      if (x.else_branch) r += cat(" ", dump(*x.else_branch));
+      return r + ")";
+    }
+    case StmtKind::While: {
+      const auto& x = static_cast<const WhileStmt&>(s);
+      return cat("(while ", dump(*x.cond), " ", dump(*x.body), ")");
+    }
+    case StmtKind::DoWhile: {
+      const auto& x = static_cast<const DoWhileStmt&>(s);
+      return cat("(do ", dump(*x.body), " ", dump(*x.cond), ")");
+    }
+    case StmtKind::For: {
+      const auto& x = static_cast<const ForStmt&>(s);
+      return cat("(for ", x.init ? dump(*x.init) : "()", " ",
+                 x.cond ? dump(*x.cond) : "()", " ", x.step ? dump(*x.step) : "()",
+                 " ", dump(*x.body), ")");
+    }
+    case StmtKind::Return: {
+      const auto& x = static_cast<const ReturnStmt&>(s);
+      return x.value ? cat("(return ", dump(*x.value), ")") : "(return)";
+    }
+    case StmtKind::Break:
+      return "(break)";
+    case StmtKind::Continue:
+      return "(continue)";
+    case StmtKind::Wait:
+      return "(wait)";
+    case StmtKind::Halt:
+      return "(halt)";
+    case StmtKind::Spawn:
+      return cat("(spawn ", dump(*static_cast<const SpawnStmt&>(s).body), ")");
+    case StmtKind::Empty:
+      return "()";
+  }
+  return "?";
+}
+
+}  // namespace msc::frontend

@@ -1,0 +1,310 @@
+#ifndef MSC_FRONTEND_AST_HPP
+#define MSC_FRONTEND_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msc/support/diag.hpp"
+
+namespace msc::frontend {
+
+/// MIMDC scalar types (§4.1: "Data values can be either int or float").
+enum class Ty : std::uint8_t { Void, Int, Float };
+
+/// Storage class: mono = shared/replicated, poly = private per processor.
+enum class Qual : std::uint8_t { Mono, Poly };
+
+const char* ty_name(Ty t);
+const char* qual_name(Qual q);
+
+// --------------------------------------------------------------- variables
+
+/// Where sema placed a variable.
+enum class Storage : std::uint8_t {
+  MonoStatic,  ///< cell(s) in the shared mono segment
+  PolyStatic,  ///< cell(s) at a fixed address in every PE's local memory
+  Frame,       ///< frame-pointer-relative slot (locals of recursive functions)
+};
+
+struct VarDecl {
+  std::string name;
+  Qual qual = Qual::Poly;
+  Ty ty = Ty::Int;
+  /// 0 for scalars; element count for 1-D arrays.
+  std::int64_t array_size = 0;
+  SourceLoc loc;
+
+  // Filled by sema:
+  Storage storage = Storage::PolyStatic;
+  std::int64_t addr = -1;  ///< segment address (static) or frame offset
+
+  bool is_array() const { return array_size > 0; }
+  std::int64_t cell_count() const { return is_array() ? array_size : 1; }
+};
+
+// ------------------------------------------------------------- expressions
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  FloatLit,
+  VarRef,
+  Index,     ///< a[e]
+  ParIndex,  ///< a[[p]] or a[e][[p]] — fetch/store on processor p (§4.1)
+  Unary,
+  Binary,
+  Assign,
+  CompoundAssign,  ///< a ⊕= b, desugared during CFG construction
+  IncDec,          ///< ++a / a++ / --a / a--
+  Call,
+  Builtin,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not, BitNot };
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LAnd, LOr,  ///< non-short-circuit (documented deviation; keeps blocks maximal)
+  BitAnd, BitOr, BitXor, Shl, Shr,
+};
+enum class Builtin : std::uint8_t { ProcId, NProcs };
+
+const char* unop_name(UnOp op);
+const char* binop_name(BinOp op);
+
+struct FuncDecl;
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  // Filled by sema:
+  Ty ty = Ty::Void;
+  bool poly = false;  ///< value differs across PEs (drives divergence)
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr final : Expr {
+  std::int64_t value;
+  IntLitExpr(SourceLoc l, std::int64_t v) : Expr(ExprKind::IntLit, l), value(v) {}
+};
+
+struct FloatLitExpr final : Expr {
+  double value;
+  FloatLitExpr(SourceLoc l, double v) : Expr(ExprKind::FloatLit, l), value(v) {}
+};
+
+struct VarRefExpr final : Expr {
+  std::string name;
+  const VarDecl* decl = nullptr;  // resolved by sema
+  VarRefExpr(SourceLoc l, std::string n) : Expr(ExprKind::VarRef, l), name(std::move(n)) {}
+};
+
+struct IndexExpr final : Expr {
+  ExprPtr base;  // VarRef to an array
+  ExprPtr index;
+  IndexExpr(SourceLoc l, ExprPtr b, ExprPtr i)
+      : Expr(ExprKind::Index, l), base(std::move(b)), index(std::move(i)) {}
+};
+
+struct ParIndexExpr final : Expr {
+  ExprPtr base;  // VarRef or Index over a poly variable
+  ExprPtr proc;  // processor number expression
+  ParIndexExpr(SourceLoc l, ExprPtr b, ExprPtr p)
+      : Expr(ExprKind::ParIndex, l), base(std::move(b)), proc(std::move(p)) {}
+};
+
+struct UnaryExpr final : Expr {
+  UnOp op;
+  ExprPtr operand;
+  UnaryExpr(SourceLoc l, UnOp o, ExprPtr e)
+      : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+};
+
+struct BinaryExpr final : Expr {
+  BinOp op;
+  ExprPtr lhs, rhs;
+  BinaryExpr(SourceLoc l, BinOp o, ExprPtr a, ExprPtr b)
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+};
+
+struct AssignExpr final : Expr {
+  ExprPtr target;  // VarRef, Index, or ParIndex
+  ExprPtr value;
+  AssignExpr(SourceLoc l, ExprPtr t, ExprPtr v)
+      : Expr(ExprKind::Assign, l), target(std::move(t)), value(std::move(v)) {}
+};
+
+struct CompoundAssignExpr final : Expr {
+  BinOp op;        ///< the underlying binary operation
+  ExprPtr target;  ///< VarRef, Index, or ParIndex with pure subscripts
+  ExprPtr value;
+  CompoundAssignExpr(SourceLoc l, BinOp o, ExprPtr t, ExprPtr v)
+      : Expr(ExprKind::CompoundAssign, l), op(o), target(std::move(t)),
+        value(std::move(v)) {}
+};
+
+struct IncDecExpr final : Expr {
+  bool is_increment;
+  bool is_prefix;  ///< prefix yields the new value, postfix the old
+  ExprPtr target;
+  IncDecExpr(SourceLoc l, bool inc, bool prefix, ExprPtr t)
+      : Expr(ExprKind::IncDec, l), is_increment(inc), is_prefix(prefix),
+        target(std::move(t)) {}
+};
+
+struct CallExpr final : Expr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+  FuncDecl* target = nullptr;  // resolved by sema
+  CallExpr(SourceLoc l, std::string c, std::vector<ExprPtr> a)
+      : Expr(ExprKind::Call, l), callee(std::move(c)), args(std::move(a)) {}
+};
+
+struct BuiltinExpr final : Expr {
+  Builtin which;
+  BuiltinExpr(SourceLoc l, Builtin w) : Expr(ExprKind::Builtin, l), which(w) {}
+};
+
+// -------------------------------------------------------------- statements
+
+enum class StmtKind : std::uint8_t {
+  Expr,
+  Decl,
+  Block,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Wait,   ///< barrier synchronization (§2.6)
+  Halt,   ///< release this PE back to the free pool (§3.2.5)
+  Spawn,  ///< restricted dynamic process creation (§3.2.5)
+  Empty,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt final : Stmt {
+  ExprPtr expr;
+  ExprStmt(SourceLoc l, ExprPtr e) : Stmt(StmtKind::Expr, l), expr(std::move(e)) {}
+};
+
+struct DeclStmt final : Stmt {
+  std::unique_ptr<VarDecl> decl;
+  ExprPtr init;  // may be null
+  DeclStmt(SourceLoc l, std::unique_ptr<VarDecl> d, ExprPtr i)
+      : Stmt(StmtKind::Decl, l), decl(std::move(d)), init(std::move(i)) {}
+};
+
+struct BlockStmt final : Stmt {
+  std::vector<StmtPtr> stmts;
+  explicit BlockStmt(SourceLoc l) : Stmt(StmtKind::Block, l) {}
+};
+
+struct IfStmt final : Stmt {
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+  IfStmt(SourceLoc l, ExprPtr c, StmtPtr t, StmtPtr e)
+      : Stmt(StmtKind::If, l), cond(std::move(c)), then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+};
+
+struct WhileStmt final : Stmt {
+  ExprPtr cond;
+  StmtPtr body;
+  WhileStmt(SourceLoc l, ExprPtr c, StmtPtr b)
+      : Stmt(StmtKind::While, l), cond(std::move(c)), body(std::move(b)) {}
+};
+
+struct DoWhileStmt final : Stmt {
+  StmtPtr body;
+  ExprPtr cond;
+  DoWhileStmt(SourceLoc l, StmtPtr b, ExprPtr c)
+      : Stmt(StmtKind::DoWhile, l), body(std::move(b)), cond(std::move(c)) {}
+};
+
+struct ForStmt final : Stmt {
+  ExprPtr init, cond, step;  // each may be null
+  StmtPtr body;
+  ForStmt(SourceLoc l, ExprPtr i, ExprPtr c, ExprPtr s, StmtPtr b)
+      : Stmt(StmtKind::For, l), init(std::move(i)), cond(std::move(c)),
+        step(std::move(s)), body(std::move(b)) {}
+};
+
+struct ReturnStmt final : Stmt {
+  ExprPtr value;  // may be null (void)
+  ReturnStmt(SourceLoc l, ExprPtr v) : Stmt(StmtKind::Return, l), value(std::move(v)) {}
+};
+
+struct BreakStmt final : Stmt {
+  explicit BreakStmt(SourceLoc l) : Stmt(StmtKind::Break, l) {}
+};
+
+struct ContinueStmt final : Stmt {
+  explicit ContinueStmt(SourceLoc l) : Stmt(StmtKind::Continue, l) {}
+};
+
+struct WaitStmt final : Stmt {
+  explicit WaitStmt(SourceLoc l) : Stmt(StmtKind::Wait, l) {}
+};
+
+struct HaltStmt final : Stmt {
+  explicit HaltStmt(SourceLoc l) : Stmt(StmtKind::Halt, l) {}
+};
+
+/// `spawn stmt` — newly created processes execute `stmt` then halt; the
+/// original processes skip it. Matches the paper's spawn(x) encoding where
+/// both exits of the pseudo-branch are always taken.
+struct SpawnStmt final : Stmt {
+  StmtPtr body;
+  SpawnStmt(SourceLoc l, StmtPtr b) : Stmt(StmtKind::Spawn, l), body(std::move(b)) {}
+};
+
+struct EmptyStmt final : Stmt {
+  explicit EmptyStmt(SourceLoc l) : Stmt(StmtKind::Empty, l) {}
+};
+
+// --------------------------------------------------------------- functions
+
+struct FuncDecl {
+  std::string name;
+  Ty ret_ty = Ty::Void;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc;
+
+  // Filled by sema:
+  bool recursive = false;       ///< member of a call-graph cycle (§2.2)
+  std::int64_t frame_size = 0;  ///< cells per activation, recursive funcs only
+  std::int64_t retval_addr = -1;  ///< static poly cell holding the return value
+  std::vector<VarDecl*> frame_vars;  ///< params+locals in frame-offset order
+};
+
+struct Program {
+  std::vector<std::unique_ptr<VarDecl>> globals;
+  std::vector<std::unique_ptr<FuncDecl>> funcs;
+
+  FuncDecl* find_func(const std::string& name) const;
+  VarDecl* find_global(const std::string& name) const;
+};
+
+/// S-expression dump of an expression/statement tree (tests, debugging).
+std::string dump(const Expr& e);
+std::string dump(const Stmt& s);
+
+}  // namespace msc::frontend
+
+#endif  // MSC_FRONTEND_AST_HPP

@@ -1,0 +1,40 @@
+#ifndef MSC_FRONTEND_LEXER_HPP
+#define MSC_FRONTEND_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+#include "msc/frontend/token.hpp"
+
+namespace msc::frontend {
+
+/// Hand-written MIMDC lexer (replaces the paper's PCCTS-generated one).
+/// Supports `//` and `/* */` comments. Brackets are always lexed as single
+/// characters; the parser recognizes the parallel-subscript form `[[e]]`
+/// by looking at adjacent bracket tokens, so `a[b[1]]` still lexes cleanly.
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  /// Tokenize the whole input; throws CompileError on malformed input.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool at_end() const;
+  void skip_ws_and_comments();
+  Token make(Tok kind, SourceLoc loc, std::string text = {});
+  Token lex_number(SourceLoc loc);
+  Token lex_ident(SourceLoc loc);
+
+  std::string src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace msc::frontend
+
+#endif  // MSC_FRONTEND_LEXER_HPP

@@ -1,0 +1,60 @@
+#ifndef MSC_FRONTEND_PARSER_HPP
+#define MSC_FRONTEND_PARSER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msc/frontend/ast.hpp"
+#include "msc/frontend/token.hpp"
+
+namespace msc::frontend {
+
+/// Recursive-descent MIMDC parser. Throws CompileError on syntax errors.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  /// Parse a full translation unit.
+  std::unique_ptr<Program> parse_program();
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& cur() const { return peek(0); }
+  Token advance();
+  bool check(Tok kind) const { return cur().kind == kind; }
+  bool match(Tok kind);
+  Token expect(Tok kind, const char* context);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  bool at_type_start() const;
+  Ty parse_type();
+
+  std::unique_ptr<VarDecl> parse_var_decl_tail(Qual qual, Ty ty, Token name_tok);
+  void parse_top_decl(Program& prog);
+  std::unique_ptr<FuncDecl> parse_func_tail(Ty ret_ty, Token name_tok);
+
+  StmtPtr parse_stmt();
+  std::unique_ptr<BlockStmt> parse_block();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_do_while();
+  StmtPtr parse_for();
+
+  ExprPtr parse_expr();
+  ExprPtr parse_assignment();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: lex + parse a source string.
+std::unique_ptr<Program> parse_mimdc(const std::string& source);
+
+}  // namespace msc::frontend
+
+#endif  // MSC_FRONTEND_PARSER_HPP

@@ -1,0 +1,63 @@
+#ifndef MSC_FRONTEND_SEMA_HPP
+#define MSC_FRONTEND_SEMA_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "msc/frontend/ast.hpp"
+#include "msc/support/diag.hpp"
+
+namespace msc::frontend {
+
+/// Memory layout produced by sema.
+///
+/// Each PE's local memory is laid out as:
+///   [0]              main's per-PE return value
+///   [1]              FP — frame pointer (recursive calls only)
+///   [2]              SP — frame-stack pointer (recursive calls only)
+///   [3 ..)           poly statics: poly globals, then locals/params/retval
+///                    cells of non-recursive functions (activations of a
+///                    non-recursive function are temporally disjoint within
+///                    one PE, so static allocation is safe)
+///   [frame_stack_base ..)  activation frames of recursive functions; each
+///                    frame is [saved FP, return-site id, params…, locals…]
+///                    (the paper's §2.2 return-site multiway branch keys on
+///                    the frame's return-site id cell)
+///
+/// The mono (shared) segment is a separate address space.
+struct Layout {
+  static constexpr std::int64_t kResultAddr = 0;
+  static constexpr std::int64_t kFpAddr = 1;
+  static constexpr std::int64_t kSpAddr = 2;
+  static constexpr std::int64_t kFirstStatic = 3;
+
+  std::int64_t poly_static_size = kFirstStatic;  ///< cells before frame stack
+  std::int64_t frame_stack_base = kFirstStatic;
+  std::int64_t mono_size = 0;
+
+  struct Slot {
+    Storage storage;
+    std::int64_t addr;
+    std::int64_t size;
+    Ty ty;
+  };
+  /// Global variables by name; lets tests and harnesses poke/peek memory.
+  std::map<std::string, Slot> globals;
+
+  const Slot* find(const std::string& name) const {
+    auto it = globals.find(name);
+    return it == globals.end() ? nullptr : &it->second;
+  }
+};
+
+/// Run semantic analysis: resolves names, checks types and mono/poly rules,
+/// detects recursion via call-graph SCCs (functions in cycles get frame-
+/// based locals per DESIGN.md), and assigns all addresses. Mutates the AST
+/// annotations in place. Throws CompileError on the first hard error;
+/// non-fatal findings (e.g. poly-to-mono broadcast races) land in `diags`.
+Layout analyze(Program& program, Diagnostics& diags);
+
+}  // namespace msc::frontend
+
+#endif  // MSC_FRONTEND_SEMA_HPP

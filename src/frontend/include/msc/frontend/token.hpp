@@ -1,0 +1,96 @@
+#ifndef MSC_FRONTEND_TOKEN_HPP
+#define MSC_FRONTEND_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "msc/support/diag.hpp"
+
+namespace msc::frontend {
+
+/// MIMDC token kinds. MIMDC is the paper's parallel C dialect (§4.1):
+/// `int`/`float` scalars, `mono` (shared) / `poly` (private) storage,
+/// barrier `wait`, and the restricted process-creation forms `spawn` and
+/// `halt` from §3.2.5.
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  IntLit,
+  FloatLit,
+  Ident,
+  // keywords
+  KwInt,
+  KwFloat,
+  KwVoid,
+  KwMono,
+  KwPoly,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwWait,
+  KwSpawn,
+  KwHalt,
+  KwBreak,
+  KwContinue,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  // operators
+  Assign,
+  PlusEq,
+  MinusEq,
+  StarEq,
+  SlashEq,
+  PercentEq,
+  AmpEq,
+  PipeEq,
+  CaretEq,
+  ShlEq,
+  ShrEq,
+  PlusPlus,
+  MinusMinus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // sentinel
+  Eof,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string text;       // identifier spelling / literal spelling
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+};
+
+}  // namespace msc::frontend
+
+#endif  // MSC_FRONTEND_TOKEN_HPP

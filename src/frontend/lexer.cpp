@@ -1,0 +1,320 @@
+#include "msc/frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace msc::frontend {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::IntLit: return "int literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::Ident: return "identifier";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwMono: return "'mono'";
+    case Tok::KwPoly: return "'poly'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwWait: return "'wait'";
+    case Tok::KwSpawn: return "'spawn'";
+    case Tok::KwHalt: return "'halt'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Assign: return "'='";
+    case Tok::PlusEq: return "'+='";
+    case Tok::MinusEq: return "'-='";
+    case Tok::StarEq: return "'*='";
+    case Tok::SlashEq: return "'/='";
+    case Tok::PercentEq: return "'%='";
+    case Tok::AmpEq: return "'&='";
+    case Tok::PipeEq: return "'|='";
+    case Tok::CaretEq: return "'^='";
+    case Tok::ShlEq: return "'<<='";
+    case Tok::ShrEq: return "'>>='";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"int", Tok::KwInt},       {"float", Tok::KwFloat},
+      {"void", Tok::KwVoid},     {"mono", Tok::KwMono},
+      {"poly", Tok::KwPoly},     {"if", Tok::KwIf},
+      {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+      {"do", Tok::KwDo},         {"for", Tok::KwFor},
+      {"return", Tok::KwReturn}, {"wait", Tok::KwWait},
+      {"spawn", Tok::KwSpawn},   {"halt", Tok::KwHalt},
+      {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+  };
+  return kw;
+}
+}  // namespace
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    bool done = t.kind == Tok::Eof;
+    out.push_back(std::move(t));
+    if (done) break;
+  }
+  return out;
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::at_end() const { return pos_ >= src_.size(); }
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (peek() == '/' && peek(1) == '*') {
+      SourceLoc start{line_, col_};
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (at_end()) throw CompileError(start, "unterminated block comment");
+      advance();
+      advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(Tok kind, SourceLoc loc, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.loc = loc;
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::lex_number(SourceLoc loc) {
+  std::string text;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    text.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    std::size_t save = pos_;
+    std::string expo;
+    expo.push_back(advance());
+    if (peek() == '+' || peek() == '-') expo.push_back(advance());
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      is_float = true;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) expo.push_back(advance());
+      text += expo;
+    } else {
+      pos_ = save;  // 'e' begins an identifier, not an exponent
+    }
+  }
+  Token t = make(is_float ? Tok::FloatLit : Tok::IntLit, loc, text);
+  if (is_float) {
+    t.float_val = std::strtod(text.c_str(), nullptr);
+  } else {
+    t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+  }
+  return t;
+}
+
+Token Lexer::lex_ident(SourceLoc loc) {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    text.push_back(advance());
+  auto it = keywords().find(text);
+  if (it != keywords().end()) return make(it->second, loc, text);
+  return make(Tok::Ident, loc, text);
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments();
+  SourceLoc loc{line_, col_};
+  if (at_end()) return make(Tok::Eof, loc);
+
+  char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(loc);
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident(loc);
+
+  advance();
+  switch (c) {
+    case '(': return make(Tok::LParen, loc);
+    case ')': return make(Tok::RParen, loc);
+    case '{': return make(Tok::LBrace, loc);
+    case '}': return make(Tok::RBrace, loc);
+    case '[': return make(Tok::LBracket, loc);
+    case ']': return make(Tok::RBracket, loc);
+    case ';': return make(Tok::Semi, loc);
+    case ',': return make(Tok::Comma, loc);
+    case '+':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::PlusEq, loc);
+      }
+      if (peek() == '+') {
+        advance();
+        return make(Tok::PlusPlus, loc);
+      }
+      return make(Tok::Plus, loc);
+    case '-':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::MinusEq, loc);
+      }
+      if (peek() == '-') {
+        advance();
+        return make(Tok::MinusMinus, loc);
+      }
+      return make(Tok::Minus, loc);
+    case '*':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::StarEq, loc);
+      }
+      return make(Tok::Star, loc);
+    case '/':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::SlashEq, loc);
+      }
+      return make(Tok::Slash, loc);
+    case '%':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::PercentEq, loc);
+      }
+      return make(Tok::Percent, loc);
+    case '^':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::CaretEq, loc);
+      }
+      return make(Tok::Caret, loc);
+    case '~': return make(Tok::Tilde, loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(Tok::AmpAmp, loc);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Tok::AmpEq, loc);
+      }
+      return make(Tok::Amp, loc);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(Tok::PipePipe, loc);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Tok::PipeEq, loc);
+      }
+      return make(Tok::Pipe, loc);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::Ne, loc);
+      }
+      return make(Tok::Bang, loc);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::Eq, loc);
+      }
+      return make(Tok::Assign, loc);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::Le, loc);
+      }
+      if (peek() == '<') {
+        advance();
+        if (peek() == '=') {
+          advance();
+          return make(Tok::ShlEq, loc);
+        }
+        return make(Tok::Shl, loc);
+      }
+      return make(Tok::Lt, loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::Ge, loc);
+      }
+      if (peek() == '>') {
+        advance();
+        if (peek() == '=') {
+          advance();
+          return make(Tok::ShrEq, loc);
+        }
+        return make(Tok::Shr, loc);
+      }
+      return make(Tok::Gt, loc);
+    default:
+      throw CompileError(loc, std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace msc::frontend

@@ -1,0 +1,472 @@
+#include "msc/frontend/parser.hpp"
+
+#include "msc/frontend/lexer.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::frontend {
+
+Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= toks_.size()) i = toks_.size() - 1;  // Eof sentinel
+  return toks_[i];
+}
+
+Token Parser::advance() {
+  Token t = cur();
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+Token Parser::expect(Tok kind, const char* context) {
+  if (!check(kind))
+    fail(cat("expected ", tok_name(kind), " ", context, ", found ", tok_name(cur().kind)));
+  return advance();
+}
+
+void Parser::fail(const std::string& message) const {
+  throw CompileError(cur().loc, message);
+}
+
+bool Parser::at_type_start() const {
+  switch (cur().kind) {
+    case Tok::KwInt:
+    case Tok::KwFloat:
+    case Tok::KwVoid:
+    case Tok::KwMono:
+    case Tok::KwPoly:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Ty Parser::parse_type() {
+  if (match(Tok::KwInt)) return Ty::Int;
+  if (match(Tok::KwFloat)) return Ty::Float;
+  if (match(Tok::KwVoid)) return Ty::Void;
+  fail(cat("expected type, found ", tok_name(cur().kind)));
+}
+
+// ------------------------------------------------------------ declarations
+
+std::unique_ptr<VarDecl> Parser::parse_var_decl_tail(Qual qual, Ty ty, Token name_tok) {
+  auto decl = std::make_unique<VarDecl>();
+  decl->name = name_tok.text;
+  decl->qual = qual;
+  decl->ty = ty;
+  decl->loc = name_tok.loc;
+  if (match(Tok::LBracket)) {
+    Token size = expect(Tok::IntLit, "as array size");
+    if (size.int_val <= 0) throw CompileError(size.loc, "array size must be positive");
+    decl->array_size = size.int_val;
+    expect(Tok::RBracket, "after array size");
+  }
+  return decl;
+}
+
+void Parser::parse_top_decl(Program& prog) {
+  Qual qual = Qual::Mono;  // top-level default: shared, like a C global
+  bool qual_explicit = false;
+  if (match(Tok::KwMono)) {
+    qual = Qual::Mono;
+    qual_explicit = true;
+  } else if (match(Tok::KwPoly)) {
+    qual = Qual::Poly;
+    qual_explicit = true;
+  }
+  Ty ty = parse_type();
+  Token name = expect(Tok::Ident, "in declaration");
+  if (check(Tok::LParen)) {
+    if (qual_explicit)
+      throw CompileError(name.loc, "functions cannot have a mono/poly qualifier");
+    prog.funcs.push_back(parse_func_tail(ty, name));
+    return;
+  }
+  if (ty == Ty::Void) throw CompileError(name.loc, "variables cannot have type void");
+  auto decl = parse_var_decl_tail(qual, ty, name);
+  expect(Tok::Semi, "after global declaration");
+  prog.globals.push_back(std::move(decl));
+}
+
+std::unique_ptr<FuncDecl> Parser::parse_func_tail(Ty ret_ty, Token name_tok) {
+  auto fn = std::make_unique<FuncDecl>();
+  fn->name = name_tok.text;
+  fn->ret_ty = ret_ty;
+  fn->loc = name_tok.loc;
+  expect(Tok::LParen, "after function name");
+  if (!check(Tok::RParen)) {
+    do {
+      if (match(Tok::KwVoid) && check(Tok::RParen)) break;  // f(void)
+      Qual q = Qual::Poly;
+      if (match(Tok::KwPoly)) q = Qual::Poly;
+      else if (check(Tok::KwMono))
+        throw CompileError(cur().loc, "parameters must be poly");
+      Ty ty = parse_type();
+      Token pname = expect(Tok::Ident, "as parameter name");
+      auto p = std::make_unique<VarDecl>();
+      p->name = pname.text;
+      p->qual = q;
+      p->ty = ty;
+      p->loc = pname.loc;
+      fn->params.push_back(std::move(p));
+    } while (match(Tok::Comma));
+  }
+  expect(Tok::RParen, "after parameters");
+  fn->body = parse_block();
+  return fn;
+}
+
+std::unique_ptr<Program> Parser::parse_program() {
+  auto prog = std::make_unique<Program>();
+  while (!check(Tok::Eof)) parse_top_decl(*prog);
+  return prog;
+}
+
+// -------------------------------------------------------------- statements
+
+std::unique_ptr<BlockStmt> Parser::parse_block() {
+  Token open = expect(Tok::LBrace, "to open block");
+  auto blk = std::make_unique<BlockStmt>(open.loc);
+  while (!check(Tok::RBrace) && !check(Tok::Eof)) blk->stmts.push_back(parse_stmt());
+  expect(Tok::RBrace, "to close block");
+  return blk;
+}
+
+StmtPtr Parser::parse_stmt() {
+  SourceLoc loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::LBrace:
+      return parse_block();
+    case Tok::KwIf:
+      return parse_if();
+    case Tok::KwWhile:
+      return parse_while();
+    case Tok::KwDo:
+      return parse_do_while();
+    case Tok::KwFor:
+      return parse_for();
+    case Tok::KwReturn: {
+      advance();
+      ExprPtr value;
+      if (!check(Tok::Semi)) value = parse_expr();
+      expect(Tok::Semi, "after return");
+      return std::make_unique<ReturnStmt>(loc, std::move(value));
+    }
+    case Tok::KwBreak:
+      advance();
+      expect(Tok::Semi, "after break");
+      return std::make_unique<BreakStmt>(loc);
+    case Tok::KwContinue:
+      advance();
+      expect(Tok::Semi, "after continue");
+      return std::make_unique<ContinueStmt>(loc);
+    case Tok::KwWait:
+      advance();
+      expect(Tok::Semi, "after wait");
+      return std::make_unique<WaitStmt>(loc);
+    case Tok::KwHalt:
+      advance();
+      expect(Tok::Semi, "after halt");
+      return std::make_unique<HaltStmt>(loc);
+    case Tok::KwSpawn: {
+      advance();
+      StmtPtr body = parse_stmt();
+      return std::make_unique<SpawnStmt>(loc, std::move(body));
+    }
+    case Tok::Semi:
+      advance();
+      return std::make_unique<EmptyStmt>(loc);
+    default:
+      break;
+  }
+  if (at_type_start()) {
+    Qual qual = Qual::Poly;  // locals default to private
+    if (match(Tok::KwPoly)) qual = Qual::Poly;
+    else if (check(Tok::KwMono))
+      throw CompileError(loc, "mono variables must be declared at global scope");
+    Ty ty = parse_type();
+    if (ty == Ty::Void) throw CompileError(loc, "variables cannot have type void");
+    Token name = expect(Tok::Ident, "in declaration");
+    auto decl = parse_var_decl_tail(qual, ty, name);
+    ExprPtr init;
+    if (match(Tok::Assign)) {
+      if (decl->is_array()) throw CompileError(loc, "array initializers are not supported");
+      init = parse_assignment();
+    }
+    expect(Tok::Semi, "after declaration");
+    return std::make_unique<DeclStmt>(loc, std::move(decl), std::move(init));
+  }
+  ExprPtr e = parse_expr();
+  expect(Tok::Semi, "after expression statement");
+  return std::make_unique<ExprStmt>(loc, std::move(e));
+}
+
+StmtPtr Parser::parse_if() {
+  Token kw = expect(Tok::KwIf, "");
+  expect(Tok::LParen, "after if");
+  ExprPtr cond = parse_expr();
+  expect(Tok::RParen, "after if condition");
+  StmtPtr then_branch = parse_stmt();
+  StmtPtr else_branch;
+  if (match(Tok::KwElse)) else_branch = parse_stmt();
+  return std::make_unique<IfStmt>(kw.loc, std::move(cond), std::move(then_branch),
+                                  std::move(else_branch));
+}
+
+StmtPtr Parser::parse_while() {
+  Token kw = expect(Tok::KwWhile, "");
+  expect(Tok::LParen, "after while");
+  ExprPtr cond = parse_expr();
+  expect(Tok::RParen, "after while condition");
+  StmtPtr body = parse_stmt();
+  return std::make_unique<WhileStmt>(kw.loc, std::move(cond), std::move(body));
+}
+
+StmtPtr Parser::parse_do_while() {
+  Token kw = expect(Tok::KwDo, "");
+  StmtPtr body = parse_stmt();
+  expect(Tok::KwWhile, "after do body");
+  expect(Tok::LParen, "after do-while");
+  ExprPtr cond = parse_expr();
+  expect(Tok::RParen, "after do-while condition");
+  expect(Tok::Semi, "after do-while");
+  return std::make_unique<DoWhileStmt>(kw.loc, std::move(body), std::move(cond));
+}
+
+StmtPtr Parser::parse_for() {
+  Token kw = expect(Tok::KwFor, "");
+  expect(Tok::LParen, "after for");
+  ExprPtr init, cond, step;
+  if (!check(Tok::Semi)) init = parse_expr();
+  expect(Tok::Semi, "after for-init");
+  if (!check(Tok::Semi)) cond = parse_expr();
+  expect(Tok::Semi, "after for-condition");
+  if (!check(Tok::RParen)) step = parse_expr();
+  expect(Tok::RParen, "after for header");
+  StmtPtr body = parse_stmt();
+  return std::make_unique<ForStmt>(kw.loc, std::move(init), std::move(cond),
+                                   std::move(step), std::move(body));
+}
+
+// ------------------------------------------------------------- expressions
+
+ExprPtr Parser::parse_expr() { return parse_assignment(); }
+
+namespace {
+bool is_lvalue(const Expr& e) {
+  return e.kind == ExprKind::VarRef || e.kind == ExprKind::Index ||
+         e.kind == ExprKind::ParIndex;
+}
+
+/// C-like precedence table; higher binds tighter.
+int bin_prec(Tok t) {
+  switch (t) {
+    case Tok::PipePipe: return 1;
+    case Tok::AmpAmp: return 2;
+    case Tok::Pipe: return 3;
+    case Tok::Caret: return 4;
+    case Tok::Amp: return 5;
+    case Tok::Eq:
+    case Tok::Ne: return 6;
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge: return 7;
+    case Tok::Shl:
+    case Tok::Shr: return 8;
+    case Tok::Plus:
+    case Tok::Minus: return 9;
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent: return 10;
+    default: return 0;
+  }
+}
+
+BinOp bin_op(Tok t) {
+  switch (t) {
+    case Tok::PipePipe: return BinOp::LOr;
+    case Tok::AmpAmp: return BinOp::LAnd;
+    case Tok::Pipe: return BinOp::BitOr;
+    case Tok::Caret: return BinOp::BitXor;
+    case Tok::Amp: return BinOp::BitAnd;
+    case Tok::Eq: return BinOp::Eq;
+    case Tok::Ne: return BinOp::Ne;
+    case Tok::Lt: return BinOp::Lt;
+    case Tok::Le: return BinOp::Le;
+    case Tok::Gt: return BinOp::Gt;
+    case Tok::Ge: return BinOp::Ge;
+    case Tok::Shl: return BinOp::Shl;
+    case Tok::Shr: return BinOp::Shr;
+    case Tok::Plus: return BinOp::Add;
+    case Tok::Minus: return BinOp::Sub;
+    case Tok::Star: return BinOp::Mul;
+    case Tok::Slash: return BinOp::Div;
+    case Tok::Percent: return BinOp::Mod;
+    default: return BinOp::Add;
+  }
+}
+}  // namespace
+
+namespace {
+bool compound_op(Tok t, BinOp* out) {
+  switch (t) {
+    case Tok::PlusEq: *out = BinOp::Add; return true;
+    case Tok::MinusEq: *out = BinOp::Sub; return true;
+    case Tok::StarEq: *out = BinOp::Mul; return true;
+    case Tok::SlashEq: *out = BinOp::Div; return true;
+    case Tok::PercentEq: *out = BinOp::Mod; return true;
+    case Tok::AmpEq: *out = BinOp::BitAnd; return true;
+    case Tok::PipeEq: *out = BinOp::BitOr; return true;
+    case Tok::CaretEq: *out = BinOp::BitXor; return true;
+    case Tok::ShlEq: *out = BinOp::Shl; return true;
+    case Tok::ShrEq: *out = BinOp::Shr; return true;
+    default: return false;
+  }
+}
+}  // namespace
+
+ExprPtr Parser::parse_assignment() {
+  ExprPtr lhs = parse_binary(1);
+  if (check(Tok::Assign)) {
+    Token eq = advance();
+    if (!is_lvalue(*lhs))
+      throw CompileError(eq.loc, "left side of assignment is not assignable");
+    ExprPtr rhs = parse_assignment();  // right-associative
+    return std::make_unique<AssignExpr>(eq.loc, std::move(lhs), std::move(rhs));
+  }
+  BinOp op;
+  if (compound_op(cur().kind, &op)) {
+    Token eq = advance();
+    if (!is_lvalue(*lhs))
+      throw CompileError(eq.loc, "left side of assignment is not assignable");
+    ExprPtr rhs = parse_assignment();
+    return std::make_unique<CompoundAssignExpr>(eq.loc, op, std::move(lhs),
+                                                std::move(rhs));
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    int prec = bin_prec(cur().kind);
+    if (prec < min_prec || prec == 0) break;
+    Token op = advance();
+    ExprPtr rhs = parse_binary(prec + 1);  // all binary ops left-associative
+    lhs = std::make_unique<BinaryExpr>(op.loc, bin_op(op.kind), std::move(lhs),
+                                       std::move(rhs));
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+  SourceLoc loc = cur().loc;
+  if (match(Tok::PlusPlus)) {
+    ExprPtr t = parse_unary();
+    if (!is_lvalue(*t)) throw CompileError(loc, "'++' needs an assignable operand");
+    return std::make_unique<IncDecExpr>(loc, true, true, std::move(t));
+  }
+  if (match(Tok::MinusMinus)) {
+    ExprPtr t = parse_unary();
+    if (!is_lvalue(*t)) throw CompileError(loc, "'--' needs an assignable operand");
+    return std::make_unique<IncDecExpr>(loc, false, true, std::move(t));
+  }
+  if (match(Tok::Minus))
+    return std::make_unique<UnaryExpr>(loc, UnOp::Neg, parse_unary());
+  if (match(Tok::Bang))
+    return std::make_unique<UnaryExpr>(loc, UnOp::Not, parse_unary());
+  if (match(Tok::Tilde))
+    return std::make_unique<UnaryExpr>(loc, UnOp::BitNot, parse_unary());
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    // Parallel subscript a[[p]] — two adjacent '[' tokens.
+    if (check(Tok::LBracket) && peek(1).kind == Tok::LBracket) {
+      Token open = advance();
+      advance();
+      ExprPtr proc = parse_expr();
+      expect(Tok::RBracket, "to close parallel subscript");
+      expect(Tok::RBracket, "to close parallel subscript");
+      e = std::make_unique<ParIndexExpr>(open.loc, std::move(e), std::move(proc));
+      continue;
+    }
+    if (check(Tok::LBracket)) {
+      Token open = advance();
+      ExprPtr idx = parse_expr();
+      expect(Tok::RBracket, "to close subscript");
+      e = std::make_unique<IndexExpr>(open.loc, std::move(e), std::move(idx));
+      continue;
+    }
+    if (check(Tok::PlusPlus) || check(Tok::MinusMinus)) {
+      Token op = advance();
+      if (!is_lvalue(*e))
+        throw CompileError(op.loc, "postfix increment needs an assignable operand");
+      e = std::make_unique<IncDecExpr>(op.loc, op.kind == Tok::PlusPlus, false,
+                                       std::move(e));
+      continue;
+    }
+    break;
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_primary() {
+  SourceLoc loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::IntLit: {
+      Token t = advance();
+      return std::make_unique<IntLitExpr>(loc, t.int_val);
+    }
+    case Tok::FloatLit: {
+      Token t = advance();
+      return std::make_unique<FloatLitExpr>(loc, t.float_val);
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "to close parenthesized expression");
+      return e;
+    }
+    case Tok::Ident: {
+      Token name = advance();
+      if (check(Tok::LParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!check(Tok::RParen)) {
+          do {
+            args.push_back(parse_assignment());
+          } while (match(Tok::Comma));
+        }
+        expect(Tok::RParen, "to close call");
+        if (name.text == "procid" && args.empty())
+          return std::make_unique<BuiltinExpr>(loc, Builtin::ProcId);
+        if (name.text == "nprocs" && args.empty())
+          return std::make_unique<BuiltinExpr>(loc, Builtin::NProcs);
+        return std::make_unique<CallExpr>(loc, name.text, std::move(args));
+      }
+      return std::make_unique<VarRefExpr>(loc, name.text);
+    }
+    default:
+      fail(cat("expected expression, found ", tok_name(cur().kind)));
+  }
+}
+
+std::unique_ptr<Program> parse_mimdc(const std::string& source) {
+  Lexer lex(source);
+  Parser parser(lex.lex_all());
+  return parser.parse_program();
+}
+
+}  // namespace msc::frontend

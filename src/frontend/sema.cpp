@@ -1,0 +1,702 @@
+#include "msc/frontend/sema.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "msc/support/str.hpp"
+
+namespace msc::frontend {
+
+namespace {
+
+/// Lexically scoped symbol table.
+class Scopes {
+ public:
+  void push() { scopes_.emplace_back(); }
+  void pop() { scopes_.pop_back(); }
+
+  void declare(VarDecl* decl) {
+    auto& top = scopes_.back();
+    if (top.count(decl->name))
+      throw CompileError(decl->loc, cat("redeclaration of '", decl->name, "'"));
+    top[decl->name] = decl;
+  }
+
+  VarDecl* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, VarDecl*>> scopes_;
+};
+
+class Sema {
+ public:
+  Sema(Program& prog, Diagnostics& diags) : prog_(prog), diags_(diags) {}
+
+  Layout run() {
+    check_entry_point();
+    mark_recursion();
+    layout_globals();
+    for (auto& fn : prog_.funcs) analyze_function(*fn);
+    layout_.frame_stack_base = layout_.poly_static_size;
+    return layout_;
+  }
+
+ private:
+  // ----------------------------------------------------------- entry point
+
+  void check_entry_point() {
+    FuncDecl* main = prog_.find_func("main");
+    if (!main) throw CompileError({}, "program has no main function");
+    if (main->ret_ty != Ty::Int)
+      throw CompileError(main->loc, "main must return int");
+    if (!main->params.empty())
+      throw CompileError(main->loc, "main must take no parameters");
+    std::unordered_set<std::string> names;
+    for (const auto& fn : prog_.funcs) {
+      if (!names.insert(fn->name).second)
+        throw CompileError(fn->loc, cat("redefinition of function '", fn->name, "'"));
+    }
+  }
+
+  // ------------------------------------------------------------- recursion
+
+  /// Mark every function that participates in a call-graph cycle (§2.2:
+  /// these need the return-site-stack treatment instead of plain inlining).
+  void mark_recursion() {
+    std::unordered_map<std::string, std::vector<std::string>> edges;
+    for (const auto& fn : prog_.funcs) collect_calls(*fn->body, edges[fn->name]);
+
+    // Tarjan SCC over function names.
+    struct NodeInfo {
+      int index = -1, lowlink = -1;
+      bool on_stack = false;
+    };
+    std::unordered_map<std::string, NodeInfo> info;
+    std::vector<std::string> stack;
+    int counter = 0;
+
+    // Iterative Tarjan to avoid deep native recursion on generated inputs.
+    struct Frame {
+      std::string node;
+      std::size_t edge_idx = 0;
+    };
+    for (const auto& fn : prog_.funcs) {
+      if (info[fn->name].index != -1) continue;
+      std::vector<Frame> work{{fn->name}};
+      while (!work.empty()) {
+        Frame& fr = work.back();
+        NodeInfo& ni = info[fr.node];
+        if (fr.edge_idx == 0) {
+          ni.index = ni.lowlink = counter++;
+          stack.push_back(fr.node);
+          ni.on_stack = true;
+        }
+        const auto& out = edges[fr.node];
+        bool descended = false;
+        while (fr.edge_idx < out.size()) {
+          const std::string& next = out[fr.edge_idx++];
+          if (!prog_.find_func(next)) continue;  // unresolved; reported later
+          NodeInfo& mi = info[next];
+          if (mi.index == -1) {
+            work.push_back({next});
+            descended = true;
+            break;
+          }
+          if (mi.on_stack) ni.lowlink = std::min(ni.lowlink, mi.index);
+        }
+        if (descended) continue;
+        if (ni.lowlink == ni.index) {
+          std::vector<std::string> scc;
+          for (;;) {
+            std::string w = stack.back();
+            stack.pop_back();
+            info[w].on_stack = false;
+            scc.push_back(w);
+            if (w == fr.node) break;
+          }
+          bool self_loop = false;
+          const auto& self_edges = edges[scc[0]];
+          if (scc.size() == 1)
+            self_loop = std::find(self_edges.begin(), self_edges.end(), scc[0]) !=
+                        self_edges.end();
+          if (scc.size() > 1 || self_loop)
+            for (const auto& name : scc) prog_.find_func(name)->recursive = true;
+        }
+        std::string done = fr.node;
+        work.pop_back();
+        if (!work.empty()) {
+          NodeInfo& parent = info[work.back().node];
+          parent.lowlink = std::min(parent.lowlink, info[done].lowlink);
+        }
+      }
+    }
+  }
+
+  void collect_calls(const Stmt& s, std::vector<std::string>& out) {
+    switch (s.kind) {
+      case StmtKind::Expr:
+        collect_calls(*static_cast<const ExprStmt&>(s).expr, out);
+        break;
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init) collect_calls(*d.init, out);
+        break;
+      }
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const BlockStmt&>(s).stmts)
+          collect_calls(*st, out);
+        break;
+      case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        collect_calls(*x.cond, out);
+        collect_calls(*x.then_branch, out);
+        if (x.else_branch) collect_calls(*x.else_branch, out);
+        break;
+      }
+      case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        collect_calls(*x.cond, out);
+        collect_calls(*x.body, out);
+        break;
+      }
+      case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        collect_calls(*x.body, out);
+        collect_calls(*x.cond, out);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        if (x.init) collect_calls(*x.init, out);
+        if (x.cond) collect_calls(*x.cond, out);
+        if (x.step) collect_calls(*x.step, out);
+        collect_calls(*x.body, out);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& x = static_cast<const ReturnStmt&>(s);
+        if (x.value) collect_calls(*x.value, out);
+        break;
+      }
+      case StmtKind::Spawn:
+        collect_calls(*static_cast<const SpawnStmt&>(s).body, out);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void collect_calls(const Expr& e, std::vector<std::string>& out) {
+    switch (e.kind) {
+      case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        collect_calls(*x.base, out);
+        collect_calls(*x.index, out);
+        break;
+      }
+      case ExprKind::ParIndex: {
+        const auto& x = static_cast<const ParIndexExpr&>(e);
+        collect_calls(*x.base, out);
+        collect_calls(*x.proc, out);
+        break;
+      }
+      case ExprKind::Unary:
+        collect_calls(*static_cast<const UnaryExpr&>(e).operand, out);
+        break;
+      case ExprKind::Binary: {
+        const auto& x = static_cast<const BinaryExpr&>(e);
+        collect_calls(*x.lhs, out);
+        collect_calls(*x.rhs, out);
+        break;
+      }
+      case ExprKind::Assign: {
+        const auto& x = static_cast<const AssignExpr&>(e);
+        collect_calls(*x.target, out);
+        collect_calls(*x.value, out);
+        break;
+      }
+      case ExprKind::CompoundAssign: {
+        const auto& x = static_cast<const CompoundAssignExpr&>(e);
+        collect_calls(*x.target, out);
+        collect_calls(*x.value, out);
+        break;
+      }
+      case ExprKind::IncDec:
+        collect_calls(*static_cast<const IncDecExpr&>(e).target, out);
+        break;
+      case ExprKind::Call: {
+        const auto& x = static_cast<const CallExpr&>(e);
+        out.push_back(x.callee);
+        for (const auto& a : x.args) collect_calls(*a, out);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // ---------------------------------------------------------------- layout
+
+  void layout_globals() {
+    for (auto& g : prog_.globals) {
+      if (scopes_global_.count(g->name))
+        throw CompileError(g->loc, cat("redeclaration of global '", g->name, "'"));
+      scopes_global_[g->name] = g.get();
+      if (g->qual == Qual::Mono) {
+        g->storage = Storage::MonoStatic;
+        g->addr = layout_.mono_size;
+        layout_.mono_size += g->cell_count();
+      } else {
+        g->storage = Storage::PolyStatic;
+        g->addr = layout_.poly_static_size;
+        layout_.poly_static_size += g->cell_count();
+      }
+      layout_.globals[g->name] = {g->storage, g->addr, g->cell_count(), g->ty};
+    }
+  }
+
+  std::int64_t alloc_static(std::int64_t cells) {
+    std::int64_t a = layout_.poly_static_size;
+    layout_.poly_static_size += cells;
+    return a;
+  }
+
+  // ------------------------------------------------------------- functions
+
+  void analyze_function(FuncDecl& fn) {
+    cur_fn_ = &fn;
+    scopes_ = Scopes();
+    scopes_.push();  // function scope
+
+    std::int64_t frame_off = 2;  // [0]=saved FP, [1]=return-site id
+    for (auto& p : fn.params) {
+      if (fn.recursive) {
+        p->storage = Storage::Frame;
+        p->addr = frame_off;
+        frame_off += p->cell_count();
+        fn.frame_vars.push_back(p.get());
+      } else {
+        p->storage = Storage::PolyStatic;
+        p->addr = alloc_static(p->cell_count());
+      }
+      scopes_.declare(p.get());
+    }
+    frame_off_ = frame_off;
+    if (fn.ret_ty != Ty::Void) fn.retval_addr = alloc_static(1);
+
+    check_stmt(*fn.body);
+
+    if (fn.recursive) fn.frame_size = frame_off_;
+    scopes_.pop();
+    cur_fn_ = nullptr;
+  }
+
+  // ------------------------------------------------------------ statements
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Expr:
+        check_expr(*static_cast<ExprStmt&>(s).expr);
+        return;
+      case StmtKind::Decl: {
+        auto& d = static_cast<DeclStmt&>(s);
+        VarDecl& v = *d.decl;
+        if (cur_fn_->recursive) {
+          v.storage = Storage::Frame;
+          v.addr = frame_off_;
+          frame_off_ += v.cell_count();
+          cur_fn_->frame_vars.push_back(&v);
+        } else {
+          v.storage = Storage::PolyStatic;
+          v.addr = alloc_static(v.cell_count());
+        }
+        scopes_.declare(&v);
+        if (d.init) {
+          check_expr(*d.init);
+          require_convertible(d.init->ty, v.ty, d.init->loc, "initializer");
+        }
+        return;
+      }
+      case StmtKind::Block: {
+        scopes_.push();
+        for (auto& st : static_cast<BlockStmt&>(s).stmts) check_stmt(*st);
+        scopes_.pop();
+        return;
+      }
+      case StmtKind::If: {
+        auto& x = static_cast<IfStmt&>(s);
+        check_cond(*x.cond);
+        check_stmt(*x.then_branch);
+        if (x.else_branch) check_stmt(*x.else_branch);
+        return;
+      }
+      case StmtKind::While: {
+        auto& x = static_cast<WhileStmt&>(s);
+        check_cond(*x.cond);
+        ++loop_depth_;
+        check_stmt(*x.body);
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::DoWhile: {
+        auto& x = static_cast<DoWhileStmt&>(s);
+        ++loop_depth_;
+        check_stmt(*x.body);
+        --loop_depth_;
+        check_cond(*x.cond);
+        return;
+      }
+      case StmtKind::For: {
+        auto& x = static_cast<ForStmt&>(s);
+        scopes_.push();
+        if (x.init) check_expr(*x.init);
+        if (x.cond) check_cond(*x.cond);
+        if (x.step) check_expr(*x.step);
+        ++loop_depth_;
+        check_stmt(*x.body);
+        --loop_depth_;
+        scopes_.pop();
+        return;
+      }
+      case StmtKind::Return: {
+        auto& x = static_cast<ReturnStmt&>(s);
+        if (cur_fn_->ret_ty == Ty::Void) {
+          if (x.value) throw CompileError(x.loc, "void function cannot return a value");
+        } else {
+          if (!x.value)
+            throw CompileError(x.loc, cat("function '", cur_fn_->name,
+                                          "' must return a value"));
+          check_expr(*x.value);
+          require_convertible(x.value->ty, cur_fn_->ret_ty, x.loc, "return value");
+        }
+        return;
+      }
+      case StmtKind::Break:
+        if (loop_depth_ == 0)
+          throw CompileError(s.loc, "break outside of a loop");
+        return;
+      case StmtKind::Continue:
+        if (loop_depth_ == 0)
+          throw CompileError(s.loc, "continue outside of a loop");
+        return;
+      case StmtKind::Spawn: {
+        // A spawned child starts a fresh process: enclosing loops belong
+        // to the parent, so break/continue may not escape the spawn body.
+        int saved = loop_depth_;
+        loop_depth_ = 0;
+        check_stmt(*static_cast<SpawnStmt&>(s).body);
+        loop_depth_ = saved;
+        return;
+      }
+      case StmtKind::Wait:
+      case StmtKind::Halt:
+      case StmtKind::Empty:
+        return;
+    }
+  }
+
+  void check_cond(Expr& e) {
+    check_expr(e);
+    require_numeric(e, "condition");
+  }
+
+  // ----------------------------------------------------------- expressions
+
+  void check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.ty = Ty::Int;
+        e.poly = false;
+        return;
+      case ExprKind::FloatLit:
+        e.ty = Ty::Float;
+        e.poly = false;
+        return;
+      case ExprKind::VarRef: {
+        auto& x = static_cast<VarRefExpr&>(e);
+        VarDecl* d = scopes_.lookup(x.name);
+        if (!d) {
+          auto g = scopes_global_.find(x.name);
+          if (g == scopes_global_.end())
+            throw CompileError(x.loc, cat("use of undeclared variable '", x.name, "'"));
+          d = g->second;
+        }
+        x.decl = d;
+        x.ty = d->ty;
+        x.poly = d->qual == Qual::Poly;
+        return;
+      }
+      case ExprKind::Index: {
+        auto& x = static_cast<IndexExpr&>(e);
+        check_expr(*x.base);
+        const VarDecl* base = array_base_decl(*x.base, "subscript");
+        check_expr(*x.index);
+        require_int(*x.index, "array index");
+        x.ty = base->ty;
+        x.poly = x.base->poly || x.index->poly;
+        return;
+      }
+      case ExprKind::ParIndex: {
+        auto& x = static_cast<ParIndexExpr&>(e);
+        check_expr(*x.base);
+        if (!x.base->poly)
+          throw CompileError(x.loc, "parallel subscript requires a poly variable");
+        if (x.base->kind == ExprKind::VarRef &&
+            static_cast<const VarRefExpr&>(*x.base).decl->is_array())
+          throw CompileError(x.loc,
+                             "parallel subscript needs an element, not a whole array");
+        check_expr(*x.proc);
+        require_int(*x.proc, "processor number");
+        x.ty = x.base->ty;
+        x.poly = true;
+        return;
+      }
+      case ExprKind::Unary: {
+        auto& x = static_cast<UnaryExpr&>(e);
+        check_expr(*x.operand);
+        require_numeric(*x.operand, "operand");
+        switch (x.op) {
+          case UnOp::Neg:
+            x.ty = x.operand->ty;
+            break;
+          case UnOp::Not:
+            x.ty = Ty::Int;
+            break;
+          case UnOp::BitNot:
+            require_int(*x.operand, "operand of ~");
+            x.ty = Ty::Int;
+            break;
+        }
+        x.poly = x.operand->poly;
+        return;
+      }
+      case ExprKind::Binary: {
+        auto& x = static_cast<BinaryExpr&>(e);
+        check_expr(*x.lhs);
+        check_expr(*x.rhs);
+        require_numeric(*x.lhs, "left operand");
+        require_numeric(*x.rhs, "right operand");
+        switch (x.op) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Mul:
+          case BinOp::Div:
+            x.ty = (x.lhs->ty == Ty::Float || x.rhs->ty == Ty::Float) ? Ty::Float
+                                                                      : Ty::Int;
+            break;
+          case BinOp::Mod:
+          case BinOp::BitAnd:
+          case BinOp::BitOr:
+          case BinOp::BitXor:
+          case BinOp::Shl:
+          case BinOp::Shr:
+            require_int(*x.lhs, "left operand");
+            require_int(*x.rhs, "right operand");
+            x.ty = Ty::Int;
+            break;
+          default:  // comparisons and logical ops
+            x.ty = Ty::Int;
+            break;
+        }
+        x.poly = x.lhs->poly || x.rhs->poly;
+        return;
+      }
+      case ExprKind::Assign: {
+        auto& x = static_cast<AssignExpr&>(e);
+        check_expr(*x.target);
+        check_expr(*x.value);
+        if (x.target->kind == ExprKind::VarRef &&
+            static_cast<const VarRefExpr&>(*x.target).decl->is_array())
+          throw CompileError(x.loc, "cannot assign to a whole array");
+        require_convertible(x.value->ty, x.target->ty, x.loc, "assignment");
+        if (!x.target->poly && x.value->poly)
+          diags_.warn(x.loc,
+                      "storing a poly value into a mono variable broadcasts a "
+                      "processor-dependent value (potential race)");
+        x.ty = x.target->ty;
+        x.poly = x.target->poly;
+        return;
+      }
+      case ExprKind::CompoundAssign: {
+        auto& x = static_cast<CompoundAssignExpr&>(e);
+        check_expr(*x.target);
+        check_expr(*x.value);
+        if (x.target->kind == ExprKind::VarRef &&
+            static_cast<const VarRefExpr&>(*x.target).decl->is_array())
+          throw CompileError(x.loc, "cannot assign to a whole array");
+        require_numeric(*x.target, "compound-assignment target");
+        require_numeric(*x.value, "compound-assignment value");
+        switch (x.op) {
+          case BinOp::Mod:
+          case BinOp::BitAnd:
+          case BinOp::BitOr:
+          case BinOp::BitXor:
+          case BinOp::Shl:
+          case BinOp::Shr:
+            require_int(*x.target, "compound-assignment target");
+            require_int(*x.value, "compound-assignment value");
+            break;
+          default:
+            break;
+        }
+        require_pure_subscripts(*x.target);
+        if (!x.target->poly && x.value->poly)
+          diags_.warn(x.loc,
+                      "storing a poly value into a mono variable broadcasts a "
+                      "processor-dependent value (potential race)");
+        x.ty = x.target->ty;
+        x.poly = x.target->poly;
+        return;
+      }
+      case ExprKind::IncDec: {
+        auto& x = static_cast<IncDecExpr&>(e);
+        check_expr(*x.target);
+        if (x.target->kind == ExprKind::VarRef &&
+            static_cast<const VarRefExpr&>(*x.target).decl->is_array())
+          throw CompileError(x.loc, "cannot increment a whole array");
+        require_numeric(*x.target, "increment/decrement target");
+        require_pure_subscripts(*x.target);
+        x.ty = x.target->ty;
+        x.poly = x.target->poly;
+        return;
+      }
+      case ExprKind::Call: {
+        auto& x = static_cast<CallExpr&>(e);
+        FuncDecl* fn = prog_.find_func(x.callee);
+        if (!fn)
+          throw CompileError(x.loc, cat("call to undeclared function '", x.callee, "'"));
+        if (x.args.size() != fn->params.size())
+          throw CompileError(x.loc, cat("'", x.callee, "' expects ", fn->params.size(),
+                                        " argument(s), got ", x.args.size()));
+        for (std::size_t i = 0; i < x.args.size(); ++i) {
+          check_expr(*x.args[i]);
+          require_convertible(x.args[i]->ty, fn->params[i]->ty, x.args[i]->loc,
+                              "argument");
+        }
+        x.target = fn;
+        x.ty = fn->ret_ty;
+        x.poly = true;  // conservatively processor-dependent
+        return;
+      }
+      case ExprKind::Builtin: {
+        auto& x = static_cast<BuiltinExpr&>(e);
+        x.ty = Ty::Int;
+        x.poly = x.which == Builtin::ProcId;
+        return;
+      }
+    }
+  }
+
+  // ----------------------------------------------------------------- utils
+
+  /// Compound assignment / inc-dec evaluate the target's subscript twice
+  /// (once for the load, once for the store), so those subexpressions must
+  /// be free of side effects.
+  void require_pure_subscripts(const Expr& target) {
+    switch (target.kind) {
+      case ExprKind::VarRef:
+        return;
+      case ExprKind::Index:
+        require_pure(*static_cast<const IndexExpr&>(target).index);
+        return;
+      case ExprKind::ParIndex: {
+        const auto& x = static_cast<const ParIndexExpr&>(target);
+        require_pure_subscripts(*x.base);
+        require_pure(*x.proc);
+        return;
+      }
+      default:
+        throw CompileError(target.loc, "not an assignable target");
+    }
+  }
+
+  void require_pure(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Call:
+      case ExprKind::Assign:
+      case ExprKind::CompoundAssign:
+      case ExprKind::IncDec:
+        throw CompileError(
+            e.loc,
+            "subscripts of a compound-assignment target must be side-effect "
+            "free (they are evaluated twice)");
+      case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        require_pure(*x.base);
+        require_pure(*x.index);
+        return;
+      }
+      case ExprKind::ParIndex: {
+        const auto& x = static_cast<const ParIndexExpr&>(e);
+        require_pure(*x.base);
+        require_pure(*x.proc);
+        return;
+      }
+      case ExprKind::Unary:
+        require_pure(*static_cast<const UnaryExpr&>(e).operand);
+        return;
+      case ExprKind::Binary: {
+        const auto& x = static_cast<const BinaryExpr&>(e);
+        require_pure(*x.lhs);
+        require_pure(*x.rhs);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  const VarDecl* array_base_decl(const Expr& base, const char* what) {
+    if (base.kind != ExprKind::VarRef)
+      throw CompileError(base.loc, cat("can only ", what, " a named array"));
+    const VarDecl* d = static_cast<const VarRefExpr&>(base).decl;
+    if (!d->is_array())
+      throw CompileError(base.loc, cat("'", d->name, "' is not an array"));
+    return d;
+  }
+
+  void require_numeric(const Expr& e, const char* what) {
+    if (e.ty != Ty::Int && e.ty != Ty::Float)
+      throw CompileError(e.loc, cat(what, " must be int or float"));
+    if (e.kind == ExprKind::VarRef &&
+        static_cast<const VarRefExpr&>(e).decl->is_array())
+      throw CompileError(e.loc, cat(what, " cannot be a whole array"));
+  }
+
+  void require_int(const Expr& e, const char* what) {
+    if (e.ty != Ty::Int) throw CompileError(e.loc, cat(what, " must be int"));
+  }
+
+  void require_convertible(Ty from, Ty to, SourceLoc loc, const char* what) {
+    bool ok = (from == to) || (from == Ty::Int && to == Ty::Float) ||
+              (from == Ty::Float && to == Ty::Int);
+    if (!ok)
+      throw CompileError(loc, cat("cannot convert ", ty_name(from), " to ",
+                                  ty_name(to), " in ", what));
+  }
+
+  Program& prog_;
+  Diagnostics& diags_;
+  Layout layout_;
+  Scopes scopes_;
+  std::unordered_map<std::string, VarDecl*> scopes_global_;
+  FuncDecl* cur_fn_ = nullptr;
+  std::int64_t frame_off_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+Layout analyze(Program& program, Diagnostics& diags) {
+  return Sema(program, diags).run();
+}
+
+}  // namespace msc::frontend

@@ -1,0 +1,71 @@
+#ifndef MSC_HASH_MULTIWAY_HPP
+#define MSC_HASH_MULTIWAY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msc::hash {
+
+/// A customized hash function for multiway-branch encoding [Die92a].
+///
+/// §3.2.3 keys each meta-state transition on the aggregate of the PEs'
+/// "pc" bits. The aggregate values are sparse (one bit per possible next
+/// MIMD state), so "a hash function is applied to make the case values
+/// contiguous so that the ... compiler will use a jump table" — exactly
+/// the `((~apc) >> 5) & 3` / `((apc >> 6) ^ apc) & 15` patterns of the
+/// paper's Listing 5. The searcher tries families in increasing dispatch
+/// cost and the smallest usable table first.
+struct HashFn {
+  enum class Kind : std::uint8_t {
+    Identity,      ///< key & mask (keys already dense)
+    ShiftMask,     ///< (key >> s) & mask
+    NotShiftMask,  ///< (~key >> s) & mask
+    XorShiftMask,  ///< ((key >> s) ^ key) & mask
+    MulShift,      ///< (key * mul) >> s & mask (universal fallback family)
+    Linear,        ///< no perfect hash found: sequential compare chain
+  };
+
+  Kind kind = Kind::Identity;
+  std::uint32_t shift = 0;
+  std::uint64_t mul = 0;
+  std::uint64_t mask = 0;
+
+  std::uint64_t eval(std::uint64_t key) const;
+  /// Render as C-like source over a variable name, e.g. "((apc >> 5) & 3)".
+  std::string render(const std::string& var) const;
+};
+
+/// A complete encoded multiway branch: hash function + dense jump table.
+struct HashedSwitch {
+  HashFn fn;
+  /// table[fn.eval(key)] = case index, or -1 for impossible slots.
+  std::vector<std::int32_t> table;
+  /// Original keys in case-index order (used by Kind::Linear and tests).
+  std::vector<std::uint64_t> keys;
+
+  /// Case index for `key`, or -1 if the key is not in the branch.
+  std::int32_t lookup(std::uint64_t key) const;
+  std::size_t table_size() const { return table.size(); }
+  /// Fraction of table slots holding a real case.
+  double density() const;
+  bool is_linear() const { return fn.kind == HashFn::Kind::Linear; }
+};
+
+struct SearchOptions {
+  /// Largest table considered: 2^max_bits entries.
+  std::uint32_t max_bits = 12;
+  /// Try this many multiplier constants in the MulShift family.
+  std::uint32_t mul_attempts = 32;
+};
+
+/// Find a perfect (collision-free over `keys`) hash and build the jump
+/// table. Keys must be distinct. Falls back to Kind::Linear if no perfect
+/// function exists within the table budget — lookup still works, just
+/// costs a compare chain instead of one dispatch.
+HashedSwitch build_switch(const std::vector<std::uint64_t>& keys,
+                          const SearchOptions& options = {});
+
+}  // namespace msc::hash
+
+#endif  // MSC_HASH_MULTIWAY_HPP

@@ -1,0 +1,676 @@
+#include "msc/ir/build.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "msc/support/str.hpp"
+
+namespace msc::ir {
+
+namespace fe = msc::frontend;
+
+namespace {
+
+class GraphBuilder {
+ public:
+  GraphBuilder(const fe::Program& prog, const fe::Layout& layout)
+      : prog_(prog), layout_(layout) {}
+
+  StateGraph build() {
+    const fe::FuncDecl* main = prog_.find_func("main");
+    graph_.start = graph_.add_block("entry");
+    cur_ = graph_.start;
+
+    // Prologue: SP = frame_stack_base, FP = 0.
+    emit(Instr::push_i(layout_.frame_stack_base));
+    emit(Instr::push_i(fe::Layout::kSpAddr));
+    emit(Instr::of(Opcode::StL));
+
+    inline_ctx_.push_back({main, kNoState});
+    gen_stmt(*main->body);
+    inline_ctx_.pop_back();
+
+    // main falls off the end: return 0.
+    emit(Instr::push_i(0));
+    emit(Instr::push_i(fe::Layout::kResultAddr));
+    emit(Instr::of(Opcode::StL));
+    seal_halt();
+
+    finalize_recursive_returns();
+    return std::move(graph_);
+  }
+
+ private:
+  // ------------------------------------------------------------- plumbing
+
+  void emit(Instr in) { graph_.at(cur_).body.push_back(in); }
+
+  StateId new_block(std::string label = {}) { return graph_.add_block(std::move(label)); }
+
+  void seal_jump(StateId target) {
+    Block& b = graph_.at(cur_);
+    b.exit = ExitKind::Jump;
+    b.target = target;
+  }
+
+  void seal_branch(StateId on_true, StateId on_false) {
+    Block& b = graph_.at(cur_);
+    b.exit = ExitKind::Branch;
+    b.target = on_true;
+    b.alt = on_false;
+  }
+
+  void seal_halt() { graph_.at(cur_).exit = ExitKind::Halt; }
+
+  void seal_spawn(StateId child, StateId cont) {
+    Block& b = graph_.at(cur_);
+    b.exit = ExitKind::Spawn;
+    b.target = child;
+    b.alt = cont;
+  }
+
+  void switch_to(StateId b) { cur_ = b; }
+
+  void emit_cast(fe::Ty from, fe::Ty to) {
+    if (from == to) return;
+    if (to == fe::Ty::Int) emit(Instr::of(Opcode::CastI));
+    else if (to == fe::Ty::Float) emit(Instr::of(Opcode::CastF));
+  }
+
+  // ------------------------------------------------------------ addressing
+
+  bool is_mono(const fe::VarDecl& d) const { return d.storage == fe::Storage::MonoStatic; }
+
+  /// Push the address of `d` (plus an optional already-evaluated index that
+  /// the caller will Add). For frame vars this reads FP first.
+  void emit_base_addr(const fe::VarDecl& d) {
+    switch (d.storage) {
+      case fe::Storage::MonoStatic:
+      case fe::Storage::PolyStatic:
+        emit(Instr::push_i(d.addr));
+        return;
+      case fe::Storage::Frame:
+        emit(Instr::push_i(fe::Layout::kFpAddr));
+        emit(Instr::of(Opcode::LdL));
+        emit(Instr::push_i(d.addr));
+        emit(Instr::of(Opcode::Add));
+        return;
+    }
+  }
+
+  /// Push the full element address of an lvalue (VarRef or Index).
+  /// Returns the decl so the caller can pick LdL/LdM.
+  const fe::VarDecl* emit_lvalue_addr(const fe::Expr& e) {
+    if (e.kind == fe::ExprKind::VarRef) {
+      const auto& v = static_cast<const fe::VarRefExpr&>(e);
+      emit_base_addr(*v.decl);
+      return v.decl;
+    }
+    if (e.kind == fe::ExprKind::Index) {
+      const auto& x = static_cast<const fe::IndexExpr&>(e);
+      const auto& v = static_cast<const fe::VarRefExpr&>(*x.base);
+      emit_base_addr(*v.decl);
+      gen_expr(*x.index);
+      emit(Instr::of(Opcode::Add));
+      return v.decl;
+    }
+    throw CompileError(e.loc, "internal: not an addressable lvalue");
+  }
+
+  // ------------------------------------------------------------ statements
+
+  void gen_stmt(const fe::Stmt& s) {
+    switch (s.kind) {
+      case fe::StmtKind::Expr: {
+        const auto& x = static_cast<const fe::ExprStmt&>(s);
+        gen_expr(*x.expr);
+        if (x.expr->ty != fe::Ty::Void) emit(Instr::pop(1));
+        return;
+      }
+      case fe::StmtKind::Decl: {
+        const auto& x = static_cast<const fe::DeclStmt&>(s);
+        if (x.init) {
+          gen_expr(*x.init);
+          emit_cast(x.init->ty, x.decl->ty);
+          emit_base_addr(*x.decl);
+          emit(Instr::of(Opcode::StL));
+        }
+        return;
+      }
+      case fe::StmtKind::Block:
+        for (const auto& st : static_cast<const fe::BlockStmt&>(s).stmts) gen_stmt(*st);
+        return;
+      case fe::StmtKind::If: {
+        const auto& x = static_cast<const fe::IfStmt&>(s);
+        gen_expr(*x.cond);
+        StateId then_blk = new_block("then");
+        StateId join = new_block("join");
+        StateId else_blk = x.else_branch ? new_block("else") : join;
+        seal_branch(then_blk, else_blk);
+        switch_to(then_blk);
+        gen_stmt(*x.then_branch);
+        seal_jump(join);
+        if (x.else_branch) {
+          switch_to(else_blk);
+          gen_stmt(*x.else_branch);
+          seal_jump(join);
+        }
+        switch_to(join);
+        return;
+      }
+      case fe::StmtKind::While: {
+        // §4.2 normalized form: condition replicated at entry and in a
+        // bottom "latch" block (the `continue` target), so the body runs
+        // one or more times once entered. Straightening merges body and
+        // latch when no `continue` keeps the latch shared.
+        const auto& x = static_cast<const fe::WhileStmt&>(s);
+        gen_expr(*x.cond);
+        StateId body = new_block("loop");
+        StateId latch = new_block("latch");
+        StateId exit = new_block("endloop");
+        seal_branch(body, exit);
+        switch_to(body);
+        loops_.push_back({exit, latch});
+        gen_stmt(*x.body);
+        loops_.pop_back();
+        seal_jump(latch);
+        switch_to(latch);
+        gen_expr(*x.cond);
+        seal_branch(body, exit);
+        switch_to(exit);
+        return;
+      }
+      case fe::StmtKind::DoWhile: {
+        const auto& x = static_cast<const fe::DoWhileStmt&>(s);
+        StateId body = new_block("loop");
+        StateId latch = new_block("latch");
+        StateId exit = new_block("endloop");
+        seal_jump(body);
+        switch_to(body);
+        loops_.push_back({exit, latch});
+        gen_stmt(*x.body);
+        loops_.pop_back();
+        seal_jump(latch);
+        switch_to(latch);
+        gen_expr(*x.cond);
+        seal_branch(body, exit);
+        switch_to(exit);
+        return;
+      }
+      case fe::StmtKind::For: {
+        const auto& x = static_cast<const fe::ForStmt&>(s);
+        if (x.init) {
+          gen_expr(*x.init);
+          if (x.init->ty != fe::Ty::Void) emit(Instr::pop(1));
+        }
+        StateId body = new_block("loop");
+        StateId latch = new_block("latch");
+        StateId exit = new_block("endloop");
+        if (x.cond) {
+          gen_expr(*x.cond);
+          seal_branch(body, exit);
+        } else {
+          seal_jump(body);
+        }
+        switch_to(body);
+        loops_.push_back({exit, latch});
+        gen_stmt(*x.body);
+        loops_.pop_back();
+        seal_jump(latch);
+        switch_to(latch);
+        if (x.step) {
+          gen_expr(*x.step);
+          if (x.step->ty != fe::Ty::Void) emit(Instr::pop(1));
+        }
+        if (x.cond) {
+          gen_expr(*x.cond);
+          seal_branch(body, exit);
+        } else {
+          seal_jump(body);
+        }
+        switch_to(exit);
+        return;
+      }
+      case fe::StmtKind::Return:
+        gen_return(static_cast<const fe::ReturnStmt&>(s));
+        return;
+      case fe::StmtKind::Break:
+        seal_jump(loops_.back().break_target);
+        switch_to(new_block("dead"));
+        return;
+      case fe::StmtKind::Continue:
+        seal_jump(loops_.back().continue_target);
+        switch_to(new_block("dead"));
+        return;
+      case fe::StmtKind::Wait: {
+        StateId wait_blk = new_block("wait");
+        graph_.at(wait_blk).barrier_wait = true;
+        StateId after = new_block("afterwait");
+        seal_jump(wait_blk);
+        switch_to(wait_blk);
+        seal_jump(after);
+        switch_to(after);
+        return;
+      }
+      case fe::StmtKind::Halt: {
+        seal_halt();
+        switch_to(new_block("dead"));
+        return;
+      }
+      case fe::StmtKind::Spawn: {
+        const auto& x = static_cast<const fe::SpawnStmt&>(s);
+        StateId child = new_block("spawned");
+        StateId cont = new_block("cont");
+        seal_spawn(child, cont);
+        switch_to(child);
+        std::vector<LoopCtx> saved;
+        saved.swap(loops_);  // children are fresh processes (sema enforces)
+        gen_stmt(*x.body);
+        loops_.swap(saved);
+        seal_halt();  // children release their PE when done (§3.2.5)
+        switch_to(cont);
+        return;
+      }
+      case fe::StmtKind::Empty:
+        return;
+    }
+  }
+
+  void gen_return(const fe::ReturnStmt& s) {
+    const InlineCtx& ctx = inline_ctx_.back();
+    const fe::FuncDecl* fn = ctx.fn;
+    if (fn->name == "main") {
+      if (s.value) {
+        gen_expr(*s.value);
+        emit_cast(s.value->ty, fe::Ty::Int);
+      } else {
+        emit(Instr::push_i(0));
+      }
+      emit(Instr::push_i(fe::Layout::kResultAddr));
+      emit(Instr::of(Opcode::StL));
+      seal_halt();
+      switch_to(new_block("dead"));
+      return;
+    }
+    if (s.value) {
+      gen_expr(*s.value);
+      emit_cast(s.value->ty, fn->ret_ty);
+      emit(Instr::push_i(fn->retval_addr));
+      emit(Instr::of(Opcode::StL));
+    }
+    if (fn->recursive) {
+      seal_jump(rec_info_.at(fn->name).exit_block);
+    } else {
+      seal_jump(ctx.join);
+    }
+    switch_to(new_block("dead"));
+  }
+
+  // ----------------------------------------------------------- expressions
+
+  void gen_expr(const fe::Expr& e) {
+    switch (e.kind) {
+      case fe::ExprKind::IntLit:
+        emit(Instr::push_i(static_cast<const fe::IntLitExpr&>(e).value));
+        return;
+      case fe::ExprKind::FloatLit:
+        emit(Instr::push_f(static_cast<const fe::FloatLitExpr&>(e).value));
+        return;
+      case fe::ExprKind::VarRef:
+      case fe::ExprKind::Index: {
+        const fe::VarDecl* d = emit_lvalue_addr(e);
+        emit(Instr::of(is_mono(*d) ? Opcode::LdM : Opcode::LdL));
+        return;
+      }
+      case fe::ExprKind::ParIndex: {
+        const auto& x = static_cast<const fe::ParIndexExpr&>(e);
+        require_routable(*x.base);
+        emit_lvalue_addr(*x.base);
+        gen_expr(*x.proc);
+        emit(Instr::of(Opcode::RouteLd));
+        return;
+      }
+      case fe::ExprKind::Unary: {
+        const auto& x = static_cast<const fe::UnaryExpr&>(e);
+        gen_expr(*x.operand);
+        switch (x.op) {
+          case fe::UnOp::Neg: emit(Instr::of(Opcode::Neg)); break;
+          case fe::UnOp::Not: emit(Instr::of(Opcode::Not)); break;
+          case fe::UnOp::BitNot: emit(Instr::of(Opcode::BitNot)); break;
+        }
+        return;
+      }
+      case fe::ExprKind::Binary: {
+        const auto& x = static_cast<const fe::BinaryExpr&>(e);
+        gen_expr(*x.lhs);
+        gen_expr(*x.rhs);
+        emit(Instr::of(binop_opcode(x.op)));
+        return;
+      }
+      case fe::ExprKind::Assign:
+        gen_assign(static_cast<const fe::AssignExpr&>(e));
+        return;
+      case fe::ExprKind::CompoundAssign:
+        gen_compound_assign(static_cast<const fe::CompoundAssignExpr&>(e));
+        return;
+      case fe::ExprKind::IncDec:
+        gen_incdec(static_cast<const fe::IncDecExpr&>(e));
+        return;
+      case fe::ExprKind::Call:
+        gen_call(static_cast<const fe::CallExpr&>(e));
+        return;
+      case fe::ExprKind::Builtin: {
+        const auto& x = static_cast<const fe::BuiltinExpr&>(e);
+        emit(Instr::of(x.which == fe::Builtin::ProcId ? Opcode::ProcId
+                                                      : Opcode::NProcs));
+        return;
+      }
+    }
+  }
+
+  static Opcode binop_opcode(fe::BinOp op) {
+    switch (op) {
+      case fe::BinOp::Add: return Opcode::Add;
+      case fe::BinOp::Sub: return Opcode::Sub;
+      case fe::BinOp::Mul: return Opcode::Mul;
+      case fe::BinOp::Div: return Opcode::Div;
+      case fe::BinOp::Mod: return Opcode::Mod;
+      case fe::BinOp::Lt: return Opcode::Lt;
+      case fe::BinOp::Le: return Opcode::Le;
+      case fe::BinOp::Gt: return Opcode::Gt;
+      case fe::BinOp::Ge: return Opcode::Ge;
+      case fe::BinOp::Eq: return Opcode::Eq;
+      case fe::BinOp::Ne: return Opcode::Ne;
+      case fe::BinOp::LAnd: return Opcode::LAnd;
+      case fe::BinOp::LOr: return Opcode::LOr;
+      case fe::BinOp::BitAnd: return Opcode::BitAnd;
+      case fe::BinOp::BitOr: return Opcode::BitOr;
+      case fe::BinOp::BitXor: return Opcode::BitXor;
+      case fe::BinOp::Shl: return Opcode::Shl;
+      case fe::BinOp::Shr: return Opcode::Shr;
+    }
+    return Opcode::Add;
+  }
+
+  void require_routable(const fe::Expr& base) {
+    const fe::VarDecl* d = nullptr;
+    if (base.kind == fe::ExprKind::VarRef)
+      d = static_cast<const fe::VarRefExpr&>(base).decl;
+    else if (base.kind == fe::ExprKind::Index)
+      d = static_cast<const fe::VarRefExpr&>(
+              *static_cast<const fe::IndexExpr&>(base).base)
+              .decl;
+    if (d && d->storage == fe::Storage::Frame)
+      throw CompileError(base.loc,
+                         "parallel subscript of a recursive function's local is "
+                         "not supported (remote frame pointer is unknown)");
+  }
+
+  void gen_assign(const fe::AssignExpr& e) {
+    gen_expr(*e.value);
+    emit_cast(e.value->ty, e.target->ty);
+    emit(Instr::of(Opcode::Dup));  // assignment yields its value
+    if (e.target->kind == fe::ExprKind::ParIndex) {
+      const auto& t = static_cast<const fe::ParIndexExpr&>(*e.target);
+      require_routable(*t.base);
+      emit_lvalue_addr(*t.base);
+      gen_expr(*t.proc);
+      emit(Instr::of(Opcode::RouteSt));
+      return;
+    }
+    const fe::VarDecl* d = emit_lvalue_addr(*e.target);
+    emit(Instr::of(is_mono(*d) ? Opcode::StM : Opcode::StL));
+  }
+
+  /// Store the value on top of the stack into `target`, consuming it.
+  /// The target's subscripts are (re)evaluated here — callers needing
+  /// load-then-store semantics rely on sema's purity check.
+  void emit_store_to(const fe::Expr& target) {
+    if (target.kind == fe::ExprKind::ParIndex) {
+      const auto& t = static_cast<const fe::ParIndexExpr&>(target);
+      require_routable(*t.base);
+      emit_lvalue_addr(*t.base);
+      gen_expr(*t.proc);
+      emit(Instr::of(Opcode::RouteSt));
+      return;
+    }
+    const fe::VarDecl* d = emit_lvalue_addr(target);
+    emit(Instr::of(is_mono(*d) ? Opcode::StM : Opcode::StL));
+  }
+
+  void gen_compound_assign(const fe::CompoundAssignExpr& e) {
+    // value first, then the current target value, so a side-effecting RHS
+    // runs exactly once and before the (pure) subscript evaluations.
+    gen_expr(*e.value);
+    gen_expr(*e.target);  // rvalue load
+    emit(Instr::of(Opcode::Swap));
+    emit(Instr::of(binop_opcode(e.op)));
+    emit_cast(result_ty(e), e.target->ty);
+    emit(Instr::of(Opcode::Dup));  // the expression's value
+    emit_store_to(*e.target);
+  }
+
+  static fe::Ty result_ty(const fe::CompoundAssignExpr& e) {
+    switch (e.op) {
+      case fe::BinOp::Add:
+      case fe::BinOp::Sub:
+      case fe::BinOp::Mul:
+      case fe::BinOp::Div:
+        return (e.target->ty == fe::Ty::Float || e.value->ty == fe::Ty::Float)
+                   ? fe::Ty::Float
+                   : fe::Ty::Int;
+      default:
+        return fe::Ty::Int;
+    }
+  }
+
+  void gen_incdec(const fe::IncDecExpr& e) {
+    // Postfix keeps the old value as the result (dup before the add);
+    // prefix keeps the new one (dup after). Add/Sub preserve the operand
+    // type, so no cast is needed.
+    gen_expr(*e.target);  // old value
+    if (!e.is_prefix) emit(Instr::of(Opcode::Dup));
+    emit(Instr::push_i(1));
+    emit(Instr::of(e.is_increment ? Opcode::Add : Opcode::Sub));
+    if (e.is_prefix) emit(Instr::of(Opcode::Dup));
+    emit_store_to(*e.target);
+  }
+
+  // ----------------------------------------------------------------- calls
+
+  struct InlineCtx {
+    const fe::FuncDecl* fn;
+    StateId join;  ///< kNoState for main and recursive bodies
+  };
+
+  /// Innermost-first targets for break/continue.
+  struct LoopCtx {
+    StateId break_target;
+    StateId continue_target;  ///< the loop's latch block
+  };
+
+  struct RecInfo {
+    StateId entry_block = kNoState;
+    StateId exit_block = kNoState;  ///< epilogue + return-site dispatch
+    std::vector<StateId> site_joins;
+    bool body_generated = false;
+  };
+
+  void gen_call(const fe::CallExpr& e) {
+    const fe::FuncDecl* fn = e.target;
+    if (fn->name == "main") throw CompileError(e.loc, "calling main is not allowed");
+    // Evaluate all arguments first (a nested call in a later argument must
+    // not clobber already-stored parameter cells), then store in reverse.
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      gen_expr(*e.args[i]);
+      emit_cast(e.args[i]->ty, fn->params[i]->ty);
+    }
+    if (fn->recursive) {
+      gen_recursive_call(e, fn);
+    } else {
+      gen_inline_call(e, fn);
+    }
+    if (fn->ret_ty != fe::Ty::Void) {
+      emit(Instr::push_i(fn->retval_addr));
+      emit(Instr::of(Opcode::LdL));
+    }
+  }
+
+  void gen_inline_call(const fe::CallExpr& e, const fe::FuncDecl* fn) {
+    (void)e;
+    for (std::size_t i = fn->params.size(); i-- > 0;) {
+      emit(Instr::push_i(fn->params[i]->addr));
+      emit(Instr::of(Opcode::StL));
+    }
+    StateId join = new_block(cat("ret<", fn->name, ">"));
+    inline_ctx_.push_back({fn, join});
+    gen_stmt(*fn->body);
+    inline_ctx_.pop_back();
+    // Fall-through: non-void functions that can drop off the end return 0.
+    if (fn->ret_ty != fe::Ty::Void) {
+      emit(Instr::push_i(0));
+      emit(Instr::push_i(fn->retval_addr));
+      emit(Instr::of(Opcode::StL));
+    }
+    seal_jump(join);
+    switch_to(join);
+  }
+
+  void gen_recursive_call(const fe::CallExpr& e, const fe::FuncDecl* fn) {
+    (void)e;
+    RecInfo& info = rec_info_[fn->name];
+    if (info.entry_block == kNoState) {
+      info.entry_block = new_block(cat("fn<", fn->name, ">"));
+      info.exit_block = new_block(cat("ret-dispatch<", fn->name, ">"));
+    }
+    std::uint32_t site_id = static_cast<std::uint32_t>(info.site_joins.size());
+    StateId join = new_block(cat("ret<", fn->name, "#", site_id, ">"));
+    info.site_joins.push_back(join);
+
+    // Arguments are on the operand stack (last on top): store them into the
+    // *new* frame at SP before FP/SP are updated.
+    for (std::size_t i = fn->params.size(); i-- > 0;) {
+      emit(Instr::push_i(fe::Layout::kSpAddr));
+      emit(Instr::of(Opcode::LdL));
+      emit(Instr::push_i(fn->params[i]->addr));
+      emit(Instr::of(Opcode::Add));
+      emit(Instr::of(Opcode::StL));
+    }
+    // frame[0] = saved FP
+    emit(Instr::push_i(fe::Layout::kFpAddr));
+    emit(Instr::of(Opcode::LdL));
+    emit(Instr::push_i(fe::Layout::kSpAddr));
+    emit(Instr::of(Opcode::LdL));
+    emit(Instr::of(Opcode::StL));
+    // frame[1] = return-site id
+    emit(Instr::push_i(site_id));
+    emit(Instr::push_i(fe::Layout::kSpAddr));
+    emit(Instr::of(Opcode::LdL));
+    emit(Instr::push_i(1));
+    emit(Instr::of(Opcode::Add));
+    emit(Instr::of(Opcode::StL));
+    // FP = SP
+    emit(Instr::push_i(fe::Layout::kSpAddr));
+    emit(Instr::of(Opcode::LdL));
+    emit(Instr::push_i(fe::Layout::kFpAddr));
+    emit(Instr::of(Opcode::StL));
+    // SP += frame_size
+    emit(Instr::push_i(fe::Layout::kSpAddr));
+    emit(Instr::of(Opcode::LdL));
+    emit(Instr::push_i(fn->frame_size));
+    emit(Instr::of(Opcode::Add));
+    emit(Instr::push_i(fe::Layout::kSpAddr));
+    emit(Instr::of(Opcode::StL));
+
+    seal_jump(info.entry_block);
+
+    if (!info.body_generated) {
+      info.body_generated = true;
+      switch_to(info.entry_block);
+      inline_ctx_.push_back({fn, kNoState});
+      gen_stmt(*fn->body);
+      inline_ctx_.pop_back();
+      if (fn->ret_ty != fe::Ty::Void) {
+        emit(Instr::push_i(0));
+        emit(Instr::push_i(fn->retval_addr));
+        emit(Instr::of(Opcode::StL));
+      }
+      seal_jump(info.exit_block);
+    }
+    switch_to(join);
+  }
+
+  /// §2.2: "at compile time we can compute the set of all possible return
+  /// targets" — once every call site is known, fill in each recursive
+  /// function's epilogue: restore SP/FP, then branch on the saved return-
+  /// site id through a chain of binary tests.
+  void finalize_recursive_returns() {
+    for (auto& [fn, info] : rec_info_) {
+      (void)fn;
+      switch_to(info.exit_block);
+      // SP = FP  (frees the callee frame; FP still points at it)
+      emit(Instr::push_i(fe::Layout::kFpAddr));
+      emit(Instr::of(Opcode::LdL));
+      emit(Instr::push_i(fe::Layout::kSpAddr));
+      emit(Instr::of(Opcode::StL));
+      // push return-site id = frame[1]
+      emit(Instr::push_i(fe::Layout::kFpAddr));
+      emit(Instr::of(Opcode::LdL));
+      emit(Instr::push_i(1));
+      emit(Instr::of(Opcode::Add));
+      emit(Instr::of(Opcode::LdL));
+      // FP = frame[0] (saved FP)
+      emit(Instr::push_i(fe::Layout::kFpAddr));
+      emit(Instr::of(Opcode::LdL));
+      emit(Instr::of(Opcode::LdL));
+      emit(Instr::push_i(fe::Layout::kFpAddr));
+      emit(Instr::of(Opcode::StL));
+
+      const std::vector<StateId>& joins = info.site_joins;
+      if (joins.size() == 1) {
+        emit(Instr::pop(1));
+        seal_jump(joins[0]);
+        continue;
+      }
+      // Chain: test site 0..m-2; the last site is the unconditional tail.
+      for (std::size_t k = 0; k + 1 < joins.size(); ++k) {
+        StateId tramp = new_block(cat("ret-pop#", k));
+        graph_.at(tramp).body.push_back(Instr::pop(1));
+        graph_.at(tramp).exit = ExitKind::Jump;
+        graph_.at(tramp).target = joins[k];
+
+        emit(Instr::of(Opcode::Dup));
+        emit(Instr::push_i(static_cast<std::int64_t>(k)));
+        emit(Instr::of(Opcode::Eq));
+        if (k + 2 < joins.size()) {
+          StateId next_test = new_block(cat("ret-test#", k + 1));
+          seal_branch(tramp, next_test);
+          switch_to(next_test);
+        } else {
+          StateId last = new_block(cat("ret-pop#", k + 1));
+          graph_.at(last).body.push_back(Instr::pop(1));
+          graph_.at(last).exit = ExitKind::Jump;
+          graph_.at(last).target = joins[k + 1];
+          seal_branch(tramp, last);
+        }
+      }
+    }
+  }
+
+  const fe::Program& prog_;
+  const fe::Layout& layout_;
+  StateGraph graph_;
+  StateId cur_ = kNoState;
+  std::vector<InlineCtx> inline_ctx_;
+  std::vector<LoopCtx> loops_;
+  std::map<std::string, RecInfo> rec_info_;
+};
+
+}  // namespace
+
+StateGraph build_state_graph(const fe::Program& program, const fe::Layout& layout) {
+  return GraphBuilder(program, layout).build();
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,58 @@
+#include "msc/ir/cost.hpp"
+
+namespace msc::ir {
+
+std::int64_t CostModel::instr_cost(const Instr& in) const {
+  switch (in.op) {
+    case Opcode::PushI:
+    case Opcode::PushF:
+      return push;
+    case Opcode::Pop:
+      return pop;
+    case Opcode::Dup:
+    case Opcode::Swap:
+      return dup;
+    case Opcode::LdL:
+      return ld_local;
+    case Opcode::StL:
+      return st_local;
+    case Opcode::LdM:
+      return ld_mono;
+    case Opcode::StM:
+      return st_mono;
+    case Opcode::RouteLd:
+    case Opcode::RouteSt:
+      return route;
+    case Opcode::Mul:
+      return mul;
+    case Opcode::Div:
+    case Opcode::Mod:
+      return div;
+    case Opcode::CastI:
+    case Opcode::CastF:
+      return cast;
+    case Opcode::ProcId:
+    case Opcode::NProcs:
+      return query;
+    default:
+      return alu;
+  }
+}
+
+std::int64_t CostModel::exit_cost(const Block& b) const {
+  switch (b.exit) {
+    case ExitKind::Halt: return halt;
+    case ExitKind::Jump: return jump;
+    case ExitKind::Branch: return branch;
+    case ExitKind::Spawn: return spawn;
+  }
+  return 0;
+}
+
+std::int64_t CostModel::block_cost(const Block& b) const {
+  std::int64_t total = 0;
+  for (const Instr& in : b.body) total += instr_cost(in);
+  return total + exit_cost(b);
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,137 @@
+#include "msc/ir/graph.hpp"
+
+#include <sstream>
+
+#include "msc/support/dot.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::ir {
+
+StateId StateGraph::add_block(std::string label) {
+  StateId id = static_cast<StateId>(blocks.size());
+  Block b;
+  b.id = id;
+  b.label = std::move(label);
+  blocks.push_back(std::move(b));
+  return id;
+}
+
+std::vector<StateId> StateGraph::successors(StateId id) const {
+  const Block& b = at(id);
+  switch (b.exit) {
+    case ExitKind::Halt: return {};
+    case ExitKind::Jump: return {b.target};
+    case ExitKind::Branch:
+    case ExitKind::Spawn: return {b.target, b.alt};
+  }
+  return {};
+}
+
+std::vector<std::vector<StateId>> StateGraph::predecessors() const {
+  std::vector<std::vector<StateId>> preds(blocks.size());
+  for (const Block& b : blocks)
+    for (StateId s : successors(b.id)) preds[s].push_back(b.id);
+  return preds;
+}
+
+DynBitset StateGraph::barrier_states() const {
+  DynBitset set(blocks.size());
+  for (const Block& b : blocks)
+    if (b.barrier_wait) set.set(b.id);
+  return set;
+}
+
+bool StateGraph::has_spawn() const {
+  for (const Block& b : blocks)
+    if (b.exit == ExitKind::Spawn) return true;
+  return false;
+}
+
+std::vector<std::string> StateGraph::validate() const {
+  std::vector<std::string> problems;
+  auto bad = [&](const std::string& m) { problems.push_back(m); };
+  if (blocks.empty()) {
+    bad("graph has no blocks");
+    return problems;
+  }
+  if (start >= blocks.size()) bad("start state out of range");
+  for (const Block& b : blocks) {
+    if (b.id >= blocks.size() || &at(b.id) != &b) bad(cat("block id mismatch at ", b.id));
+    auto check_arc = [&](StateId s, const char* which) {
+      if (s == kNoState || s >= blocks.size())
+        bad(cat("block ", b.id, ": ", which, " arc out of range"));
+    };
+    switch (b.exit) {
+      case ExitKind::Halt:
+        break;
+      case ExitKind::Jump:
+        check_arc(b.target, "jump");
+        break;
+      case ExitKind::Branch:
+      case ExitKind::Spawn:
+        check_arc(b.target, "true/child");
+        check_arc(b.alt, "false/continue");
+        break;
+    }
+    if (b.barrier_wait) {
+      if (!b.body.empty()) bad(cat("barrier state ", b.id, " has a non-empty body"));
+      if (b.exit != ExitKind::Jump)
+        bad(cat("barrier state ", b.id, " must have a single exit arc"));
+    }
+  }
+  return problems;
+}
+
+namespace {
+std::string exit_str(const Block& b) {
+  switch (b.exit) {
+    case ExitKind::Halt: return "Halt";
+    case ExitKind::Jump: return cat("Jump(", b.target, ")");
+    case ExitKind::Branch: return cat("JumpF(", b.alt, ",", b.target, ")");
+    case ExitKind::Spawn: return cat("Spawn(child=", b.target, ",cont=", b.alt, ")");
+  }
+  return "?";
+}
+}  // namespace
+
+std::string StateGraph::dump() const {
+  std::ostringstream os;
+  os << "MIMD state graph: " << blocks.size() << " states, start=" << start << "\n";
+  for (const Block& b : blocks) {
+    os << "  state " << b.id;
+    if (!b.label.empty()) os << " [" << b.label << "]";
+    if (b.barrier_wait) os << " (barrier)";
+    os << ":";
+    for (const Instr& in : b.body) os << " " << in.to_string();
+    os << " ; " << exit_str(b) << "\n";
+  }
+  return os.str();
+}
+
+std::string StateGraph::to_dot(const std::string& name) const {
+  DotWriter w(name);
+  for (const Block& b : blocks) {
+    std::string label = cat("S", b.id);
+    if (!b.label.empty()) label += cat("\n", b.label);
+    if (b.barrier_wait) label += "\n(wait)";
+    w.node(cat("s", b.id), label, b.id == start ? "style=bold" : "");
+    switch (b.exit) {
+      case ExitKind::Halt:
+        break;
+      case ExitKind::Jump:
+        w.edge(cat("s", b.id), cat("s", b.target));
+        break;
+      case ExitKind::Branch:
+        w.edge(cat("s", b.id), cat("s", b.target), "T");
+        w.edge(cat("s", b.id), cat("s", b.alt), "F");
+        break;
+      case ExitKind::Spawn:
+        w.edge(cat("s", b.id), cat("s", b.target), "spawn");
+        w.edge(cat("s", b.id), cat("s", b.alt), "cont");
+        break;
+    }
+  }
+  return w.finish();
+}
+
+}  // namespace msc::ir

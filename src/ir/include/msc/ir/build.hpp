@@ -1,0 +1,30 @@
+#ifndef MSC_IR_BUILD_HPP
+#define MSC_IR_BUILD_HPP
+
+#include "msc/frontend/ast.hpp"
+#include "msc/frontend/sema.hpp"
+#include "msc/ir/graph.hpp"
+
+namespace msc::ir {
+
+/// Build the whole-program MIMD state graph from an analyzed AST (§2.1–2.2).
+///
+/// - Loops are normalized to the paper's §4.2 form (body executes one or
+///   more times): `while (c) s` becomes `if (c) do s while (c);` with the
+///   condition code replicated.
+/// - Non-recursive calls are in-line expanded per call site; `return`
+///   becomes a jump to that site's join block.
+/// - Recursive functions are expanded once; calls push an activation frame
+///   (saved FP, return-site id, params, locals) and `return` becomes the
+///   §2.2 multiway branch over the statically-known return-site set,
+///   realised as a chain of binary branches since MIMD states have ≤2 exits.
+/// - `wait` becomes a dedicated barrier-wait state (§2.6), `spawn`/`halt`
+///   become the §3.2.5 exits.
+///
+/// The result is raw (unstraightened); run `simplify` from passes.hpp next.
+StateGraph build_state_graph(const frontend::Program& program,
+                             const frontend::Layout& layout);
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_BUILD_HPP

@@ -1,0 +1,53 @@
+#ifndef MSC_IR_COST_HPP
+#define MSC_IR_COST_HPP
+
+#include <cstdint>
+
+#include "msc/ir/graph.hpp"
+
+namespace msc::ir {
+
+/// Cycle costs of the simulated SIMD/MIMD hardware.
+///
+/// §2.4 requires each MIMD state to carry an execution time so that time
+/// splitting can balance meta states. The defaults are loosely modelled on
+/// the MasPar MP-1 relative costs (memory slower than ALU, router and
+/// broadcast much slower, global-OR moderately priced); every experiment
+/// that depends on a constant takes a CostModel so benches can sweep them.
+struct CostModel {
+  std::int64_t push = 1;
+  std::int64_t pop = 1;
+  std::int64_t dup = 1;
+  std::int64_t ld_local = 2;
+  std::int64_t st_local = 2;
+  std::int64_t ld_mono = 2;
+  std::int64_t st_mono = 8;   ///< broadcast to all replicas
+  std::int64_t route = 20;    ///< router traversal (RouteLd/RouteSt)
+  std::int64_t alu = 1;
+  std::int64_t mul = 3;
+  std::int64_t div = 12;
+  std::int64_t cast = 1;
+  std::int64_t query = 1;  ///< ProcId/NProcs
+  // control
+  std::int64_t jump = 1;
+  std::int64_t branch = 2;  ///< conditional pc update
+  std::int64_t halt = 1;
+  std::int64_t spawn = 4;
+  // SIMD-machine specifics used by codegen/simulator
+  std::int64_t guard_switch = 1;   ///< re-programming the PE enable mask
+  std::int64_t global_or = 6;      ///< aggregate-pc reduction (§3.2.3)
+  std::int64_t hash_dispatch = 3;  ///< hashed switch through a jump table
+  std::int64_t case_test = 2;      ///< one test of a linear case chain
+  // interpreter-baseline specifics (§1.1)
+  std::int64_t interp_fetch = 6;   ///< fetch op+2 operands from PE memory
+  std::int64_t interp_loop = 2;    ///< jump back to the interpreter top
+
+  std::int64_t instr_cost(const Instr& in) const;
+  /// Body + exit cost of one MIMD state.
+  std::int64_t block_cost(const Block& b) const;
+  std::int64_t exit_cost(const Block& b) const;
+};
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_COST_HPP

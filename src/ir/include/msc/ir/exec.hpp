@@ -1,0 +1,49 @@
+#ifndef MSC_IR_EXEC_HPP
+#define MSC_IR_EXEC_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "msc/ir/instr.hpp"
+#include "msc/support/value.hpp"
+
+namespace msc::ir {
+
+/// Access to memories outside the executing PE. Both machine simulators
+/// (the asynchronous MIMD oracle and the SIMD target) implement this, so a
+/// single `exec_instr` defines instruction semantics once — divergence
+/// between oracle and target is impossible by construction.
+class MemoryBus {
+ public:
+  virtual ~MemoryBus() = default;
+  virtual Value mono_load(std::int64_t addr) = 0;
+  virtual void mono_store(std::int64_t addr, Value v) = 0;
+  virtual Value route_load(std::int64_t proc, std::int64_t addr) = 0;
+  virtual void route_store(std::int64_t proc, std::int64_t addr, Value v) = 0;
+};
+
+/// One PE's mutable execution state as seen by exec_instr.
+struct PeContext {
+  std::vector<Value>* local;  ///< PE-local memory
+  std::vector<Value>* stack;  ///< persistent operand stack
+  std::int64_t proc_id;
+  std::int64_t nprocs;
+};
+
+/// Thrown on machine-level faults (stack underflow, address out of range).
+class MachineFault : public std::runtime_error {
+ public:
+  explicit MachineFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Execute one instruction. Throws MachineFault on underflow/range errors.
+void exec_instr(const Instr& in, PeContext& pe, MemoryBus& bus);
+
+/// Pop helper shared with block-exit condition evaluation.
+Value stack_pop(std::vector<Value>& stack);
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_EXEC_HPP

@@ -1,0 +1,74 @@
+#ifndef MSC_IR_GRAPH_HPP
+#define MSC_IR_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msc/ir/instr.hpp"
+#include "msc/support/bitset.hpp"
+
+namespace msc::ir {
+
+using StateId = std::uint32_t;
+inline constexpr StateId kNoState = 0xFFFFFFFFu;
+
+/// How a MIMD state (basic block) exits. §2.1: "Each of these MIMD states
+/// has zero, one, or two exit arcs."
+enum class ExitKind : std::uint8_t {
+  Halt,    ///< no exit arc — end of this process (or `halt`)
+  Jump,    ///< one arc: unconditional to `target`
+  Branch,  ///< two arcs: pop condition; TRUE → target, FALSE → alt
+  Spawn,   ///< §3.2.5 pseudo-branch: children → target, originals → alt
+};
+
+/// One MIMD state: a (maximal, until time splitting) basic block.
+struct Block {
+  StateId id = kNoState;
+  std::vector<Instr> body;
+  ExitKind exit = ExitKind::Halt;
+  StateId target = kNoState;  ///< Jump target / Branch TRUE / Spawn child entry
+  StateId alt = kNoState;     ///< Branch FALSE / Spawn continuation
+  /// §2.6: this state is a barrier-synchronization wait point. Barrier
+  /// states carry no body; their single exit arc leads past the barrier.
+  bool barrier_wait = false;
+  std::string label;  ///< human-readable tag for dumps ("A", "B;C", ...)
+
+  bool has_two_exits() const {
+    return exit == ExitKind::Branch || exit == ExitKind::Spawn;
+  }
+};
+
+/// The whole-program MIMD control-flow graph after call elimination.
+/// Block ids are dense indices into `blocks`.
+struct StateGraph {
+  std::vector<Block> blocks;
+  StateId start = kNoState;
+
+  StateId add_block(std::string label = {});
+  Block& at(StateId id) { return blocks[id]; }
+  const Block& at(StateId id) const { return blocks[id]; }
+  std::size_t size() const { return blocks.size(); }
+
+  /// Exit arcs of `id` in (target, alt) order; 0–2 entries.
+  std::vector<StateId> successors(StateId id) const;
+  /// Predecessor lists for all blocks.
+  std::vector<std::vector<StateId>> predecessors() const;
+
+  /// Set of all barrier-wait states (the `waits` set of §2.6).
+  DynBitset barrier_states() const;
+  /// True if any block spawns (enables free-pool handling in machines).
+  bool has_spawn() const;
+
+  /// Structural checks: start valid, arc targets in range, Branch/Spawn
+  /// have both arcs, barrier states have empty bodies and Jump exits.
+  /// Returns a list of problems (empty = valid).
+  std::vector<std::string> validate() const;
+
+  std::string dump() const;
+  std::string to_dot(const std::string& name = "mimd") const;
+};
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_GRAPH_HPP

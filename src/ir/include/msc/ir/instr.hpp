@@ -1,0 +1,65 @@
+#ifndef MSC_IR_INSTR_HPP
+#define MSC_IR_INSTR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "msc/support/value.hpp"
+
+namespace msc::ir {
+
+/// Stack-machine opcodes executed per processing element.
+///
+/// This is the "simple SIMD stack code" of the paper's Listing 5 (Push,
+/// LdL, StL, Pop, JumpF, Ret, ...), extended with the mono/route accesses
+/// MIMDC needs (§4.1). Control transfers (JumpF/Jump/Halt/Spawn) are not
+/// opcodes; they live in the block exit descriptor so every MIMD state has
+/// zero, one, or two exit arcs exactly as §2 requires.
+enum class Opcode : std::uint8_t {
+  // constants & stack shuffling
+  PushI,  ///< push imm.i
+  PushF,  ///< push imm.f
+  Pop,    ///< pop imm.i cells
+  Dup,    ///< duplicate top of stack
+  Swap,   ///< exchange the two topmost cells
+  // PE-local memory
+  LdL,  ///< pop addr; push local[addr]
+  StL,  ///< pop addr, pop value; local[addr] = value
+  // shared (mono) memory; StM is a broadcast on real hardware
+  LdM,  ///< pop addr; push mono[addr]
+  StM,  ///< pop addr, pop value; mono[addr] = value
+  // parallel subscripting (§4.1) via the router
+  RouteLd,  ///< pop proc, pop addr; push local-of(proc)[addr]
+  RouteSt,  ///< pop proc, pop addr, pop value; local-of(proc)[addr] = value
+  // arithmetic: pop b, pop a, push a·b; float if either operand is float
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,  ///< push int 0/1
+  LAnd, LOr,               ///< truthiness of both operands (non-short-circuit)
+  BitAnd, BitOr, BitXor, Shl, Shr,  ///< int only; shift counts masked to 63
+  // unary: pop a, push op(a)
+  Neg, Not, BitNot,
+  CastI,  ///< to int (float truncates)
+  CastF,  ///< to float
+  // machine queries
+  ProcId,  ///< push this PE's processor number
+  NProcs,  ///< push the machine's processor count
+};
+
+const char* opcode_name(Opcode op);
+
+struct Instr {
+  Opcode op;
+  Value imm;  ///< PushI/PushF payload; Pop count
+
+  static Instr push_i(std::int64_t v) { return {Opcode::PushI, Value::of_int(v)}; }
+  static Instr push_f(double v) { return {Opcode::PushF, Value::of_float(v)}; }
+  static Instr pop(std::int64_t n) { return {Opcode::Pop, Value::of_int(n)}; }
+  static Instr of(Opcode op) { return {op, Value{}}; }
+
+  bool operator==(const Instr& o) const { return op == o.op && imm == o.imm; }
+  std::string to_string() const;
+};
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_INSTR_HPP

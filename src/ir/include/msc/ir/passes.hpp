@@ -1,0 +1,26 @@
+#ifndef MSC_IR_PASSES_HPP
+#define MSC_IR_PASSES_HPP
+
+#include "msc/ir/graph.hpp"
+
+namespace msc::ir {
+
+/// §2.1/§4.2: "The control-flow graph is straightened and empty nodes are
+/// removed. This maximizes the size of the nodes." Runs, to a fixpoint:
+///   1. fold branches whose arms coincide (pop the condition, jump),
+///   2. bypass empty forwarding blocks,
+///   3. merge single-successor/single-predecessor chains,
+///   4. drop unreachable blocks and renumber densely.
+/// Barrier-wait states are never merged away (they carry §2.6 semantics),
+/// and the start block is preserved.
+void simplify(StateGraph& graph);
+
+/// Individual passes, exposed for tests.
+bool fold_trivial_branches(StateGraph& graph);
+bool remove_empty_blocks(StateGraph& graph);
+bool straighten_chains(StateGraph& graph);
+void remove_unreachable(StateGraph& graph);
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_PASSES_HPP

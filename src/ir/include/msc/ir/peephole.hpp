@@ -1,0 +1,24 @@
+#ifndef MSC_IR_PEEPHOLE_HPP
+#define MSC_IR_PEEPHOLE_HPP
+
+#include "msc/ir/graph.hpp"
+
+namespace msc::ir {
+
+/// Local strength reductions on block bodies. Semantics-preserving on the
+/// stack machine; patterns (applied to a fixpoint per block):
+///   1. constant folding:   Push(a) Push(b) ⊕  →  Push(a⊕b)
+///      (int and float arithmetic/comparisons, matching exec_instr exactly,
+///      including the total-division rule)
+///   2. constant unary:     Push(a) op       →  Push(op a)
+///   3. dead value:         Push(_) Pop(1)   →  ∅ ;  Dup Pop(1) → ∅
+///   4. statement stores:   Dup Push(addr) StL Pop(1) → Push(addr) StL
+///      (an assignment used as a statement; also the StM form)
+///   5. pop fusion:         Pop(a) Pop(b)    →  Pop(a+b)
+///   6. cast of constant:   Push(a) CastI/F  →  Push(cast a)
+/// Returns the number of instructions removed across the graph.
+std::size_t peephole(StateGraph& graph);
+
+}  // namespace msc::ir
+
+#endif  // MSC_IR_PEEPHOLE_HPP

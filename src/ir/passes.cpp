@@ -1,0 +1,154 @@
+#include "msc/ir/passes.hpp"
+
+#include <unordered_set>
+
+#include "msc/support/str.hpp"
+
+namespace msc::ir {
+
+bool fold_trivial_branches(StateGraph& graph) {
+  bool changed = false;
+  for (Block& b : graph.blocks) {
+    if (b.exit == ExitKind::Branch && b.target == b.alt) {
+      // Both arms coincide: the condition no longer selects anything, but
+      // it was pushed by the body, so pop it.
+      b.body.push_back(Instr::pop(1));
+      b.exit = ExitKind::Jump;
+      b.alt = kNoState;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+namespace {
+
+bool is_forwarder(const Block& b) {
+  return b.body.empty() && b.exit == ExitKind::Jump && !b.barrier_wait;
+}
+
+/// Follow a chain of empty forwarding blocks; stops on a cycle.
+StateId resolve_forward(const StateGraph& graph, StateId id) {
+  std::unordered_set<StateId> seen;
+  StateId cur = id;
+  while (is_forwarder(graph.at(cur))) {
+    if (!seen.insert(cur).second) return id;  // empty cycle: leave alone
+    cur = graph.at(cur).target;
+  }
+  return cur;
+}
+
+}  // namespace
+
+bool remove_empty_blocks(StateGraph& graph) {
+  bool changed = false;
+  auto redirect = [&](StateId& arc) {
+    if (arc == kNoState) return;
+    StateId resolved = resolve_forward(graph, arc);
+    if (resolved != arc) {
+      arc = resolved;
+      changed = true;
+    }
+  };
+  for (Block& b : graph.blocks) {
+    switch (b.exit) {
+      case ExitKind::Halt:
+        break;
+      case ExitKind::Jump:
+        redirect(b.target);
+        break;
+      case ExitKind::Branch:
+      case ExitKind::Spawn:
+        redirect(b.target);
+        redirect(b.alt);
+        break;
+    }
+  }
+  StateId new_start = resolve_forward(graph, graph.start);
+  if (new_start != graph.start) {
+    graph.start = new_start;
+    changed = true;
+  }
+  return changed;
+}
+
+bool straighten_chains(StateGraph& graph) {
+  auto preds = graph.predecessors();
+  bool changed = false;
+  for (Block& b : graph.blocks) {
+    for (;;) {
+      if (b.exit != ExitKind::Jump || b.barrier_wait) break;
+      StateId t = b.target;
+      if (t == b.id || t == graph.start) break;
+      Block& succ = graph.at(t);
+      if (succ.barrier_wait) break;
+      if (preds[t].size() != 1) break;
+      // Absorb the unique successor.
+      b.body.insert(b.body.end(), succ.body.begin(), succ.body.end());
+      b.exit = succ.exit;
+      b.target = succ.target;
+      b.alt = succ.alt;
+      if (!succ.label.empty())
+        b.label = b.label.empty() ? succ.label : cat(b.label, ";", succ.label);
+      succ.body.clear();
+      succ.exit = ExitKind::Halt;  // orphaned; removed by remove_unreachable
+      succ.target = succ.alt = kNoState;
+      preds[t].clear();
+      // b's new successors gained b as pred in place of t; patch the table.
+      for (StateId s : graph.successors(b.id)) {
+        for (StateId& p : preds[s])
+          if (p == t) p = b.id;
+      }
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void remove_unreachable(StateGraph& graph) {
+  std::vector<StateId> order;
+  std::vector<bool> seen(graph.blocks.size(), false);
+  std::vector<StateId> work{graph.start};
+  seen[graph.start] = true;
+  while (!work.empty()) {
+    StateId id = work.back();
+    work.pop_back();
+    order.push_back(id);
+    for (StateId s : graph.successors(id)) {
+      if (!seen[s]) {
+        seen[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  // Keep original relative order for stable numbering.
+  std::vector<StateId> remap(graph.blocks.size(), kNoState);
+  std::vector<Block> kept;
+  kept.reserve(order.size());
+  for (const Block& b : graph.blocks) {
+    if (!seen[b.id]) continue;
+    remap[b.id] = static_cast<StateId>(kept.size());
+    kept.push_back(b);
+  }
+  for (Block& b : kept) {
+    b.id = remap[b.id];
+    if (b.target != kNoState) b.target = remap[b.target];
+    if (b.alt != kNoState) b.alt = remap[b.alt];
+  }
+  graph.start = remap[graph.start];
+  graph.blocks = std::move(kept);
+}
+
+void simplify(StateGraph& graph) {
+  for (;;) {
+    bool changed = false;
+    changed |= fold_trivial_branches(graph);
+    changed |= remove_empty_blocks(graph);
+    remove_unreachable(graph);
+    changed |= straighten_chains(graph);
+    if (!changed) break;
+  }
+  remove_unreachable(graph);
+}
+
+}  // namespace msc::ir

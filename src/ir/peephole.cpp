@@ -1,0 +1,153 @@
+#include "msc/ir/peephole.hpp"
+
+#include "msc/ir/exec.hpp"
+
+namespace msc::ir {
+
+namespace {
+
+bool is_const_push(const Instr& in) {
+  return in.op == Opcode::PushI || in.op == Opcode::PushF;
+}
+
+bool foldable_binary(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge:
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::LAnd:
+    case Opcode::LOr:
+    case Opcode::BitAnd:
+    case Opcode::BitOr:
+    case Opcode::BitXor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool foldable_unary(Opcode op) {
+  switch (op) {
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::BitNot:
+    case Opcode::CastI:
+    case Opcode::CastF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Bus that must never be touched by the pure ops we fold.
+class NoBus final : public MemoryBus {
+ public:
+  Value mono_load(std::int64_t) override { throw MachineFault("fold"); }
+  void mono_store(std::int64_t, Value) override { throw MachineFault("fold"); }
+  Value route_load(std::int64_t, std::int64_t) override {
+    throw MachineFault("fold");
+  }
+  void route_store(std::int64_t, std::int64_t, Value) override {
+    throw MachineFault("fold");
+  }
+};
+
+/// Evaluate a pure op over constants with the *real* interpreter, so the
+/// folded result is bit-identical to runtime (total division included).
+Value fold(const Instr& op, std::initializer_list<Value> args) {
+  std::vector<Value> local;
+  std::vector<Value> stack(args);
+  NoBus bus;
+  PeContext pe{&local, &stack, 0, 1};
+  exec_instr(op, pe, bus);
+  return stack.back();
+}
+
+Instr push_of(const Value& v) {
+  return v.is_float() ? Instr::push_f(v.f) : Instr::push_i(v.i);
+}
+
+/// One rewrite sweep over a body; returns instructions removed.
+std::size_t sweep(std::vector<Instr>& body) {
+  std::vector<Instr> out;
+  out.reserve(body.size());
+  std::size_t removed = 0;
+  auto last = [&](std::size_t back) -> Instr& { return out[out.size() - back]; };
+
+  for (const Instr& in : body) {
+    // 1/6: constant fold binary over two pushes.
+    if (foldable_binary(in.op) && out.size() >= 2 && is_const_push(last(1)) &&
+        is_const_push(last(2))) {
+      Value v = fold(in, {last(2).imm, last(1).imm});
+      out.pop_back();
+      out.pop_back();
+      out.push_back(push_of(v));
+      removed += 2;
+      continue;
+    }
+    // 2: constant unary / cast.
+    if (foldable_unary(in.op) && !out.empty() && is_const_push(last(1))) {
+      Value v = fold(in, {last(1).imm});
+      out.pop_back();
+      out.push_back(push_of(v));
+      removed += 1;
+      continue;
+    }
+    // 3: dead value.
+    if (in.op == Opcode::Pop && in.imm.i == 1 && !out.empty() &&
+        (is_const_push(last(1)) || last(1).op == Opcode::Dup)) {
+      out.pop_back();
+      removed += 2;
+      continue;
+    }
+    // 4: assignment-as-statement store.
+    if (in.op == Opcode::Pop && in.imm.i == 1 && out.size() >= 3 &&
+        (last(1).op == Opcode::StL || last(1).op == Opcode::StM) &&
+        last(2).op == Opcode::PushI && last(3).op == Opcode::Dup) {
+      Instr store = last(1);
+      Instr addr = last(2);
+      out.pop_back();
+      out.pop_back();
+      out.pop_back();
+      out.push_back(addr);
+      out.push_back(store);
+      removed += 2;
+      continue;
+    }
+    // 5: pop fusion.
+    if (in.op == Opcode::Pop && !out.empty() && last(1).op == Opcode::Pop) {
+      last(1).imm.i += in.imm.i;
+      removed += 1;
+      continue;
+    }
+    out.push_back(in);
+  }
+  body = std::move(out);
+  return removed;
+}
+
+}  // namespace
+
+std::size_t peephole(StateGraph& graph) {
+  std::size_t removed = 0;
+  for (Block& b : graph.blocks) {
+    for (;;) {
+      std::size_t r = sweep(b.body);
+      removed += r;
+      if (r == 0) break;
+    }
+  }
+  return removed;
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,123 @@
+#ifndef MSC_SIMD_MACHINE_HPP
+#define MSC_SIMD_MACHINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "msc/codegen/program.hpp"
+#include "msc/ir/cost.hpp"
+#include "msc/ir/exec.hpp"
+#include "msc/mimd/machine.hpp"  // RunConfig, Timeout
+
+namespace msc::simd {
+
+struct SimdStats {
+  /// Cycles consumed by the single control unit (everything is serialized
+  /// through it: guarded bodies, pc updates, global-ors, dispatches).
+  std::int64_t control_cycles = 0;
+  /// Σ op-cost × enabled PEs — actual work done.
+  std::int64_t busy_pe_cycles = 0;
+  /// Σ op-cost × alive PEs — work capacity offered while code ran.
+  std::int64_t offered_pe_cycles = 0;
+  std::int64_t meta_transitions = 0;
+  std::int64_t global_ors = 0;
+  /// Enable-mask reprogrammings (one per `if (pc & …)` boundary).
+  std::int64_t guard_switches = 0;
+  std::int64_t spawns = 0;
+  /// PaperPrune/fold-collision transitions resolved via the member index
+  /// instead of the hashed switch (see DESIGN.md §2.6 discussion).
+  std::int64_t rescue_transitions = 0;
+
+  /// PE utilization while executing meta-state bodies (§2.4 motivates
+  /// time splitting with "up to 95% of its processor cycles ... waiting").
+  double utilization() const {
+    return offered_pe_cycles == 0
+               ? 1.0
+               : static_cast<double>(busy_pe_cycles) /
+                     static_cast<double>(offered_pe_cycles);
+  }
+};
+
+/// Observer for meta-state execution (tracing/visualization). Callbacks
+/// fire synchronously from run()/step(); implementations must not mutate
+/// the machine.
+class SimdTracer {
+ public:
+  virtual ~SimdTracer() = default;
+  /// Before a meta state's code runs: which MIMD states are occupied and
+  /// how many PEs are alive.
+  virtual void on_state(core::MetaId id, const DynBitset& occupancy,
+                        std::int64_t alive) = 0;
+  /// After the transition is resolved (to == kNoMeta on exit).
+  virtual void on_transition(core::MetaId from, core::MetaId to,
+                             const DynBitset& apc) = 0;
+};
+
+/// MasPar-MP-1-like SIMD array executing a meta-state SIMD program: one
+/// control unit walking the automaton, N PEs holding only data (§1.2: "PEs
+/// merely hold data"), per-PE enable bits derived from the pc guards, a
+/// global-or network for aggregate pcs, and a router for parallel
+/// subscripts. Per-PE program memory footprint is zero by construction.
+class SimdMachine : public ir::MemoryBus {
+ public:
+  SimdMachine(const codegen::SimdProgram& program, const ir::CostModel& cost,
+              const mimd::RunConfig& config);
+
+  void poke(std::int64_t proc, std::int64_t addr, Value v);
+  Value peek(std::int64_t proc, std::int64_t addr) const;
+  void poke_mono(std::int64_t addr, Value v);
+  Value peek_mono(std::int64_t addr) const;
+
+  void run();
+
+  /// Attach an execution observer (nullptr to detach).
+  void set_tracer(SimdTracer* tracer) { tracer_ = tracer; }
+
+  /// Execute one meta state and take its transition. Returns false once
+  /// the automaton exits (nothing executed then). Lets examples/benches
+  /// trace occupancy over time.
+  bool step();
+  core::MetaId current_state() const { return cur_; }
+  std::int64_t alive_count() const;
+
+  const SimdStats& stats() const { return stats_; }
+  bool ever_ran(std::int64_t proc) const { return pes_[proc].ever_ran; }
+  /// Per-meta-state execution counts (benches).
+  const std::vector<std::int64_t>& state_visits() const { return visits_; }
+
+  // MemoryBus:
+  Value mono_load(std::int64_t addr) override;
+  void mono_store(std::int64_t addr, Value v) override;
+  Value route_load(std::int64_t proc, std::int64_t addr) override;
+  void route_store(std::int64_t proc, std::int64_t addr, Value v) override;
+
+ private:
+  struct Pe {
+    ir::StateId pc = ir::kNoState;
+    ir::StateId next_pc = ir::kNoState;
+    bool ever_ran = false;
+    std::vector<Value> local;
+    std::vector<Value> stack;
+  };
+
+  bool alive(const Pe& pe) const { return pe.pc != ir::kNoState; }
+  void exec_state(const codegen::MetaCode& mc);
+  core::MetaId next_state(const codegen::MetaCode& mc);
+  DynBitset aggregate_pc() const;
+  void check_local(std::int64_t proc, std::int64_t addr) const;
+
+  const codegen::SimdProgram& prog_;
+  const ir::CostModel& cost_;
+  mimd::RunConfig config_;
+  std::vector<Pe> pes_;
+  std::vector<Value> mono_;
+  SimdStats stats_;
+  std::vector<std::int64_t> visits_;
+  core::MetaId cur_ = core::kNoMeta;  ///< next meta state step() will run
+  bool finished_ = false;
+  SimdTracer* tracer_ = nullptr;
+};
+
+}  // namespace msc::simd
+
+#endif  // MSC_SIMD_MACHINE_HPP

@@ -1,0 +1,241 @@
+#include "msc/simd/machine.hpp"
+
+#include "msc/support/str.hpp"
+
+namespace msc::simd {
+
+using codegen::MetaCode;
+using codegen::SOp;
+using codegen::SOpKind;
+using codegen::TransKind;
+using core::kNoMeta;
+using core::MetaId;
+using ir::kNoState;
+using ir::MachineFault;
+
+SimdMachine::SimdMachine(const codegen::SimdProgram& program,
+                         const ir::CostModel& cost, const mimd::RunConfig& config)
+    : prog_(program), cost_(cost), config_(config) {
+  if (config_.nprocs <= 0) throw MachineFault("nprocs must be positive");
+  if (config_.active() > config_.nprocs)
+    throw MachineFault("initial_active exceeds nprocs");
+  pes_.resize(static_cast<std::size_t>(config_.nprocs));
+  visits_.assign(prog_.states.size(), 0);
+  for (std::int64_t i = 0; i < config_.nprocs; ++i) {
+    Pe& pe = pes_[static_cast<std::size_t>(i)];
+    pe.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
+    if (i < config_.active()) {
+      // All initial PEs begin in the MIMD start state (SPMD restriction).
+      // The start meta state has exactly that one member.
+      const DynBitset& members = prog_.states[prog_.start].members;
+      pe.pc = static_cast<ir::StateId>(members.first());
+      pe.ever_ran = true;
+    }
+  }
+  mono_.assign(static_cast<std::size_t>(config_.mono_mem_cells), Value{});
+}
+
+void SimdMachine::check_local(std::int64_t proc, std::int64_t addr) const {
+  if (proc < 0 || proc >= config_.nprocs)
+    throw MachineFault(cat("PE index out of range: ", proc));
+  if (addr < 0 || addr >= config_.local_mem_cells)
+    throw MachineFault(cat("local address out of range: ", addr));
+}
+
+void SimdMachine::poke(std::int64_t proc, std::int64_t addr, Value v) {
+  check_local(proc, addr);
+  pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)] = v;
+}
+
+Value SimdMachine::peek(std::int64_t proc, std::int64_t addr) const {
+  check_local(proc, addr);
+  return pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)];
+}
+
+void SimdMachine::poke_mono(std::int64_t addr, Value v) {
+  if (addr < 0 || addr >= config_.mono_mem_cells)
+    throw MachineFault(cat("mono address out of range: ", addr));
+  mono_[static_cast<std::size_t>(addr)] = v;
+}
+
+Value SimdMachine::peek_mono(std::int64_t addr) const {
+  if (addr < 0 || addr >= config_.mono_mem_cells)
+    throw MachineFault(cat("mono address out of range: ", addr));
+  return mono_[static_cast<std::size_t>(addr)];
+}
+
+Value SimdMachine::mono_load(std::int64_t addr) { return peek_mono(addr); }
+void SimdMachine::mono_store(std::int64_t addr, Value v) { poke_mono(addr, v); }
+Value SimdMachine::route_load(std::int64_t proc, std::int64_t addr) {
+  return peek(proc, addr);
+}
+void SimdMachine::route_store(std::int64_t proc, std::int64_t addr, Value v) {
+  poke(proc, addr, v);
+}
+
+DynBitset SimdMachine::aggregate_pc() const {
+  DynBitset apc(prog_.mimd_states);
+  for (const Pe& pe : pes_)
+    if (pe.pc != kNoState) apc.set(pe.pc);
+  return apc;
+}
+
+void SimdMachine::exec_state(const MetaCode& mc) {
+  std::int64_t alive_count = 0;
+  for (Pe& pe : pes_) {
+    pe.next_pc = pe.pc;
+    if (alive(pe)) ++alive_count;
+  }
+
+  const DynBitset* prev_guard = nullptr;
+  for (const SOp& op : mc.code) {
+    // Re-programming the PE enable mask costs a broadcast of its own
+    // whenever consecutive ops carry different guards (the `if (pc & …)`
+    // boundaries of Listing 5).
+    // (Charged to the control unit only: utilization remains the §2.4
+    // divergence metric over instruction broadcasts.)
+    if (!prev_guard || !(*prev_guard == op.guard)) {
+      stats_.control_cycles += cost_.guard_switch;
+      ++stats_.guard_switches;
+    }
+    prev_guard = &op.guard;
+    // Single instruction broadcast: enabled PEs act, the rest idle.
+    std::int64_t op_cost = 0;
+    switch (op.kind) {
+      case SOpKind::Data: op_cost = cost_.instr_cost(op.instr); break;
+      case SOpKind::SetPc: op_cost = cost_.jump; break;
+      case SOpKind::CondSetPc: op_cost = cost_.branch; break;
+      case SOpKind::HaltPc: op_cost = cost_.halt; break;
+      case SOpKind::SpawnPc: op_cost = cost_.spawn; break;
+    }
+    stats_.control_cycles += op_cost;
+    stats_.offered_pe_cycles += op_cost * alive_count;
+
+    for (std::int64_t i = 0; i < config_.nprocs; ++i) {
+      Pe& pe = pes_[static_cast<std::size_t>(i)];
+      if (!alive(pe) || !op.guard.test(pe.pc)) continue;
+      stats_.busy_pe_cycles += op_cost;
+      switch (op.kind) {
+        case SOpKind::Data: {
+          ir::PeContext ctx{&pe.local, &pe.stack, i, config_.nprocs};
+          ir::exec_instr(op.instr, ctx, *this);
+          break;
+        }
+        case SOpKind::SetPc:
+          pe.next_pc = op.a;
+          break;
+        case SOpKind::CondSetPc: {
+          Value cond = ir::stack_pop(pe.stack);
+          pe.next_pc = cond.truthy() ? op.a : op.b;
+          break;
+        }
+        case SOpKind::HaltPc:
+          pe.next_pc = kNoState;
+          break;
+        case SOpKind::SpawnPc: {
+          // Allocate the lowest-numbered free PE (free: not running and
+          // not already claimed in this meta state).
+          std::int64_t child = -1;
+          for (std::int64_t c = 0; c < config_.nprocs; ++c) {
+            const Pe& cp = pes_[static_cast<std::size_t>(c)];
+            bool idle = cp.pc == kNoState && cp.next_pc == kNoState;
+            bool fresh = config_.reuse_halted_pes || !cp.ever_ran;
+            if (idle && fresh) {
+              child = c;
+              break;
+            }
+          }
+          if (child < 0)
+            throw MachineFault("spawn failed: no free processing element "
+                               "(§3.2.5 assumes processes ≤ processors)");
+          Pe& ch = pes_[static_cast<std::size_t>(child)];
+          ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
+                          Value{});
+          ch.stack.clear();
+          ch.next_pc = op.a;
+          ch.ever_ran = true;
+          ++stats_.spawns;
+          pe.next_pc = op.b;
+          break;
+        }
+      }
+    }
+  }
+  for (Pe& pe : pes_) pe.pc = pe.next_pc;
+}
+
+MetaId SimdMachine::next_state(const MetaCode& mc) {
+  stats_.control_cycles += prog_.transition_cost(mc, cost_);
+  if (mc.needs_apc || mc.trans == TransKind::Multiway) ++stats_.global_ors;
+
+  DynBitset apc = aggregate_pc();
+  if (apc.empty()) return kNoMeta;  // every process finished: exit
+
+  DynBitset key = prog_.transition_key(apc);
+  switch (mc.trans) {
+    case TransKind::Direct: {
+      const DynBitset& tm = prog_.states[mc.direct_target].members;
+      if (key.is_subset_of(tm)) return mc.direct_target;
+      break;  // occupancy left the expected set (e.g. everyone reached a
+              // barrier out of a PaperPrune direct chain): try the rescue
+    }
+    case TransKind::Multiway: {
+      std::int32_t idx = mc.sw.lookup(key.fold64());
+      if (idx >= 0 && mc.case_keys[static_cast<std::size_t>(idx)] == key)
+        return mc.case_targets[static_cast<std::size_t>(idx)];
+      if (mc.fallback != kNoMeta) return mc.fallback;
+      break;  // fall through to the rescue lookup
+    }
+    case TransKind::Exit:
+      break;
+  }
+  // Rescue: resolve by exact member set (PaperPrune barrier/halt corner
+  // cases and fold collisions; see DESIGN.md).
+  auto it = prog_.index.find(key);
+  if (it != prog_.index.end()) {
+    ++stats_.rescue_transitions;
+    return it->second;
+  }
+  throw MachineFault(cat("no meta-state transition for aggregate pc ",
+                         apc.to_string(), " from meta state ", mc.id));
+}
+
+std::int64_t SimdMachine::alive_count() const {
+  std::int64_t n = 0;
+  for (const Pe& pe : pes_)
+    if (pe.pc != kNoState) ++n;
+  return n;
+}
+
+bool SimdMachine::step() {
+  if (finished_) return false;
+  if (cur_ == kNoMeta) {  // first step
+    cur_ = prog_.start;
+    if (aggregate_pc().empty()) {
+      finished_ = true;
+      return false;
+    }
+  }
+  const MetaCode& mc = prog_.states[cur_];
+  ++visits_[cur_];
+  if (tracer_) tracer_->on_state(cur_, aggregate_pc(), alive_count());
+  exec_state(mc);
+  ++stats_.meta_transitions;
+  if (stats_.meta_transitions > config_.max_blocks) throw mimd::Timeout();
+  DynBitset apc_after = aggregate_pc();
+  MetaId next = next_state(mc);
+  if (tracer_) tracer_->on_transition(cur_, next, apc_after);
+  if (next == kNoMeta) {
+    finished_ = true;
+    return false;
+  }
+  cur_ = next;
+  return true;
+}
+
+void SimdMachine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace msc::simd

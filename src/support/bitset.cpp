@@ -1,0 +1,137 @@
+#include "msc/support/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace msc {
+
+bool DynBitset::empty() const {
+  for (std::uint64_t w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+std::size_t DynBitset::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t DynBitset::first() const { return next(npos); }
+
+std::size_t DynBitset::next(std::size_t bit) const {
+  std::size_t start = (bit == npos) ? 0 : bit + 1;
+  if (start >= nbits_) return npos;
+  std::size_t wi = start >> 6;
+  std::uint64_t w = words_[wi] >> (start & 63);
+  if (w != 0) return start + static_cast<std::size_t>(std::countr_zero(w));
+  for (++wi; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0)
+      return (wi << 6) + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+  }
+  return npos;
+}
+
+void DynBitset::grow(std::size_t nbits) {
+  if (nbits <= nbits_) return;
+  nbits_ = nbits;
+  if (word_count(nbits) > words_.size()) words_.resize(word_count(nbits), 0);
+}
+
+DynBitset& DynBitset::operator|=(const DynBitset& o) {
+  grow(o.nbits_);
+  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator&=(const DynBitset& o) {
+  std::size_t common = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common; ++i) words_[i] &= o.words_[i];
+  for (std::size_t i = common; i < words_.size(); ++i) words_[i] = 0;
+  return *this;
+}
+
+DynBitset& DynBitset::operator-=(const DynBitset& o) {
+  std::size_t common = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common; ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool DynBitset::operator==(const DynBitset& o) const {
+  std::size_t common = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common; ++i)
+    if (words_[i] != o.words_[i]) return false;
+  for (std::size_t i = common; i < words_.size(); ++i)
+    if (words_[i] != 0) return false;
+  for (std::size_t i = common; i < o.words_.size(); ++i)
+    if (o.words_[i] != 0) return false;
+  return true;
+}
+
+bool DynBitset::operator<(const DynBitset& o) const {
+  std::size_t n = std::max(words_.size(), o.words_.size());
+  // Compare from the most significant word down so the order matches
+  // numeric order of the bit pattern.
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    if (a != b) return a < b;
+  }
+  return false;
+}
+
+bool DynBitset::is_subset_of(const DynBitset& o) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    if ((words_[i] & ~b) != 0) return false;
+  }
+  return true;
+}
+
+bool DynBitset::intersects(const DynBitset& o) const {
+  std::size_t common = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common; ++i)
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  return false;
+}
+
+std::uint64_t DynBitset::fold64() const {
+  std::uint64_t acc = 0;
+  for (std::uint64_t w : words_) acc ^= w;
+  return acc;
+}
+
+std::size_t DynBitset::hash() const {
+  // FNV-style mix over significant words only (trailing zero words are
+  // guaranteed not to change the value because of the equality contract).
+  std::uint64_t h = 1469598103934665603ull;
+  std::size_t last = words_.size();
+  while (last > 0 && words_[last - 1] == 0) --last;
+  for (std::size_t i = 0; i < last; ++i) {
+    h ^= words_[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::vector<std::size_t> DynBitset::to_vector() const {
+  std::vector<std::size_t> v;
+  for (std::size_t b : bits()) v.push_back(b);
+  return v;
+}
+
+std::string DynBitset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool sep = false;
+  for (std::size_t b : bits()) {
+    if (sep) os << ',';
+    os << b;
+    sep = true;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace msc

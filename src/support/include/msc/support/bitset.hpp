@@ -1,0 +1,138 @@
+#ifndef MSC_SUPPORT_BITSET_HPP
+#define MSC_SUPPORT_BITSET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace msc {
+
+/// Dynamically-sized bit set.
+///
+/// Meta states are sets of MIMD state ids; the whole conversion pipeline
+/// (reach(), barrier_sync(), compression, transition keys) manipulates such
+/// sets, so this type provides the set algebra the paper's pseudocode uses:
+/// union, intersection, difference, subset tests, iteration over members,
+/// plus a stable 64-bit fold used as the aggregate-pc key for multiway
+/// branch hashing.
+///
+/// Invariant: all words beyond the last significant bit are zero, so
+/// equality/hash/compare can work word-wise regardless of capacity history.
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t nbits) : nbits_(nbits), words_(word_count(nbits), 0) {}
+
+  /// Singleton set {bit} sized to hold it.
+  static DynBitset single(std::size_t bit) {
+    DynBitset b(bit + 1);
+    b.set(bit);
+    return b;
+  }
+
+  /// Set holding every listed bit.
+  static DynBitset of(std::initializer_list<std::size_t> bits) {
+    DynBitset b;
+    for (std::size_t i : bits) b.set(i);
+    return b;
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const;
+  std::size_t count() const;
+
+  bool test(std::size_t bit) const {
+    if (bit >= nbits_) return false;
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  void set(std::size_t bit) {
+    grow(bit + 1);
+    words_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+  }
+
+  void reset(std::size_t bit) {
+    if (bit >= nbits_) return;
+    words_[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+  }
+
+  void clear() { words_.assign(words_.size(), 0); }
+
+  /// Lowest set bit, or npos if empty.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t first() const;
+  /// Next set bit strictly after `bit`, or npos.
+  std::size_t next(std::size_t bit) const;
+
+  DynBitset& operator|=(const DynBitset& o);
+  DynBitset& operator&=(const DynBitset& o);
+  /// Set difference (this \ o).
+  DynBitset& operator-=(const DynBitset& o);
+
+  friend DynBitset operator|(DynBitset a, const DynBitset& b) { return a |= b; }
+  friend DynBitset operator&(DynBitset a, const DynBitset& b) { return a &= b; }
+  friend DynBitset operator-(DynBitset a, const DynBitset& b) { return a -= b; }
+
+  bool operator==(const DynBitset& o) const;
+  bool operator!=(const DynBitset& o) const { return !(*this == o); }
+  /// Total order (by content, lowest-bit-significant); usable in std::map.
+  bool operator<(const DynBitset& o) const;
+
+  bool is_subset_of(const DynBitset& o) const;
+  bool intersects(const DynBitset& o) const;
+
+  /// XOR-fold of all words into 64 bits; stable across capacities.
+  /// Used as the aggregate-pc word handed to the multiway-branch hasher.
+  std::uint64_t fold64() const;
+
+  std::size_t hash() const;
+
+  /// Members as a sorted vector, e.g. {2, 6, 9}.
+  std::vector<std::size_t> to_vector() const;
+
+  /// Render like the paper labels meta states: "{2,6,9}".
+  std::string to_string() const;
+
+  /// Iteration support: for (std::size_t s : bits.bits()) ...
+  class BitRange {
+   public:
+    class Iter {
+     public:
+      Iter(const DynBitset* b, std::size_t pos) : b_(b), pos_(pos) {}
+      std::size_t operator*() const { return pos_; }
+      Iter& operator++() {
+        pos_ = b_->next(pos_);
+        return *this;
+      }
+      bool operator!=(const Iter& o) const { return pos_ != o.pos_; }
+
+     private:
+      const DynBitset* b_;
+      std::size_t pos_;
+    };
+    explicit BitRange(const DynBitset* b) : b_(b) {}
+    Iter begin() const { return Iter(b_, b_->first()); }
+    Iter end() const { return Iter(b_, npos); }
+
+   private:
+    const DynBitset* b_;
+  };
+  BitRange bits() const { return BitRange(this); }
+
+ private:
+  static std::size_t word_count(std::size_t nbits) { return (nbits + 63) / 64; }
+  void grow(std::size_t nbits);
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const { return b.hash(); }
+};
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_BITSET_HPP

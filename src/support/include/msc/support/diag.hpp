@@ -1,0 +1,50 @@
+#ifndef MSC_SUPPORT_DIAG_HPP
+#define MSC_SUPPORT_DIAG_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace msc {
+
+/// Position in MIMDC source (1-based, 0 = unknown).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  bool valid() const { return line != 0; }
+  std::string to_string() const;
+};
+
+/// Thrown by pipeline stages on unrecoverable input errors. Carries the
+/// already-formatted "line:col: message" text.
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(SourceLoc loc, const std::string& message);
+  SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Collects non-fatal diagnostics (warnings and recoverable errors).
+/// Fatal problems throw CompileError instead.
+class Diagnostics {
+ public:
+  void warn(SourceLoc loc, const std::string& message);
+  void error(SourceLoc loc, const std::string& message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  const std::vector<std::string>& messages() const { return messages_; }
+  std::string joined() const;
+
+ private:
+  std::vector<std::string> messages_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_DIAG_HPP

@@ -1,0 +1,32 @@
+#ifndef MSC_SUPPORT_DOT_HPP
+#define MSC_SUPPORT_DOT_HPP
+
+#include <sstream>
+#include <string>
+
+namespace msc {
+
+/// Minimal Graphviz DOT emitter used by the graph dumpers (MIMD state
+/// graph, meta-state automaton). Nodes/edges are identified by caller-
+/// chosen string ids; labels are escaped here.
+class DotWriter {
+ public:
+  explicit DotWriter(const std::string& graph_name);
+
+  void node(const std::string& id, const std::string& label,
+            const std::string& extra_attrs = "");
+  void edge(const std::string& from, const std::string& to,
+            const std::string& label = "");
+
+  std::string finish();
+
+  static std::string escape(const std::string& s);
+
+ private:
+  std::ostringstream out_;
+  bool finished_ = false;
+};
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_DOT_HPP

@@ -1,0 +1,45 @@
+#ifndef MSC_SUPPORT_RNG_HPP
+#define MSC_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace msc {
+
+/// Deterministic splitmix64 generator.
+///
+/// Workload generation and property-test seeds must be reproducible across
+/// platforms and standard-library versions, so we do not use <random>
+/// engines/distributions anywhere results matter.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return next_below(den) < num; }
+
+  double next_double() {  // [0,1)
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_RNG_HPP

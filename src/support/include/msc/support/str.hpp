@@ -1,0 +1,37 @@
+#ifndef MSC_SUPPORT_STR_HPP
+#define MSC_SUPPORT_STR_HPP
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace msc {
+
+/// Tiny string helpers shared by dumpers and the text emitter.
+/// (std::format is not available in the toolchain's libstdc++.)
+
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Left-pad with spaces to at least `width`.
+std::string pad_left(const std::string& s, std::size_t width);
+/// Right-pad with spaces to at least `width`.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Fixed-point rendering with `digits` decimals (locale-independent).
+std::string fmt_double(double v, int digits);
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_STR_HPP

@@ -1,0 +1,58 @@
+#ifndef MSC_SUPPORT_VALUE_HPP
+#define MSC_SUPPORT_VALUE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace msc {
+
+/// One memory/stack cell of the simulated machines.
+///
+/// MIMDC has two scalar types, `int` and `float` (paper §4.1); we widen
+/// them to int64/double so overflow in synthetic workloads is a non-issue.
+/// Cells are tagged so the oracle and the SIMD target can be compared
+/// bit-for-bit including type.
+struct Value {
+  enum class Kind : std::uint8_t { Int, Float };
+
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  Value() = default;
+  static Value of_int(std::int64_t v) {
+    Value x;
+    x.kind = Kind::Int;
+    x.i = v;
+    return x;
+  }
+  static Value of_float(double v) {
+    Value x;
+    x.kind = Kind::Float;
+    x.f = v;
+    return x;
+  }
+
+  bool is_int() const { return kind == Kind::Int; }
+  bool is_float() const { return kind == Kind::Float; }
+
+  /// Numeric value as double regardless of tag (for mixed arithmetic).
+  double as_double() const { return is_int() ? static_cast<double>(i) : f; }
+  /// Numeric value as int64 (floats truncate, as C does).
+  std::int64_t as_int() const { return is_int() ? i : static_cast<std::int64_t>(f); }
+
+  /// C truthiness.
+  bool truthy() const { return is_int() ? i != 0 : f != 0.0; }
+
+  bool operator==(const Value& o) const {
+    if (kind != o.kind) return false;
+    return is_int() ? i == o.i : f == o.f;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+};
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_VALUE_HPP

@@ -1,0 +1,128 @@
+#include <cstdio>
+#include <sstream>
+
+#include "msc/support/diag.hpp"
+#include "msc/support/dot.hpp"
+#include "msc/support/str.hpp"
+#include "msc/support/value.hpp"
+
+namespace msc {
+
+// ---------------------------------------------------------------- Value
+
+std::string Value::to_string() const {
+  if (is_int()) return std::to_string(i);
+  return fmt_double(f, 6);
+}
+
+// ----------------------------------------------------------------- diag
+
+std::string SourceLoc::to_string() const {
+  if (!valid()) return "<unknown>";
+  return cat(line, ':', col);
+}
+
+CompileError::CompileError(SourceLoc loc, const std::string& message)
+    : std::runtime_error(loc.to_string() + ": " + message), loc_(loc) {}
+
+void Diagnostics::warn(SourceLoc loc, const std::string& message) {
+  messages_.push_back(cat("warning: ", loc.to_string(), ": ", message));
+}
+
+void Diagnostics::error(SourceLoc loc, const std::string& message) {
+  messages_.push_back(cat("error: ", loc.to_string(), ": ", message));
+  ++error_count_;
+}
+
+std::string Diagnostics::joined() const { return join(messages_, "\n"); }
+
+// ------------------------------------------------------------------ dot
+
+DotWriter::DotWriter(const std::string& graph_name) {
+  out_ << "digraph " << graph_name << " {\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+}
+
+void DotWriter::node(const std::string& id, const std::string& label,
+                     const std::string& extra_attrs) {
+  out_ << "  \"" << escape(id) << "\" [label=\"" << escape(label) << "\"";
+  if (!extra_attrs.empty()) out_ << ", " << extra_attrs;
+  out_ << "];\n";
+}
+
+void DotWriter::edge(const std::string& from, const std::string& to,
+                     const std::string& label) {
+  out_ << "  \"" << escape(from) << "\" -> \"" << escape(to) << "\"";
+  if (!label.empty()) out_ << " [label=\"" << escape(label) << "\"]";
+  out_ << ";\n";
+}
+
+std::string DotWriter::finish() {
+  if (!finished_) {
+    out_ << "}\n";
+    finished_ = true;
+  }
+  return out_.str();
+}
+
+std::string DotWriter::escape(const std::string& s) {
+  std::string r;
+  r.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') r.push_back('\\');
+    if (c == '\n') {
+      r += "\\n";
+      continue;
+    }
+    r.push_back(c);
+  }
+  return r;
+}
+
+// ------------------------------------------------------------------ str
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string r;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) r += sep;
+    r += parts[i];
+  }
+  return r;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace msc

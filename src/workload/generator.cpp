@@ -1,0 +1,133 @@
+#include "msc/workload/generator.hpp"
+
+#include <vector>
+
+#include "msc/support/rng.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::workload {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const GenOptions& opts) : rng_(seed), opts_(opts) {}
+
+  std::string run() {
+    std::string body;
+    // Declarations and deterministic initialization from the seeded input.
+    for (int v = 0; v < opts_.num_vars; ++v)
+      body += cat("  poly int v", v, ";\n");
+    if (opts_.allow_float) body += "  poly float g;\n";
+    for (int v = 0; v < opts_.num_vars; ++v)
+      body += cat("  v", v, " = (x >> ", v, ") + procid() * ", v + 1, ";\n");
+    if (opts_.allow_float) body += "  g = x * 0.5;\n";
+
+    bool used_mono = opts_.allow_mono && rng_.chance(1, 2);
+    if (used_mono) {
+      body += "  if (procid() == 0) { shared = x + 1; }\n";
+      body += "  wait;\n";
+      body += cat("  v0 = v0 + shared;\n");
+    }
+
+    for (int s = 0; s < opts_.stmts; ++s) body += stmt(1);
+
+    body += cat("  return ", int_expr(opts_.expr_depth), ";\n");
+
+    std::string prog = "poly int x;\n";
+    if (used_mono) prog += "mono int shared;\n";
+    prog += "\nint main() {\n" + body + "}\n";
+    return prog;
+  }
+
+ private:
+  std::string var(int exclude_counters = 0) {
+    (void)exclude_counters;
+    return cat("v", rng_.next_below(static_cast<std::uint64_t>(opts_.num_vars)));
+  }
+
+  std::string int_expr(int depth) {
+    if (depth <= 0 || rng_.chance(1, 3)) {
+      switch (rng_.next_below(4)) {
+        case 0: return var();
+        case 1: return std::to_string(rng_.next_range(0, 17));
+        case 2: return "procid()";
+        default: return "x";
+      }
+    }
+    static const char* ops[] = {"+", "-", "*", "%", "&", "|",
+                                "^", "<", "<=", "==", "!=", ">>"};
+    const char* op = ops[rng_.next_below(12)];
+    std::string lhs = int_expr(depth - 1);
+    std::string rhs = int_expr(depth - 1);
+    // Keep shift counts tiny so values stay interesting.
+    if (std::string(op) == ">>") rhs = std::to_string(rng_.next_range(0, 5));
+    return cat("(", lhs, " ", op, " ", rhs, ")");
+  }
+
+  std::string stmt(int depth) {
+    std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    std::uint64_t pick = rng_.next_below(10);
+    if (depth >= opts_.max_depth) pick = rng_.next_below(4);  // leaves only
+    switch (pick) {
+      case 0:
+      case 1:
+        return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
+      case 2: {
+        static const char* kCompound[] = {"+=", "-=", "*=", "^=", "|=", "&="};
+        return cat(pad, var(), " ", kCompound[rng_.next_below(6)], " ",
+                   int_expr(opts_.expr_depth - 1), ";\n");
+      }
+      case 3:
+        return rng_.chance(1, 2) ? cat(pad, var(), "++;\n")
+                                 : cat(pad, "--", var(), ";\n");
+      case 4:
+        if (opts_.allow_float)
+          return cat(pad, "g = g * 0.5 + ", int_expr(1), ";\n");
+        return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
+      case 5:
+        if (opts_.allow_barrier && rng_.chance(1, 2)) return cat(pad, "wait;\n");
+        return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
+      case 6:
+      case 7: {  // divergent if/else
+        std::string s = cat(pad, "if (", int_expr(2), ") {\n");
+        int n = static_cast<int>(rng_.next_range(1, 2));
+        for (int i = 0; i < n; ++i) s += stmt(depth + 1);
+        if (rng_.chance(2, 3)) {
+          s += cat(pad, "} else {\n");
+          n = static_cast<int>(rng_.next_range(1, 2));
+          for (int i = 0; i < n; ++i) s += stmt(depth + 1);
+        }
+        return s + cat(pad, "}\n");
+      }
+      default: {  // bounded counted loop (always terminates)
+        if (!opts_.allow_loops)
+          return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
+        int id = counter_id_++;
+        std::string c = cat("c", id);
+        std::string s =
+            cat(pad, "poly int ", c, ";\n", pad, c, " = (", int_expr(1), " % ",
+                opts_.loop_max_trips, ") + 1;\n", pad, "do {\n");
+        int n = static_cast<int>(rng_.next_range(1, 2));
+        for (int i = 0; i < n; ++i) s += stmt(depth + 1);
+        if (rng_.chance(1, 4))
+          s += cat(pad, "  if ((", int_expr(1), " & 7) == 3) { break; }\n");
+        s += cat(pad, "  ", c, " -= 1;\n");
+        s += cat(pad, "} while (", c, " > 0);\n");
+        return s;
+      }
+    }
+  }
+
+  Rng rng_;
+  GenOptions opts_;
+  int counter_id_ = 0;
+};
+
+}  // namespace
+
+std::string generate_program(std::uint64_t seed, const GenOptions& options) {
+  return Generator(seed, options).run();
+}
+
+}  // namespace msc::workload

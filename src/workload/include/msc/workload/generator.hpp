@@ -1,0 +1,31 @@
+#ifndef MSC_WORKLOAD_GENERATOR_HPP
+#define MSC_WORKLOAD_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace msc::workload {
+
+/// Knobs for the random SPMD program generator.
+struct GenOptions {
+  int stmts = 6;         ///< top-level statements in main
+  int max_depth = 3;     ///< nesting depth of if/loop constructs
+  int num_vars = 4;      ///< scratch poly int variables
+  int expr_depth = 3;
+  bool allow_barrier = true;
+  bool allow_float = true;
+  bool allow_loops = true;
+  bool allow_mono = true;   ///< adds a PE-0-guarded mono variable
+  int loop_max_trips = 4;   ///< loop counters start in [1, loop_max_trips]
+};
+
+/// Generate a random, *always terminating*, race-free MIMDC program:
+/// loops are counted down from a bounded positive start, conditions are
+/// PE-divergent (they read the seeded input `x` and `procid()`), division
+/// and modulo are total (x/0 == 0 by language definition), and mono writes
+/// are guarded to PE 0 before a barrier. Deterministic in `seed`.
+std::string generate_program(std::uint64_t seed, const GenOptions& options = {});
+
+}  // namespace msc::workload
+
+#endif  // MSC_WORKLOAD_GENERATOR_HPP

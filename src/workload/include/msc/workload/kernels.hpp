@@ -1,0 +1,65 @@
+#ifndef MSC_WORKLOAD_KERNELS_HPP
+#define MSC_WORKLOAD_KERNELS_HPP
+
+#include <string>
+#include <vector>
+
+namespace msc::workload {
+
+/// A named MIMDC program used by tests, examples, and benches.
+struct Kernel {
+  std::string name;
+  std::string description;
+  std::string source;
+  /// True if the kernel's poly results depend only on the PE's own inputs
+  /// (safe for exact per-PE oracle-vs-SIMD comparison even with spawn).
+  bool per_pe_deterministic = true;
+  /// Recommended inputs: the harness seeds global poly int `x` (if
+  /// declared) from the per-PE seed stream before running.
+  bool wants_seed_input = false;
+};
+
+/// The paper's Listing 1 control skeleton as a complete MIMDC program
+/// (the body statements A/B/C/D/E/F become real arithmetic).
+const Kernel& listing1();
+/// Listing 3: Listing 1 plus a barrier before F (§2.6).
+const Kernel& listing3();
+/// Listing 4 verbatim: the example the paper compiles into Listing 5.
+const Kernel& listing4();
+
+/// Divergence/synthesis kernels for the quantitative experiments.
+const std::vector<Kernel>& suite();
+
+/// Suite lookup by name; throws std::out_of_range if unknown.
+const Kernel& kernel(const std::string& name);
+
+/// A Listing-1-shaped program with `k` sequential divergent if/else
+/// regions (drives T-EXPLODE: meta-state count vs. branch count).
+std::string branchy_source(int k);
+
+/// Same as branchy_source but with a barrier after each region
+/// (drives T-BARRIER).
+std::string branchy_barrier_source(int k);
+
+/// `k` sequential do-while loops with PE-dependent trip counts. Unlike
+/// branchy diamonds (which re-synchronize at every join), divergent loop
+/// exits let PEs spread across up to 2^k loop combinations — the real
+/// §1.2 state-explosion driver (drives T-EXPLODE).
+std::string loopy_source(int k);
+
+/// loopy_source with a barrier after each loop: occupancy windows never
+/// overlap, so the state count stays linear in k (§2.6, drives T-BARRIER).
+std::string loopy_barrier_source(int k);
+
+/// A two-arm kernel whose arms cost ~`cheap` vs ~`expensive` body
+/// operations inside a loop (drives T-SPLIT; the paper's 5-vs-100-cycle
+/// example).
+std::string imbalanced_source(int cheap_ops, int expensive_ops);
+
+/// Straight-line variant of the above (the exact Fig. 3/4 shape; safe for
+/// base-mode conversion with time splitting).
+std::string imbalanced_once_source(int cheap_ops, int expensive_ops);
+
+}  // namespace msc::workload
+
+#endif  // MSC_WORKLOAD_KERNELS_HPP

@@ -1,0 +1,411 @@
+#include "msc/workload/kernels.hpp"
+
+#include <stdexcept>
+
+#include "msc/support/str.hpp"
+
+namespace msc::workload {
+
+namespace {
+
+Kernel make(std::string name, std::string desc, std::string src,
+            bool per_pe = true, bool seeded = false) {
+  Kernel k;
+  k.name = std::move(name);
+  k.description = std::move(desc);
+  k.source = std::move(src);
+  k.per_pe_deterministic = per_pe;
+  k.wants_seed_input = seeded;
+  return k;
+}
+
+}  // namespace
+
+const Kernel& listing1() {
+  static const Kernel k = make(
+      "listing1",
+      "Paper Listing 1: if (A) do B while (C); else do D while (E); F — "
+      "with terminating bodies so the oracle can run it",
+      R"(// Listing 1 control skeleton (Fig. 1: states A, B;C, D;E, F)
+poly int x;   // per-PE input, seeded by the harness
+
+int main() {
+  poly int acc;
+  poly int i;
+  acc = 0;
+  i = (x % 4) + 1;              // A: pick trip count and branch condition
+  if (x % 2) {
+    do { acc = acc + 3; i = i - 1; } while (i > 0);        // B ; C
+  } else {
+    do { acc = acc * 2 + 1; i = i - 2; } while (i > 0);    // D ; E
+  }
+  acc = acc + 100;              // F
+  return acc;
+}
+)",
+      true, true);
+  return k;
+}
+
+const Kernel& listing3() {
+  static const Kernel k = make(
+      "listing3",
+      "Paper Listing 3: Listing 1 plus a barrier before F (§2.6, Fig. 6)",
+      R"(poly int x;
+
+int main() {
+  poly int acc;
+  poly int i;
+  acc = 0;
+  i = (x % 4) + 1;
+  if (x % 2) {
+    do { acc = acc + 3; i = i - 1; } while (i > 0);
+  } else {
+    do { acc = acc * 2 + 1; i = i - 2; } while (i > 0);
+  }
+  wait;                         // barrier sync. of all threads
+  acc = acc + 100;
+  return acc;
+}
+)",
+      true, true);
+  return k;
+}
+
+const Kernel& listing4() {
+  static Kernel k = make(
+      "listing4",
+      "Paper Listing 4 verbatim (static conversion/codegen only: its loops "
+      "never terminate at runtime, exactly as printed in the paper)",
+      R"(int main() {
+  poly int x;
+
+  if (x) {
+    do { x = 1; } while (x);
+  } else {
+    do { x = 2; } while (x);
+  }
+
+  return x;
+}
+)");
+  return k;
+}
+
+std::string branchy_source(int k) {
+  std::string body;
+  for (int i = 0; i < k; ++i) {
+    // Arms of different lengths so PEs drift apart in time.
+    body += cat("  if ((x >> ", i, ") & 1) { acc = acc + ", i + 1,
+                "; } else { acc = acc * 3; acc = acc - ", i,
+                "; acc = acc + 1; }\n");
+  }
+  return cat(R"(poly int x;
+
+int main() {
+  poly int acc;
+  acc = 0;
+)",
+             body, R"(  return acc;
+}
+)");
+}
+
+std::string branchy_barrier_source(int k) {
+  std::string body;
+  for (int i = 0; i < k; ++i) {
+    body += cat("  if ((x >> ", i, ") & 1) { acc = acc + ", i + 1,
+                "; } else { acc = acc * 3; acc = acc - ", i,
+                "; acc = acc + 1; }\n  wait;\n");
+  }
+  return cat(R"(poly int x;
+
+int main() {
+  poly int acc;
+  acc = 0;
+)",
+             body, R"(  return acc;
+}
+)");
+}
+
+std::string imbalanced_source(int cheap_ops, int expensive_ops) {
+  std::string cheap, expensive;
+  for (int i = 0; i < cheap_ops; ++i) cheap += "      acc = acc + 1;\n";
+  for (int i = 0; i < expensive_ops; ++i) expensive += "      acc = acc * 3 + 1;\n";
+  return cat(R"(poly int x;
+
+int main() {
+  poly int acc;
+  poly int i;
+  acc = 0;
+  i = 6;
+  do {
+    if (x & 1) {
+)",
+             cheap, R"(    } else {
+)",
+             expensive, R"(    }
+    x = x >> 1;
+    i = i - 1;
+  } while (i > 0);
+  return acc;
+}
+)");
+}
+
+namespace {
+
+std::string loopy_body(int k, bool barrier) {
+  std::string body;
+  for (int j = 0; j < k; ++j) {
+    body += cat("  i = ((x >> ", j, ") & 3) + 1;\n",
+                "  do { acc = acc * 2 + ", j, "; i = i - 1; } while (i > 0);\n");
+    if (barrier) body += "  wait;\n";
+  }
+  return cat(R"(poly int x;
+
+int main() {
+  poly int acc;
+  poly int i;
+  acc = 0;
+)",
+             body, R"(  return acc;
+}
+)");
+}
+
+}  // namespace
+
+std::string loopy_source(int k) { return loopy_body(k, false); }
+
+std::string loopy_barrier_source(int k) { return loopy_body(k, true); }
+
+std::string imbalanced_once_source(int cheap_ops, int expensive_ops) {
+  std::string cheap, expensive;
+  for (int i = 0; i < cheap_ops; ++i) cheap += "    acc = acc + 1;\n";
+  for (int i = 0; i < expensive_ops; ++i) expensive += "    acc = acc * 3 + 1;\n";
+  return cat(R"(poly int x;
+
+int main() {
+  poly int acc;
+  acc = 0;
+  if (x & 1) {
+)",
+             cheap, R"(  } else {
+)",
+             expensive, R"(  }
+  acc = acc + 5;
+  return acc;
+}
+)");
+}
+
+const std::vector<Kernel>& suite() {
+  static const std::vector<Kernel> kernels = [] {
+    std::vector<Kernel> v;
+    v.push_back(listing1());
+    v.push_back(listing3());
+
+    v.push_back(make(
+        "uniform",
+        "No divergence: every PE runs the same path (mono-like behaviour)",
+        R"(poly int x;
+
+int main() {
+  poly int acc;
+  poly int i;
+  acc = x;
+  i = 0;
+  while (i < 8) { acc = acc * 2 + i; i = i + 1; }
+  return acc;
+}
+)",
+        true, true));
+
+    v.push_back(make("branchy4",
+                     "Four sequential divergent diamonds (state-space growth)",
+                     branchy_source(4), true, true));
+
+    v.push_back(make(
+        "loopmix",
+        "PE-dependent trip counts in two consecutive loops, mixed int/float",
+        R"(poly int x;
+
+int main() {
+  poly int i;
+  poly float f;
+  f = 1.0;
+  i = (x % 5) + 1;
+  do { f = f * 1.5 + 1.0; i = i - 1; } while (i > 0);
+  i = (x % 3) + 1;
+  do { f = f - 0.25; i = i - 1; } while (i > 0);
+  return f * 8.0;
+}
+)",
+        true, true));
+
+    v.push_back(make(
+        "recursion",
+        "Recursive fib via §2.2 return-site multiway branches",
+        R"(poly int x;
+
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+  return fib(x % 8) + 10 * (x % 2);
+}
+)",
+        true, true));
+
+    v.push_back(make(
+        "spawn_tree",
+        "§3.2.5 restricted dynamic process creation: each initial PE spawns "
+        "two workers that return and free their PE",
+        R"(int main() {
+  poly int i;
+  i = 0;
+  while (i < 2) {
+    spawn {
+      return 1000 + procid();
+    }
+    i = i + 1;
+  }
+  return procid();
+}
+)",
+        /*per_pe=*/false, /*seeded=*/false));
+
+    v.push_back(make(
+        "barrier_pipeline",
+        "Fill a poly array, barrier, then read the right neighbour's slot "
+        "via parallel subscripting",
+        R"(int main() {
+  poly int a[4];
+  poly int s;
+  poly int j;
+  j = 0;
+  while (j < 4) { a[j] = procid() * 10 + j; j = j + 1; }
+  wait;
+  s = a[1][[(procid() + 1) % nprocs()]];
+  return s;
+}
+)",
+        true, false));
+
+    v.push_back(make(
+        "floatmix",
+        "Float arithmetic with divergence and an int return cast",
+        R"(poly int x;
+
+int main() {
+  poly float f;
+  f = x * 0.5 + 1.25;
+  if (f > 2.0) { f = f * 2.0; } else { f = f + 3.0; }
+  return f * 4.0;
+}
+)",
+        true, true));
+
+    v.push_back(make(
+        "mono_reduce",
+        "Single-writer mono broadcast guarded by a barrier",
+        R"(mono int total;
+poly int x;
+
+int main() {
+  if (procid() == 0) { total = 42; }
+  wait;
+  return total + x;
+}
+)",
+        true, true));
+
+    v.push_back(make(
+        "oddeven_sort",
+        "Odd-even transposition sort across PEs: router exchanges with "
+        "double-barrier phases (classic SIMD algorithm)",
+        R"(poly int x;
+
+int main() {
+  poly int v;
+  poly int phase;
+  poly int partner;
+  poly int other;
+  poly int valid;
+  v = x;
+  wait;
+  for (phase = 0; phase < nprocs(); phase++) {
+    if ((phase & 1) == (procid() & 1)) { partner = procid() + 1; }
+    else { partner = procid() - 1; }
+    valid = partner >= 0 && partner < nprocs();
+    other = 0;
+    if (valid) { other = v[[partner]]; }
+    wait;              // everyone has read before anyone writes
+    if (valid) {
+      if (partner > procid()) { if (other < v) { v = other; } }
+      else { if (other > v) { v = other; } }
+    }
+    wait;              // everyone has written before the next read
+  }
+  return v;
+}
+)",
+        true, true));
+
+    v.push_back(make(
+        "escape_iter",
+        "Escape-time iteration (Mandelbrot-style): per-PE trip counts "
+        "diverge wildly — the canonical SIMD-divergence workload",
+        R"(poly int x;
+
+int main() {
+  poly float cr;
+  poly float ci;
+  poly float zr;
+  poly float zi;
+  poly float t;
+  poly int it;
+  cr = (x % 8) / 4.0 - 1.1;
+  ci = ((x >> 3) % 8) / 4.0 - 1.0;
+  zr = 0.0;
+  zi = 0.0;
+  it = 0;
+  while (zr * zr + zi * zi <= 4.0 && it < 24) {
+    t = zr * zr - zi * zi + cr;
+    zi = 2.0 * zr * zi + ci;
+    zr = t;
+    it++;
+  }
+  return it;
+}
+)",
+        true, true));
+
+    v.push_back(make("imbalanced",
+                     "Divergent arms of very different costs inside a loop "
+                     "(drives §2.4 time splitting; explodes the base-mode "
+                     "state space when split — see DESIGN.md)",
+                     imbalanced_source(1, 12), true, true));
+
+    v.push_back(make("imbalanced_once",
+                     "Straight-line divergent arms of very different costs "
+                     "(the paper's Fig. 3/4 shape: split without loops)",
+                     imbalanced_once_source(1, 12), true, true));
+
+    return v;
+  }();
+  return kernels;
+}
+
+const Kernel& kernel(const std::string& name) {
+  for (const Kernel& k : suite())
+    if (k.name == name) return k;
+  if (name == "listing4") return listing4();
+  throw std::out_of_range(cat("unknown kernel '", name, "'"));
+}
+
+}  // namespace msc::workload

@@ -1,0 +1,119 @@
+// Integration test for the mscc command-line driver: invokes the built
+// binary (path injected by CMake) and checks output/exit codes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  std::string cmd = std::string(MSCC_BINARY) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  CliResult res;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    res.exit_code = -1;
+    return res;
+  }
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    res.output.append(buf.data(), n);
+  int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+}  // namespace
+
+TEST(Cli, EmitMetaForKernel) {
+  auto r = run_cli("--kernel listing1 --emit meta");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("meta-state automaton: 8 states"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, CompressedEmitsTwoStates) {
+  auto r = run_cli("--kernel listing1 --compress --emit meta");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("2 states"), std::string::npos) << r.output;
+}
+
+TEST(Cli, EmitMplLooksLikeListing5) {
+  auto r = run_cli("--kernel listing4 --emit mpl");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("apc = globalor(pc);"), std::string::npos);
+  EXPECT_NE(r.output.find("ms_0:"), std::string::npos);
+}
+
+TEST(Cli, EmitDotIsWellFormed) {
+  auto r = run_cli("--kernel listing3 --prune --emit dot");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("digraph meta {"), std::string::npos);
+  auto g = run_cli("--kernel listing3 --emit dot-mimd");
+  EXPECT_NE(g.output.find("digraph mimd {"), std::string::npos);
+}
+
+TEST(Cli, RunReportsMatchAndStats) {
+  auto r = run_cli("--kernel listing1 --run --nprocs 4 --seed 9 --emit meta");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("match : yes"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("utilization="), std::string::npos);
+}
+
+TEST(Cli, CompilesFromFile) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_test_prog.mimdc";
+  {
+    std::ofstream out(path);
+    out << "int main() { return 7 * 6; }\n";
+  }
+  auto r = run_cli(path + " --run --nprocs 2 --emit mimd");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("match : yes"), std::string::npos);
+  EXPECT_NE(r.output.find("results: 42 42"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ReportsCompileErrors) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_test_bad.mimdc";
+  {
+    std::ofstream out(path);
+    out << "int main() { return zz; }\n";
+  }
+  auto r = run_cli(path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("compile error"), std::string::npos);
+  EXPECT_NE(r.output.find("undeclared"), std::string::npos);
+}
+
+TEST(Cli, UsageOnBadArguments) {
+  EXPECT_EQ(run_cli("--emit bogus --kernel listing1").exit_code, 2);
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  EXPECT_EQ(run_cli("--no-such-flag").exit_code, 2);
+}
+
+TEST(Cli, AdaptiveFallsBackOnExplosion) {
+  auto r = run_cli("--kernel listing1 --adaptive --emit meta");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("8 states"), std::string::npos);
+}
+
+TEST(Cli, ProfileEmit) {
+  auto r = run_cli("--kernel listing1 --emit profile");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("automaton profile:"), std::string::npos);
+  EXPECT_NE(r.output.find("width histogram"), std::string::npos);
+}
+
+TEST(Cli, ModuleEmitIsParseable) {
+  auto r = run_cli("--kernel listing1 --emit module");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("mscmod 1"), std::string::npos);
+  EXPECT_NE(r.output.find("\nend\n"), std::string::npos);
+}

@@ -1,0 +1,165 @@
+/* meta-state SIMD automaton, MPL-style (cf. paper Listing 5) */
+ms_0:
+  if (pc & BIT(0)) {
+    Push(5) Push(2) StL Push(4)
+    LdL JumpF(3,2) 
+  }
+  apc = globalor(pc);
+  switch (((apc >> 2) & 3)) {
+  case 1: goto ms_2;
+  case 2: goto ms_3;
+  case 3: goto ms_2_3;
+  }
+
+ms_2:
+  if (pc & BIT(2)) {
+    Push(1) Push(4) StL Push(4)
+    LdL JumpF(1,2) 
+  }
+  apc = globalor(pc);
+  switch (((apc >> 1) & 3)) {
+  case 1: goto ms_1;
+  case 2: goto ms_2;
+  case 3: goto ms_1_2;
+  }
+
+ms_3:
+  if (pc & BIT(3)) {
+    Push(2) Push(4) StL Push(4)
+    LdL JumpF(1,3) 
+  }
+  apc = globalor(pc);
+  switch ((((apc >> 3) ^ apc) & 3)) {
+  case 2: goto ms_1;
+  case 1: goto ms_3;
+  case 3: goto ms_1_3;
+  }
+
+ms_2_3:
+  if (pc & BIT(2)) {
+    Push(1) 
+  }
+  if (pc & BIT(3)) {
+    Push(2) 
+  }
+  if (pc & (BIT(2) | BIT(3))) {
+    Push(4) StL Push(4) LdL 
+  }
+  if (pc & BIT(2)) {
+    JumpF(1,2) 
+  }
+  if (pc & BIT(3)) {
+    JumpF(1,3) 
+  }
+  apc = globalor(pc);
+  switch (((apc >> 1) & 7)) {
+  case 1: goto ms_1;
+  case 3: goto ms_1_2;
+  case 5: goto ms_1_3;
+  case 6: goto ms_2_3;
+  case 7: goto ms_1_2_3;
+  }
+
+ms_1:
+  if (pc & BIT(1)) {
+    Push(4) LdL Push(0) StL
+    Ret 
+  }
+  /* no next meta state */
+  exit(0);
+
+ms_1_2:
+  if (pc & BIT(2)) {
+    Push(1) 
+  }
+  if (pc & (BIT(1) | BIT(2))) {
+    Push(4) 
+  }
+  if (pc & BIT(1)) {
+    LdL Push(0) 
+  }
+  if (pc & (BIT(1) | BIT(2))) {
+    StL 
+  }
+  if (pc & BIT(2)) {
+    Push(4) LdL 
+  }
+  if (pc & BIT(1)) {
+    Ret 
+  }
+  if (pc & BIT(2)) {
+    JumpF(1,2) 
+  }
+  apc = globalor(pc);
+  switch (((apc >> 1) & 3)) {
+  case 1: goto ms_1;
+  case 2: goto ms_2;
+  case 3: goto ms_1_2;
+  }
+
+ms_1_3:
+  if (pc & BIT(3)) {
+    Push(2) 
+  }
+  if (pc & (BIT(1) | BIT(3))) {
+    Push(4) 
+  }
+  if (pc & BIT(1)) {
+    LdL Push(0) 
+  }
+  if (pc & (BIT(1) | BIT(3))) {
+    StL 
+  }
+  if (pc & BIT(3)) {
+    Push(4) LdL 
+  }
+  if (pc & BIT(1)) {
+    Ret 
+  }
+  if (pc & BIT(3)) {
+    JumpF(1,3) 
+  }
+  apc = globalor(pc);
+  switch ((((apc >> 3) ^ apc) & 3)) {
+  case 2: goto ms_1;
+  case 1: goto ms_3;
+  case 3: goto ms_1_3;
+  }
+
+ms_1_2_3:
+  if (pc & BIT(2)) {
+    Push(1) 
+  }
+  if (pc & BIT(3)) {
+    Push(2) 
+  }
+  if (pc & (BIT(1) | BIT(2) | BIT(3))) {
+    Push(4) 
+  }
+  if (pc & BIT(1)) {
+    LdL Push(0) 
+  }
+  if (pc & (BIT(1) | BIT(2) | BIT(3))) {
+    StL 
+  }
+  if (pc & (BIT(2) | BIT(3))) {
+    Push(4) LdL 
+  }
+  if (pc & BIT(1)) {
+    Ret 
+  }
+  if (pc & BIT(2)) {
+    JumpF(1,2) 
+  }
+  if (pc & BIT(3)) {
+    JumpF(1,3) 
+  }
+  apc = globalor(pc);
+  switch (((apc >> 1) & 7)) {
+  case 1: goto ms_1;
+  case 3: goto ms_1_2;
+  case 5: goto ms_1_3;
+  case 6: goto ms_2_3;
+  case 7: goto ms_1_2_3;
+  }
+

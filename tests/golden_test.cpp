@@ -1,0 +1,33 @@
+// Golden snapshot: the MPL-style coding of the paper's Listing 4 must be
+// byte-identical to tests/golden/listing4.mpl. This pins the emitter,
+// hash-function selection, CSI schedule, and automaton numbering all at
+// once. If an intentional pipeline change alters the output, regenerate
+// with:  ./build/examples/mscc --kernel listing4 --emit mpl \
+//           > tests/golden/listing4.mpl
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "msc/codegen/program.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+
+TEST(Golden, Listing4MplSnapshot) {
+  std::ifstream in(MSC_GOLDEN_DIR "/listing4.mpl");
+  ASSERT_TRUE(in) << "missing golden file";
+  std::ostringstream want;
+  want << in.rdbuf();
+
+  auto compiled = driver::compile(workload::listing4().source);
+  ir::CostModel cost;
+  auto conv = core::meta_state_convert(compiled.graph, cost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, cost, {});
+  std::string got = codegen::to_mpl(prog, conv.graph);
+
+  EXPECT_EQ(got, want.str())
+      << "emitter output drifted from the golden snapshot; if intentional, "
+         "regenerate per the header comment";
+}

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/ir/build.hpp"
+#include "msc/ir/graph.hpp"
+#include "msc/ir/passes.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+using namespace msc::ir;
+
+namespace {
+
+StateGraph graph_of(const std::string& src) { return driver::compile(src).graph; }
+
+std::size_t count_exits(const StateGraph& g, ExitKind kind) {
+  std::size_t n = 0;
+  for (const Block& b : g.blocks)
+    if (b.exit == kind) ++n;
+  return n;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ StateGraph API
+
+TEST(StateGraph, SuccessorsPerExitKind) {
+  StateGraph g;
+  StateId a = g.add_block("a");
+  StateId b = g.add_block("b");
+  StateId c = g.add_block("c");
+  g.start = a;
+  g.at(a).exit = ExitKind::Branch;
+  g.at(a).target = b;
+  g.at(a).alt = c;
+  g.at(b).exit = ExitKind::Jump;
+  g.at(b).target = c;
+  g.at(c).exit = ExitKind::Halt;
+  EXPECT_EQ(g.successors(a), (std::vector<StateId>{b, c}));
+  EXPECT_EQ(g.successors(b), (std::vector<StateId>{c}));
+  EXPECT_TRUE(g.successors(c).empty());
+  auto preds = g.predecessors();
+  EXPECT_EQ(preds[c], (std::vector<StateId>{a, b}));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(StateGraph, ValidateCatchesBadArcs) {
+  StateGraph g;
+  StateId a = g.add_block();
+  g.start = a;
+  g.at(a).exit = ExitKind::Jump;
+  g.at(a).target = 99;
+  EXPECT_FALSE(g.validate().empty());
+  g.at(a).exit = ExitKind::Branch;  // missing alt
+  g.at(a).target = a;
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(StateGraph, ValidateCatchesBarrierWithBody) {
+  StateGraph g;
+  StateId a = g.add_block();
+  g.start = a;
+  g.at(a).barrier_wait = true;
+  g.at(a).body.push_back(Instr::push_i(1));
+  g.at(a).exit = ExitKind::Jump;
+  g.at(a).target = a;
+  EXPECT_FALSE(g.validate().empty());
+}
+
+// --------------------------------------------------------------------- build
+
+TEST(Build, Listing1HasPaperShape) {
+  StateGraph g = graph_of(workload::listing1().source);
+  // Fig. 1: A (branch), B;C (branch), D;E (branch), F (halt).
+  ASSERT_EQ(g.size(), 4u) << g.dump();
+  const Block& a = g.at(g.start);
+  EXPECT_EQ(a.exit, ExitKind::Branch);
+  StateId bc = a.target, de = a.alt;
+  EXPECT_EQ(g.at(bc).exit, ExitKind::Branch);
+  EXPECT_EQ(g.at(bc).target, bc);  // loop back edge
+  EXPECT_EQ(g.at(de).exit, ExitKind::Branch);
+  EXPECT_EQ(g.at(de).target, de);
+  EXPECT_EQ(g.at(bc).alt, g.at(de).alt);  // both exit to F
+  EXPECT_EQ(g.at(g.at(bc).alt).exit, ExitKind::Halt);
+}
+
+TEST(Build, Listing3AddsExactlyOneBarrierState) {
+  StateGraph g = graph_of(workload::listing3().source);
+  ASSERT_EQ(g.size(), 5u) << g.dump();
+  DynBitset barriers = g.barrier_states();
+  EXPECT_EQ(barriers.count(), 1u);
+  const Block& w = g.at(static_cast<StateId>(barriers.first()));
+  EXPECT_TRUE(w.body.empty());
+  EXPECT_EQ(w.exit, ExitKind::Jump);
+  EXPECT_EQ(g.at(w.target).exit, ExitKind::Halt);  // F after the barrier
+}
+
+TEST(Build, WhileLoopIsNormalizedToEntryTestPlusBottomTest) {
+  // §4.2: loops execute the body one or more times; the condition code is
+  // replicated, so a while loop compiles to 3 states, with no extra
+  // header state for the back edge.
+  StateGraph g = graph_of(
+      "poly int x; int main() { while (x) { x = x - 1; } return x; }");
+  EXPECT_EQ(g.size(), 3u) << g.dump();
+  // Entry tests the condition and branches around the loop entirely.
+  EXPECT_EQ(g.at(g.start).exit, ExitKind::Branch);
+}
+
+TEST(Build, SpawnAndHalt) {
+  StateGraph g = graph_of("int main() { spawn { halt; } return 1; }");
+  EXPECT_EQ(count_exits(g, ExitKind::Spawn), 1u);
+  EXPECT_TRUE(g.has_spawn());
+  EXPECT_FALSE(graph_of("int main() { return 1; }").has_spawn());
+}
+
+TEST(Build, EmptyMainStillReturnsZero) {
+  StateGraph g = graph_of("int main() { }");
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.at(g.start).exit, ExitKind::Halt);
+  EXPECT_FALSE(g.at(g.start).body.empty());  // prologue + return 0
+}
+
+TEST(Build, InlineExpansionDuplicatesPerCallSite) {
+  // Two calls to f: its body appears twice (§2.2 in-line expansion).
+  StateGraph one = graph_of(
+      "int f(int n) { if (n) { return 1; } return 2; }"
+      "int main() { return f(1); }");
+  StateGraph two = graph_of(
+      "int f(int n) { if (n) { return 1; } return 2; }"
+      "int main() { return f(1) + f(0); }");
+  EXPECT_GT(two.size(), one.size());
+}
+
+TEST(Build, RecursiveBodyIsSharedNotDuplicated) {
+  // Three call sites of a recursive function share one body; the graph
+  // grows only by call/return glue, not by a full body copy per site.
+  StateGraph one = graph_of(
+      "int f(int n) { if (n < 1) { return 0; } return f(n - 1) + 1; }"
+      "int main() { return f(2); }");
+  StateGraph two = graph_of(
+      "int f(int n) { if (n < 1) { return 0; } return f(n - 1) + 1; }"
+      "int main() { return f(2) + f(3); }");
+  EXPECT_LT(two.size(), one.size() * 2);
+}
+
+TEST(Build, CallerOfMainRejected) {
+  EXPECT_THROW(graph_of("int main() { return main(); }"), CompileError);
+}
+
+// -------------------------------------------------------------------- passes
+
+TEST(Passes, StraighteningMergesChains) {
+  StateGraph g;
+  StateId a = g.add_block("a");
+  StateId b = g.add_block("b");
+  StateId c = g.add_block("c");
+  g.start = a;
+  g.at(a).body.push_back(Instr::push_i(1));
+  g.at(a).exit = ExitKind::Jump;
+  g.at(a).target = b;
+  g.at(b).body.push_back(Instr::push_i(2));
+  g.at(b).exit = ExitKind::Jump;
+  g.at(b).target = c;
+  g.at(c).body.push_back(Instr::pop(2));
+  g.at(c).exit = ExitKind::Halt;
+  simplify(g);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.at(0).body.size(), 3u);
+  EXPECT_EQ(g.at(0).exit, ExitKind::Halt);
+  EXPECT_EQ(g.at(0).label, "a;b;c");
+}
+
+TEST(Passes, StraighteningStopsAtSharedBlocks) {
+  StateGraph g;
+  StateId a = g.add_block();
+  StateId b = g.add_block();
+  StateId join = g.add_block();
+  g.start = a;
+  g.at(a).exit = ExitKind::Branch;
+  g.at(a).target = b;
+  g.at(a).alt = join;  // join has two preds: a and b
+  g.at(b).body.push_back(Instr::push_i(1));
+  g.at(b).exit = ExitKind::Jump;
+  g.at(b).target = join;
+  g.at(join).body.push_back(Instr::push_i(2));
+  g.at(join).exit = ExitKind::Halt;
+  simplify(g);
+  EXPECT_EQ(g.size(), 3u);  // nothing merged into join
+}
+
+TEST(Passes, EmptyForwardersAreBypassed) {
+  StateGraph g;
+  StateId a = g.add_block();
+  StateId e1 = g.add_block();
+  StateId e2 = g.add_block();
+  StateId d = g.add_block();
+  g.start = a;
+  g.at(a).body.push_back(Instr::push_i(1));
+  g.at(a).exit = ExitKind::Branch;
+  g.at(a).target = e1;
+  g.at(a).alt = e2;
+  g.at(e1).exit = ExitKind::Jump;
+  g.at(e1).target = d;
+  g.at(e2).exit = ExitKind::Jump;
+  g.at(e2).target = d;
+  g.at(d).exit = ExitKind::Halt;
+  simplify(g);
+  // Both arms forward to d; the branch folds and merges with d.
+  ASSERT_EQ(g.size(), 1u) << g.dump();
+  EXPECT_EQ(g.at(0).exit, ExitKind::Halt);
+}
+
+TEST(Passes, BarrierStatesSurviveSimplification) {
+  StateGraph g = graph_of("int main() { wait; return 1; }");
+  EXPECT_EQ(g.barrier_states().count(), 1u);
+  // Barrier block still empty-bodied with a single exit.
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Passes, UnreachableCodeRemoved) {
+  StateGraph g = graph_of("int main() { return 1; int x; x = 2; return x; }");
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Passes, EmptyInfiniteLoopSurvives) {
+  // for(;;); is an empty cycle; simplify must not hang or corrupt it.
+  StateGraph g = driver::compile("int main() { for (;;) ; }").graph;
+  EXPECT_TRUE(g.validate().empty());
+  bool has_cycle = false;
+  for (const Block& b : g.blocks)
+    if (b.exit == ExitKind::Jump && b.target == b.id) has_cycle = true;
+  EXPECT_TRUE(has_cycle);
+}
+
+TEST(Passes, FoldsBranchWithIdenticalArms) {
+  StateGraph g;
+  StateId a = g.add_block();
+  StateId t = g.add_block();
+  g.start = a;
+  g.at(a).body.push_back(Instr::push_i(1));
+  g.at(a).exit = ExitKind::Branch;
+  g.at(a).target = t;
+  g.at(a).alt = t;
+  g.at(t).body.push_back(Instr::push_i(9));
+  g.at(t).exit = ExitKind::Halt;
+  simplify(g);
+  ASSERT_EQ(g.size(), 1u);
+  // The popped condition and both bodies merged.
+  EXPECT_EQ(g.at(0).body.size(), 3u);
+}
+
+// ---------------------------------------------------------------------- dump
+
+TEST(Dump, GraphDumpAndDotContainStates) {
+  StateGraph g = graph_of(workload::listing1().source);
+  std::string dump = g.dump();
+  EXPECT_NE(dump.find("4 states"), std::string::npos);
+  EXPECT_NE(dump.find("JumpF("), std::string::npos);
+  std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph mimd"), std::string::npos);
+  EXPECT_NE(dot.find("\"s0\" -> "), std::string::npos);
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "msc/frontend/lexer.hpp"
+
+using namespace msc;
+using namespace msc::frontend;
+
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  Lexer lex(src);
+  std::vector<Tok> out;
+  for (const Token& t : lex.lex_all()) out.push_back(t.kind);
+  return out;
+}
+
+}  // namespace
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(kinds(""), (std::vector<Tok>{Tok::Eof}));
+  EXPECT_EQ(kinds("   \n\t  "), (std::vector<Tok>{Tok::Eof}));
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("int float void mono poly if else while do for return wait "
+                  "spawn halt"),
+            (std::vector<Tok>{Tok::KwInt, Tok::KwFloat, Tok::KwVoid, Tok::KwMono,
+                              Tok::KwPoly, Tok::KwIf, Tok::KwElse, Tok::KwWhile,
+                              Tok::KwDo, Tok::KwFor, Tok::KwReturn, Tok::KwWait,
+                              Tok::KwSpawn, Tok::KwHalt, Tok::Eof}));
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  Lexer lex("ifx _if int3 waiting");
+  auto toks = lex.lex_all();
+  ASSERT_EQ(toks.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "ifx");
+  EXPECT_EQ(toks[3].text, "waiting");
+}
+
+TEST(Lexer, IntLiterals) {
+  Lexer lex("0 42 1234567890123");
+  auto toks = lex.lex_all();
+  EXPECT_EQ(toks[0].int_val, 0);
+  EXPECT_EQ(toks[1].int_val, 42);
+  EXPECT_EQ(toks[2].int_val, 1234567890123LL);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(toks[i].kind, Tok::IntLit);
+}
+
+TEST(Lexer, FloatLiterals) {
+  Lexer lex("1.5 0.25 2e3 1.5e-2");
+  auto toks = lex.lex_all();
+  EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_val, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].float_val, 0.25);
+  EXPECT_DOUBLE_EQ(toks[2].float_val, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_val, 0.015);
+}
+
+TEST(Lexer, IntFollowedByIdentStartingWithE) {
+  // "2e" with no exponent digits: the 'e' starts an identifier.
+  Lexer lex("2elephants");
+  auto toks = lex.lex_all();
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[0].int_val, 2);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "elephants");
+}
+
+TEST(Lexer, TwoCharOperators) {
+  EXPECT_EQ(kinds("== != <= >= << >> && ||"),
+            (std::vector<Tok>{Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::Shl,
+                              Tok::Shr, Tok::AmpAmp, Tok::PipePipe, Tok::Eof}));
+}
+
+TEST(Lexer, OneCharOperatorsDoNotMerge) {
+  EXPECT_EQ(kinds("= ! < > & |"),
+            (std::vector<Tok>{Tok::Assign, Tok::Bang, Tok::Lt, Tok::Gt, Tok::Amp,
+                              Tok::Pipe, Tok::Eof}));
+  EXPECT_EQ(kinds("<= ="), (std::vector<Tok>{Tok::Le, Tok::Assign, Tok::Eof}));
+}
+
+TEST(Lexer, BracketsStaySingle) {
+  // Parallel subscripts are recognized by the parser; the lexer must not
+  // fuse "[[" or "]]" — otherwise a[b[1]] would mis-lex.
+  EXPECT_EQ(kinds("a[[i]]"),
+            (std::vector<Tok>{Tok::Ident, Tok::LBracket, Tok::LBracket,
+                              Tok::Ident, Tok::RBracket, Tok::RBracket, Tok::Eof}));
+}
+
+TEST(Lexer, Comments) {
+  EXPECT_EQ(kinds("a // line comment\n b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+  EXPECT_EQ(kinds("a /* block\n comment */ b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+  EXPECT_EQ(kinds("a /* nested // inside */ b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Eof}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  Lexer lex("a /* never closed");
+  EXPECT_THROW(lex.lex_all(), CompileError);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  Lexer lex("a $ b");
+  EXPECT_THROW(lex.lex_all(), CompileError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  Lexer lex("a\n  b");
+  auto toks = lex.lex_all();
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}

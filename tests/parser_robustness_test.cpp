@@ -1,0 +1,74 @@
+// Robustness fuzzing: mutated/truncated sources must produce CompileError
+// (or parse fine), never crash, hang, or trip UB. Run under the normal
+// test budget with deterministic seeds.
+#include <gtest/gtest.h>
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/support/rng.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+
+namespace {
+
+/// Compile and swallow the expected failure modes.
+void try_compile(const std::string& src) {
+  try {
+    auto compiled = driver::compile(src);
+    // If it compiled, the graph must still be structurally valid.
+    EXPECT_TRUE(compiled.graph.validate().empty()) << src;
+  } catch (const CompileError&) {
+    // expected for most mutants
+  }
+}
+
+}  // namespace
+
+TEST(ParserRobustness, RandomByteMutations) {
+  Rng rng(2026);
+  const std::string chars = "abxy01(){}[];=+-*/%<>&|!~,. \n\"";
+  for (const auto& k : workload::suite()) {
+    for (int trial = 0; trial < 30; ++trial) {
+      std::string src = k.source;
+      int edits = 1 + static_cast<int>(rng.next_below(4));
+      for (int e = 0; e < edits; ++e) {
+        std::size_t pos = rng.next_below(src.size());
+        src[pos] = chars[rng.next_below(chars.size())];
+      }
+      try_compile(src);
+    }
+  }
+}
+
+TEST(ParserRobustness, Truncations) {
+  for (const auto& k : workload::suite()) {
+    for (std::size_t frac = 1; frac < 8; ++frac) {
+      try_compile(k.source.substr(0, k.source.size() * frac / 8));
+    }
+  }
+}
+
+TEST(ParserRobustness, TokenDeletions) {
+  Rng rng(7);
+  const std::string& src = workload::listing3().source;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t a = rng.next_below(src.size());
+    std::size_t len = 1 + rng.next_below(12);
+    std::string mutant = src.substr(0, a) + src.substr(std::min(src.size(), a + len));
+    try_compile(mutant);
+  }
+}
+
+TEST(ParserRobustness, PathologicalInputs) {
+  try_compile("");
+  try_compile(";;;;;;");
+  try_compile(std::string(10000, '('));
+  try_compile("int main() { return " + std::string(500, '-') + "1; }");
+  try_compile("int main() { int a" + std::string(2000, '[') + "; }");
+  std::string deep = "int main() { ";
+  for (int i = 0; i < 200; ++i) deep += "if (1) { ";
+  deep += "return 0; ";
+  for (int i = 0; i < 200; ++i) deep += "} ";
+  deep += "}";
+  try_compile(deep);
+}

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "msc/frontend/parser.hpp"
+
+using namespace msc;
+using namespace msc::frontend;
+
+namespace {
+
+/// Parse a program whose main consists of `body`, return main's dump.
+std::string main_dump(const std::string& body) {
+  auto prog = parse_mimdc("int main() {" + body + "}");
+  return dump(*prog->find_func("main")->body);
+}
+
+/// Dump of a single expression statement.
+std::string expr_dump(const std::string& expr) {
+  return main_dump(expr + ";");
+}
+
+}  // namespace
+
+TEST(Parser, Precedence) {
+  EXPECT_EQ(expr_dump("1 + 2 * 3"), "(block (expr (+ 1 (* 2 3))))");
+  EXPECT_EQ(expr_dump("(1 + 2) * 3"), "(block (expr (* (+ 1 2) 3)))");
+  EXPECT_EQ(expr_dump("1 < 2 == 3 < 4"), "(block (expr (== (< 1 2) (< 3 4))))");
+  EXPECT_EQ(expr_dump("1 | 2 ^ 3 & 4"), "(block (expr (| 1 (^ 2 (& 3 4)))))");
+  EXPECT_EQ(expr_dump("1 && 2 || 3"), "(block (expr (|| (&& 1 2) 3)))");
+  EXPECT_EQ(expr_dump("1 << 2 + 3"), "(block (expr (<< 1 (+ 2 3))))");
+}
+
+TEST(Parser, Associativity) {
+  EXPECT_EQ(expr_dump("10 - 2 - 3"), "(block (expr (- (- 10 2) 3)))");
+  EXPECT_EQ(expr_dump("100 / 10 / 2"), "(block (expr (/ (/ 100 10) 2)))");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(expr_dump("-1 + !2"), "(block (expr (+ (- 1) (! 2))))");
+  EXPECT_EQ(expr_dump("~-3"), "(block (expr (~ (- 3))))");
+  EXPECT_EQ(expr_dump("- - 5"), "(block (expr (- (- 5))))");
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  EXPECT_EQ(main_dump("int a; int b; a = b = 3;"),
+            "(block (decl poly int a) (decl poly int b) (expr (= a (= b 3))))");
+}
+
+TEST(Parser, AssignToNonLvalueRejected) {
+  EXPECT_THROW(parse_mimdc("int main() { 1 = 2; }"), CompileError);
+  EXPECT_THROW(parse_mimdc("int main() { procid() = 2; }"), CompileError);
+}
+
+TEST(Parser, Subscripts) {
+  EXPECT_EQ(main_dump("int a[4]; a[1] = a[2];"),
+            "(block (decl poly int a[4]) (expr (= (index a 1) (index a 2))))");
+}
+
+TEST(Parser, ParallelSubscript) {
+  EXPECT_EQ(main_dump("int y; y[[3]];"),
+            "(block (decl poly int y) (expr (par y 3)))");
+  // Element of an array on another PE: a[1][[p]].
+  EXPECT_EQ(main_dump("int a[4]; a[1][[2]];"),
+            "(block (decl poly int a[4]) (expr (par (index a 1) 2)))");
+  // Nested normal subscripts must still close properly: a[b[1]].
+  EXPECT_EQ(main_dump("int a[4]; int b[4]; a[b[1]];"),
+            "(block (decl poly int a[4]) (decl poly int b[4]) "
+            "(expr (index a (index b 1))))");
+}
+
+TEST(Parser, ControlFlow) {
+  EXPECT_EQ(main_dump("if (1) { 2; } else 3;"),
+            "(block (if 1 (block (expr 2)) (expr 3)))");
+  EXPECT_EQ(main_dump("while (1) 2;"), "(block (while 1 (expr 2)))");
+  EXPECT_EQ(main_dump("do 2; while (1);"), "(block (do (expr 2) 1))");
+  EXPECT_EQ(main_dump("int i; for (i = 0; i < 3; i = i + 1) ;"),
+            "(block (decl poly int i) (for (= i 0) (< i 3) (= i (+ i 1)) ()))");
+  EXPECT_EQ(main_dump("for (;;) halt;"), "(block (for () () () (halt)))");
+}
+
+TEST(Parser, DanglingElseBindsToInner) {
+  EXPECT_EQ(main_dump("if (1) if (2) 3; else 4;"),
+            "(block (if 1 (if 2 (expr 3) (expr 4))))");
+}
+
+TEST(Parser, ParallelConstructs) {
+  EXPECT_EQ(main_dump("wait;"), "(block (wait))");
+  EXPECT_EQ(main_dump("spawn { return 1; }"),
+            "(block (spawn (block (return 1))))");
+  EXPECT_EQ(main_dump("halt;"), "(block (halt))");
+  EXPECT_EQ(expr_dump("procid() + nprocs()"),
+            "(block (expr (+ (procid) (nprocs))))");
+}
+
+TEST(Parser, Calls) {
+  auto prog = parse_mimdc("int f(int a, float b) { return a; }"
+                          "int main() { return f(1, 2.5); }");
+  EXPECT_EQ(prog->funcs.size(), 2u);
+  const FuncDecl* f = prog->find_func("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->params.size(), 2u);
+  EXPECT_EQ(f->params[1]->ty, Ty::Float);
+  EXPECT_EQ(dump(*prog->find_func("main")->body),
+            "(block (return (call f 1 2.500)))");
+}
+
+TEST(Parser, GlobalQualifiers) {
+  auto prog = parse_mimdc("mono int m; poly int p; int d; int main() { return 0; }");
+  EXPECT_EQ(prog->find_global("m")->qual, Qual::Mono);
+  EXPECT_EQ(prog->find_global("p")->qual, Qual::Poly);
+  // Top-level default is mono (shared), like a C global.
+  EXPECT_EQ(prog->find_global("d")->qual, Qual::Mono);
+}
+
+TEST(Parser, LocalMonoRejected) {
+  EXPECT_THROW(parse_mimdc("int main() { mono int m; }"), CompileError);
+}
+
+TEST(Parser, ArrayDeclarations) {
+  auto prog = parse_mimdc("poly int a[8]; int main() { return 0; }");
+  EXPECT_EQ(prog->find_global("a")->array_size, 8);
+  EXPECT_THROW(parse_mimdc("poly int a[0]; int main() { return 0; }"),
+               CompileError);
+  EXPECT_THROW(parse_mimdc("int main() { int a[4] = 3; }"), CompileError);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse_mimdc("int main() { 1 + ; }"), CompileError);
+  EXPECT_THROW(parse_mimdc("int main() { if 1) {} }"), CompileError);
+  EXPECT_THROW(parse_mimdc("int main() { return 1 }"), CompileError);
+  EXPECT_THROW(parse_mimdc("int main( { }"), CompileError);
+  EXPECT_THROW(parse_mimdc("void 3() {}"), CompileError);
+  EXPECT_THROW(parse_mimdc("mono int f() { }"), CompileError);
+  EXPECT_THROW(parse_mimdc("void x; int main() { return 0; }"), CompileError);
+}
+
+TEST(Parser, EmptyStatementsAndBlocks) {
+  EXPECT_EQ(main_dump(";;{}"), "(block () () (block))");
+}
+
+TEST(Parser, FunctionWithVoidParamList) {
+  auto prog = parse_mimdc("int g(void) { return 1; } int main() { return g(); }");
+  EXPECT_TRUE(prog->find_func("g")->params.empty());
+}

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "msc/core/profile.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+using namespace msc::core;
+
+namespace {
+ir::CostModel kCost;
+}
+
+TEST(Profile, Listing1BaseShape) {
+  auto conv = core::meta_state_convert(
+      driver::compile(workload::listing1().source).graph, kCost, {});
+  AutomatonProfile p = profile(conv.automaton);
+  EXPECT_EQ(p.states, 8u);
+  EXPECT_EQ(p.arcs, conv.automaton.num_arcs());
+  EXPECT_EQ(p.terminal_states, 1u);
+  EXPECT_EQ(p.unconditional_states, 0u);
+  EXPECT_EQ(p.max_width, 3u);
+  // Fig. 2 widths: four singletons, three pairs, one triple.
+  EXPECT_EQ(p.width_histogram.at(1), 4u);
+  EXPECT_EQ(p.width_histogram.at(2), 3u);
+  EXPECT_EQ(p.width_histogram.at(3), 1u);
+  // 3^1 successors from the start; loop states also branch 3 ways.
+  EXPECT_EQ(p.max_out_degree, 5u);  // {B;C,D;E}: 5 distinct aggregates
+  // Every MIMD state except A appears in 4 meta states, A in 1.
+  std::size_t ones = 0, fours = 0;
+  for (std::size_t r : p.replication) (r == 1 ? ones : fours) += 1;
+  EXPECT_EQ(ones, 1u);
+  EXPECT_EQ(fours, 3u);
+  EXPECT_GT(p.mean_replication(), 1.0);
+}
+
+TEST(Profile, CompressedShape) {
+  core::ConvertOptions opts;
+  opts.compress = true;
+  auto conv = core::meta_state_convert(
+      driver::compile(workload::listing1().source).graph, kCost, opts);
+  AutomatonProfile p = profile(conv.automaton);
+  EXPECT_EQ(p.states, 2u);
+  EXPECT_EQ(p.unconditional_states, 2u);
+  EXPECT_EQ(p.terminal_states, 0u);
+  EXPECT_EQ(p.max_out_degree, 0u);  // no keyed arcs at all
+}
+
+TEST(Profile, BarrierStatesCounted) {
+  core::ConvertOptions opts;
+  opts.barrier_mode = BarrierMode::PaperPrune;
+  auto conv = core::meta_state_convert(
+      driver::compile(workload::listing3().source).graph, kCost, opts);
+  AutomatonProfile p = profile(conv.automaton);
+  EXPECT_EQ(p.all_barrier_states, 1u);
+}
+
+TEST(Profile, TextReportContainsEverything) {
+  auto conv = core::meta_state_convert(
+      driver::compile(workload::listing1().source).graph, kCost, {});
+  std::string text = profile(conv.automaton).to_string();
+  EXPECT_NE(text.find("states            8"), std::string::npos) << text;
+  EXPECT_NE(text.find("width histogram"), std::string::npos);
+  EXPECT_NE(text.find("degree histogram"), std::string::npos);
+}

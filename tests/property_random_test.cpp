@@ -1,0 +1,86 @@
+// Property sweep: for randomly generated, always-terminating SPMD programs,
+// the SIMD execution of the converted automaton must match the MIMD oracle
+// in every conversion mode, and the automaton must be structurally closed
+// (DESIGN.md invariants 1–3).
+#include <gtest/gtest.h>
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/interp/machine.hpp"
+#include "msc/workload/generator.hpp"
+
+using namespace msc;
+
+namespace {
+
+class RandomProgramTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgramTest, AllModesMatchOracle) {
+  workload::GenOptions gen;
+  gen.stmts = 5;
+  gen.max_depth = 2;
+  std::string source = workload::generate_program(GetParam(), gen);
+  SCOPED_TRACE(source);
+
+  driver::Compiled compiled;
+  ASSERT_NO_THROW(compiled = driver::compile(source));
+  ASSERT_TRUE(compiled.graph.validate().empty()) << compiled.graph.dump();
+
+  mimd::RunConfig config;
+  config.nprocs = 6;
+  ir::CostModel cost;
+  auto oracle = driver::run_oracle(compiled, config, GetParam() * 13 + 1);
+
+  bool single_barrier = compiled.graph.barrier_states().count() <= 1;
+  int configs_run = 0;
+  for (bool compress : {false, true}) {
+    for (auto mode :
+         {core::BarrierMode::TrackOccupancy, core::BarrierMode::PaperPrune}) {
+      if (compress && mode == core::BarrierMode::PaperPrune) continue;
+      if (mode == core::BarrierMode::PaperPrune && !single_barrier)
+        continue;  // the paper's rule is only sound for one barrier state
+      core::ConvertOptions opts;
+      opts.compress = compress;
+      opts.barrier_mode = mode;
+      opts.max_meta_states = 60000;
+      core::ConvertResult conversion;
+      try {
+        conversion = core::meta_state_convert(compiled.graph, cost, opts);
+      } catch (const core::ExplosionError&) {
+        continue;  // base-mode explosion is a measured phenomenon, not a bug
+      }
+      ASSERT_TRUE(conversion.automaton.validate(conversion.graph).empty())
+          << conversion.automaton.dump();
+
+      simd::SimdStats stats;
+      auto simd = driver::run_simd(compiled, conversion, config,
+                                   GetParam() * 13 + 1, cost, {}, &stats);
+      EXPECT_TRUE(oracle == simd)
+          << "compress=" << compress << " prune="
+          << (mode == core::BarrierMode::PaperPrune) << "\noracle: "
+          << oracle.to_string() << "\nsimd:   " << simd.to_string();
+      if (mode == core::BarrierMode::TrackOccupancy && !compress) {
+        // Invariant 2 (closure): occupancy-tracked base automata never need
+        // a rescue transition.
+        EXPECT_EQ(stats.rescue_transitions, 0);
+      }
+      ++configs_run;
+    }
+  }
+  EXPECT_GE(configs_run, 1) << "every mode exploded";
+
+  // The §1.1 interpreter must agree with the oracle as well.
+  interp::InterpMachine interp(compiled.graph, cost, config);
+  driver::seed_machine(interp, compiled, config, GetParam() * 13 + 1);
+  interp.run();
+  for (std::int64_t p = 0; p < config.nprocs; ++p) {
+    if (!oracle.ran[static_cast<std::size_t>(p)]) continue;
+    EXPECT_EQ(interp.peek(p, frontend::Layout::kResultAddr),
+              oracle.results[static_cast<std::size_t>(p)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "msc/frontend/parser.hpp"
+#include "msc/frontend/sema.hpp"
+
+using namespace msc;
+using namespace msc::frontend;
+
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Program> program;
+  Layout layout;
+  Diagnostics diags;
+};
+
+Analyzed analyze_src(const std::string& src) {
+  Analyzed a;
+  a.program = parse_mimdc(src);
+  a.layout = analyze(*a.program, a.diags);
+  return a;
+}
+
+void expect_rejected(const std::string& src, const std::string& needle) {
+  try {
+    analyze_src(src);
+    FAIL() << "expected rejection: " << needle << "\n" << src;
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+
+TEST(Sema, RequiresMain) {
+  expect_rejected("int f() { return 1; }", "no main");
+  expect_rejected("float main() { return 1.0; }", "main must return int");
+  expect_rejected("int main(int a) { return a; }", "no parameters");
+}
+
+TEST(Sema, UndeclaredVariable) {
+  expect_rejected("int main() { return zz; }", "undeclared variable 'zz'");
+}
+
+TEST(Sema, Redeclaration) {
+  expect_rejected("int main() { int a; int a; }", "redeclaration");
+  expect_rejected("poly int g; poly float g; int main() { return 0; }",
+                  "redeclaration");
+  expect_rejected("int f() { return 1; } int f() { return 2; } "
+                  "int main() { return 0; }",
+                  "redefinition");
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  auto a = analyze_src("int main() { int a; a = 1; { int a; a = 2; } return a; }");
+  EXPECT_FALSE(a.diags.has_errors());
+}
+
+TEST(Sema, TypeRules) {
+  expect_rejected("int main() { float f; return f % 2; }", "must be int");
+  expect_rejected("int main() { float f; return f & 1; }", "must be int");
+  expect_rejected("int main() { float f; return ~f; }", "must be int");
+  expect_rejected("int main() { int a[3]; return a[1.5]; }", "must be int");
+  // int/float mix is fine in arithmetic and assignment (implicit casts).
+  auto ok = analyze_src("int main() { float f; f = 1; int i; i = f + 2; return i; }");
+  EXPECT_FALSE(ok.diags.has_errors());
+}
+
+TEST(Sema, ArrayRules) {
+  expect_rejected("int main() { int s; return s[0]; }", "not an array");
+  expect_rejected("int main() { int a[3]; int b[3]; a = b; return 0; }",
+                  "whole array");
+  expect_rejected("int main() { int a[3]; return a + 1; }", "whole array");
+}
+
+TEST(Sema, ParallelSubscriptRules) {
+  // mono base is rejected: a parallel subscript names another PE's copy.
+  expect_rejected("mono int m; int main() { return m[[1]]; }",
+                  "requires a poly variable");
+  expect_rejected("int main() { int a[3]; return a[[1]]; }",
+                  "needs an element");
+  auto ok = analyze_src("int main() { int y; int a[2]; return y[[0]] + a[1][[2]]; }");
+  EXPECT_FALSE(ok.diags.has_errors());
+}
+
+TEST(Sema, CallChecking) {
+  expect_rejected("int main() { return g(); }", "undeclared function");
+  expect_rejected("int f(int a) { return a; } int main() { return f(); }",
+                  "expects 1 argument");
+  expect_rejected("void v() { return 3; } int main() { v(); return 0; }",
+                  "void function cannot return a value");
+  expect_rejected("int f() { return; } int main() { return f(); }",
+                  "must return a value");
+}
+
+TEST(Sema, PolyToMonoStoreWarns) {
+  auto a = analyze_src("mono int m; int main() { m = procid(); return m; }");
+  EXPECT_FALSE(a.diags.has_errors());
+  ASSERT_FALSE(a.diags.messages().empty());
+  EXPECT_NE(a.diags.messages()[0].find("broadcasts"), std::string::npos);
+}
+
+TEST(Sema, PolyPropagation) {
+  auto a = analyze_src(
+      "mono int m; poly int p; int main() { return m + p; }");
+  const auto* ret = static_cast<const ReturnStmt*>(
+      a.program->find_func("main")->body->stmts[0].get());
+  EXPECT_TRUE(ret->value->poly);  // mono + poly → poly
+  auto b = analyze_src("mono int m; int main() { return m + nprocs(); }");
+  const auto* ret2 = static_cast<const ReturnStmt*>(
+      b.program->find_func("main")->body->stmts[0].get());
+  EXPECT_FALSE(ret2->value->poly);  // all-mono expression stays mono
+}
+
+TEST(Sema, LayoutSeparatesSegments) {
+  auto a = analyze_src(
+      "mono int m1; mono int m2[4]; poly int p1; poly float p2[3];"
+      "int main() { return 0; }");
+  const auto* m1 = a.layout.find("m1");
+  const auto* m2 = a.layout.find("m2");
+  const auto* p1 = a.layout.find("p1");
+  const auto* p2 = a.layout.find("p2");
+  ASSERT_TRUE(m1 && m2 && p1 && p2);
+  EXPECT_EQ(m1->storage, Storage::MonoStatic);
+  EXPECT_EQ(m1->addr, 0);
+  EXPECT_EQ(m2->addr, 1);
+  EXPECT_EQ(m2->size, 4);
+  EXPECT_EQ(a.layout.mono_size, 5);
+  EXPECT_EQ(p1->storage, Storage::PolyStatic);
+  EXPECT_EQ(p1->addr, Layout::kFirstStatic);
+  EXPECT_EQ(p2->addr, Layout::kFirstStatic + 1);
+  EXPECT_GE(a.layout.frame_stack_base, p2->addr + 3);
+}
+
+TEST(Sema, RecursionDetection) {
+  auto direct = analyze_src(
+      "int f(int n) { if (n) { return f(n - 1); } return 0; }"
+      "int main() { return f(3); }");
+  EXPECT_TRUE(direct.program->find_func("f")->recursive);
+  // A function that merely calls another is not recursive.
+  auto plain = analyze_src(
+      "int leaf(int n) { return n + 1; }"
+      "int caller(int n) { return leaf(n) + leaf(n + 1); }"
+      "int main() { return caller(1); }");
+  EXPECT_FALSE(plain.program->find_func("leaf")->recursive);
+  EXPECT_FALSE(plain.program->find_func("caller")->recursive);
+}
+
+TEST(Sema, MutualRecursionViaSCC) {
+  // f and g call each other; h is plain. Parse order: callee after caller
+  // is fine because sema resolves against the whole program.
+  auto a = analyze_src(
+      "int f(int n) { return g(n - 1); }"
+      "int g(int n) { if (n > 0) { return f(n); } return 0; }"
+      "int h(int n) { return n + 1; }"
+      "int main() { return f(3) + h(1); }");
+  EXPECT_TRUE(a.program->find_func("f")->recursive);
+  EXPECT_TRUE(a.program->find_func("g")->recursive);
+  EXPECT_FALSE(a.program->find_func("h")->recursive);
+}
+
+TEST(Sema, RecursiveFramesLayout) {
+  auto a = analyze_src(
+      "int f(int n, int m) { int local; local = n + m; "
+      "if (n) { return f(n - 1, m); } return local; }"
+      "int main() { return f(2, 3); }");
+  const FuncDecl* f = a.program->find_func("f");
+  ASSERT_TRUE(f->recursive);
+  // Frame: [saved FP, ret-site id, n, m, local].
+  EXPECT_EQ(f->frame_size, 5);
+  EXPECT_EQ(f->params[0]->storage, Storage::Frame);
+  EXPECT_EQ(f->params[0]->addr, 2);
+  EXPECT_EQ(f->params[1]->addr, 3);
+  ASSERT_EQ(f->frame_vars.size(), 3u);
+  EXPECT_EQ(f->frame_vars[2]->name, "local");
+  EXPECT_EQ(f->frame_vars[2]->addr, 4);
+  EXPECT_GE(f->retval_addr, Layout::kFirstStatic);
+}
+
+TEST(Sema, NonRecursiveLocalsAreStatic) {
+  auto a = analyze_src(
+      "int f(int n) { int t; t = n * 2; return t; }"
+      "int main() { return f(4); }");
+  const FuncDecl* f = a.program->find_func("f");
+  EXPECT_FALSE(f->recursive);
+  EXPECT_EQ(f->params[0]->storage, Storage::PolyStatic);
+  EXPECT_EQ(f->frame_size, 0);
+}

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "msc/core/serialize.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+using namespace msc::core;
+
+namespace {
+
+ir::CostModel kCost;
+
+Module module_of(const std::string& src, ConvertOptions opts = {}) {
+  auto compiled = driver::compile(src);
+  auto conv = meta_state_convert(compiled.graph, kCost, opts);
+  return Module{std::move(conv.graph), std::move(conv.automaton)};
+}
+
+}  // namespace
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  for (const auto& k : workload::suite()) {
+    for (bool compress : {false, true}) {
+      ConvertOptions opts;
+      opts.compress = compress;
+      Module a = module_of(k.source, opts);
+      Module b = deserialize(serialize(a));
+      // Graph identical.
+      EXPECT_EQ(a.graph.dump(), b.graph.dump()) << k.name;
+      // Automaton identical.
+      EXPECT_EQ(a.automaton.dump(), b.automaton.dump()) << k.name;
+      EXPECT_EQ(serialize(a), serialize(b)) << k.name;
+    }
+  }
+}
+
+TEST(Serialize, ReloadedModuleExecutesIdentically) {
+  const auto& k = workload::listing1();
+  auto compiled = driver::compile(k.source);
+  auto conv = meta_state_convert(compiled.graph, kCost, {});
+  Module reloaded =
+      deserialize(serialize(Module{conv.graph, conv.automaton}));
+
+  auto prog = codegen::generate(reloaded.automaton, reloaded.graph, kCost, {});
+  mimd::RunConfig cfg;
+  cfg.nprocs = 8;
+  simd::SimdMachine m(prog, kCost, cfg);
+  driver::seed_machine(m, compiled, cfg, 3);
+  m.run();
+  auto oracle = driver::run_oracle(compiled, cfg, 3);
+  for (std::int64_t p = 0; p < cfg.nprocs; ++p)
+    EXPECT_EQ(m.peek(p, frontend::Layout::kResultAddr),
+              oracle.results[static_cast<std::size_t>(p)]);
+}
+
+TEST(Serialize, FloatPayloadsAreBitExact) {
+  Module a = module_of(workload::kernel("floatmix").source);
+  Module b = deserialize(serialize(a));
+  for (const auto& blk : a.graph.blocks)
+    for (std::size_t i = 0; i < blk.body.size(); ++i)
+      EXPECT_EQ(blk.body[i], b.graph.at(blk.id).body[i]);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  Module good = module_of(workload::listing1().source);
+  std::string text = serialize(good);
+
+  EXPECT_THROW(deserialize(""), std::runtime_error);
+  EXPECT_THROW(deserialize("bogus 1\n"), std::runtime_error);
+  EXPECT_THROW(deserialize("mscmod 99\n"), std::runtime_error);
+  // Truncated (no 'end').
+  EXPECT_THROW(deserialize(text.substr(0, text.size() / 2)), std::runtime_error);
+  // Corrupt a block record's exit kind.
+  std::string bad = text;
+  auto pos = bad.find("\nblock ");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos + 1, 5, "blork");
+  EXPECT_THROW(deserialize(bad), std::runtime_error);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  Module a = module_of(workload::listing1().source);
+  std::string text = "# cached conversion\n\n" + serialize(a) + "\n# trailer\n";
+  Module b = deserialize(text);
+  EXPECT_EQ(a.automaton.dump(), b.automaton.dump());
+}

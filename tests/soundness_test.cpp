@@ -1,0 +1,193 @@
+// Deeper soundness properties from DESIGN.md:
+//  - invariant 4 (compression soundness): every base-reachable occupancy is
+//    contained in some compressed meta state;
+//  - the multi-barrier analysis behind the two §2.6 modes: TrackOccupancy
+//    stays exact when two distinct barrier states are occupied at once,
+//    where the paper's pruning rule needs its rescue path;
+//  - machine-level fault behaviour (recursion overflowing the frame stack).
+#include <gtest/gtest.h>
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/workload/generator.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+using namespace msc::core;
+
+namespace {
+
+ir::CostModel kCost;
+
+/// A program where PEs wait at *different* textual barriers concurrently:
+/// the unsound corner of the paper's §2.6 pruning rule.
+const char* kTwoBarrierSource = R"(poly int x;
+int main() {
+  poly int r;
+  poly int i;
+  if (x & 1) {
+    r = 10;
+    wait;          // barrier state W1 — reached quickly
+    r += 1;
+  } else {
+    r = 20;
+    i = (x % 3) + 1;
+    do { r += 5; i--; } while (i > 0);   // stagger the W2 arrivals
+    wait;          // barrier state W2
+    r += 2;
+  }
+  return r + x;
+}
+)";
+
+}  // namespace
+
+TEST(CompressionSoundness, BaseOccupanciesContainedInCompressedStates) {
+  for (const auto& k : workload::suite()) {
+    auto compiled = driver::compile(k.source);
+    ConvertOptions base_opts;
+    base_opts.max_meta_states = 100000;
+    ConvertResult base;
+    try {
+      base = meta_state_convert(compiled.graph, kCost, base_opts);
+    } catch (const ExplosionError&) {
+      continue;
+    }
+    ConvertOptions copts;
+    copts.compress = true;
+    auto comp = meta_state_convert(compiled.graph, kCost, copts);
+    // Invariant 4: each base meta state's members (an exact reachable
+    // occupancy) must be ⊆ the members of some compressed state.
+    for (const MetaState& bs : base.automaton.states) {
+      bool covered = false;
+      for (const MetaState& cs : comp.automaton.states)
+        covered |= bs.members.is_subset_of(cs.members);
+      EXPECT_TRUE(covered) << k.name << ": occupancy "
+                           << bs.members.to_string()
+                           << " not covered by any compressed state\n"
+                           << comp.automaton.dump();
+    }
+  }
+}
+
+TEST(MultiBarrier, GraphHasTwoDistinctBarrierStates) {
+  auto compiled = driver::compile(kTwoBarrierSource);
+  EXPECT_EQ(compiled.graph.barrier_states().count(), 2u)
+      << compiled.graph.dump();
+}
+
+TEST(MultiBarrier, TrackOccupancyIsExactWithoutRescues) {
+  auto compiled = driver::compile(kTwoBarrierSource);
+  ConvertOptions opts;
+  opts.barrier_mode = BarrierMode::TrackOccupancy;
+  auto conv = meta_state_convert(compiled.graph, kCost, opts);
+  mimd::RunConfig cfg;
+  cfg.nprocs = 8;
+  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    simd::SimdStats stats;
+    auto oracle = driver::run_oracle(compiled, cfg, seed);
+    auto simd = driver::run_simd(compiled, conv, cfg, seed, kCost, {}, &stats);
+    EXPECT_TRUE(oracle == simd) << "seed " << seed;
+    EXPECT_EQ(stats.rescue_transitions, 0);
+  }
+}
+
+TEST(MultiBarrier, PaperPruneStaysCorrectViaRescue) {
+  // The paper's rule merges the two waiting populations out of the key;
+  // when both barrier states are occupied the hashed switch has no entry
+  // and the executor resolves through the member index. Results must
+  // still match the oracle — and at least one run must actually need the
+  // rescue, demonstrating why TrackOccupancy is the default.
+  auto compiled = driver::compile(kTwoBarrierSource);
+  ConvertOptions opts;
+  opts.barrier_mode = BarrierMode::PaperPrune;
+  auto conv = meta_state_convert(compiled.graph, kCost, opts);
+  mimd::RunConfig cfg;
+  cfg.nprocs = 8;
+  std::int64_t rescues = 0;
+  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    simd::SimdStats stats;
+    auto oracle = driver::run_oracle(compiled, cfg, seed);
+    auto simd = driver::run_simd(compiled, conv, cfg, seed, kCost, {}, &stats);
+    EXPECT_TRUE(oracle == simd) << "seed " << seed;
+    rescues += stats.rescue_transitions;
+  }
+  EXPECT_GT(rescues, 0);
+}
+
+TEST(MultiBarrier, CompressedHandlesBothBarriers) {
+  auto compiled = driver::compile(kTwoBarrierSource);
+  ConvertOptions opts;
+  opts.compress = true;
+  auto conv = meta_state_convert(compiled.graph, kCost, opts);
+  mimd::RunConfig cfg;
+  cfg.nprocs = 8;
+  auto oracle = driver::run_oracle(compiled, cfg, 3);
+  auto simd = driver::run_simd(compiled, conv, cfg, 3, kCost);
+  EXPECT_TRUE(oracle == simd);
+}
+
+TEST(Faults, DeepRecursionOverflowsFrameStack) {
+  // f recurses `x` deep with a sizeable frame; a tiny local memory must
+  // fault cleanly rather than corrupt memory.
+  const char* src = R"(poly int x;
+int f(int n) {
+  int a; int b; int c; int d;
+  a = n; b = n; c = n; d = n;
+  if (n <= 0) { return a; }
+  return f(n - 1) + b + c + d;
+}
+int main() { return f(x); }
+)";
+  auto compiled = driver::compile(src);
+  mimd::RunConfig cfg;
+  cfg.nprocs = 1;
+  cfg.local_mem_cells = 64;  // room for only a few frames
+  mimd::MimdMachine m(compiled.graph, kCost, cfg);
+  const auto* slot = compiled.layout.find("x");
+  m.poke(0, slot->addr, Value::of_int(1000));
+  EXPECT_THROW(m.run(), ir::MachineFault);
+}
+
+TEST(Faults, ModerateRecursionFitsAndMatches) {
+  const char* src = R"(poly int x;
+int f(int n) {
+  if (n <= 0) { return 0; }
+  return f(n - 1) + n;
+}
+int main() { return f(x % 10); }
+)";
+  auto compiled = driver::compile(src);
+  auto conv = meta_state_convert(compiled.graph, kCost, {});
+  mimd::RunConfig cfg;
+  cfg.nprocs = 6;
+  auto oracle = driver::run_oracle(compiled, cfg, 2);
+  auto simd = driver::run_simd(compiled, conv, cfg, 2, kCost);
+  EXPECT_TRUE(oracle == simd);
+  // Triangular numbers of x%10.
+  for (std::size_t p = 0; p < 6; ++p) {
+    std::int64_t x = driver::seed_input(2, static_cast<std::int64_t>(p)) % 10;
+    EXPECT_EQ(oracle.results[p].i, x * (x + 1) / 2);
+  }
+}
+
+TEST(RandomPrograms, WithNewSyntaxStillEquivalent) {
+  // The generator now emits compound assignment, ++/--, and guarded break.
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    workload::GenOptions gen;
+    gen.stmts = 6;
+    gen.max_depth = 3;
+    std::string source = workload::generate_program(seed, gen);
+    SCOPED_TRACE(source);
+    auto compiled = driver::compile(source);
+    ConvertOptions opts;
+    opts.compress = true;  // compression never explodes
+    auto conv = meta_state_convert(compiled.graph, kCost, opts);
+    mimd::RunConfig cfg;
+    cfg.nprocs = 5;
+    auto oracle = driver::run_oracle(compiled, cfg, seed);
+    auto simd = driver::run_simd(compiled, conv, cfg, seed, kCost);
+    EXPECT_TRUE(oracle == simd)
+        << "oracle: " << oracle.to_string() << "\nsimd: " << simd.to_string();
+  }
+}

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "msc/support/bitset.hpp"
+#include "msc/support/diag.hpp"
+#include "msc/support/dot.hpp"
+#include "msc/support/rng.hpp"
+#include "msc/support/str.hpp"
+#include "msc/support/value.hpp"
+
+using namespace msc;
+
+// ---------------------------------------------------------------- DynBitset
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.first(), DynBitset::npos);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(1000));
+}
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset b(10);
+  b.set(3);
+  b.set(9);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_TRUE(b.test(9));
+  EXPECT_FALSE(b.test(4));
+  EXPECT_EQ(b.count(), 2u);
+  b.reset(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynBitset, GrowsOnSet) {
+  DynBitset b;
+  b.set(200);
+  EXPECT_TRUE(b.test(200));
+  EXPECT_GE(b.size(), 201u);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynBitset, IterationAcrossWords) {
+  DynBitset b;
+  std::vector<std::size_t> want = {0, 1, 63, 64, 65, 127, 128, 300};
+  for (std::size_t i : want) b.set(i);
+  EXPECT_EQ(b.to_vector(), want);
+}
+
+TEST(DynBitset, SetAlgebra) {
+  auto a = DynBitset::of({1, 2, 3});
+  auto b = DynBitset::of({3, 4});
+  EXPECT_EQ((a | b).to_vector(), (std::vector<std::size_t>{1, 2, 3, 4}));
+  EXPECT_EQ((a & b).to_vector(), (std::vector<std::size_t>{3}));
+  EXPECT_EQ((a - b).to_vector(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE((a - a).empty());
+}
+
+TEST(DynBitset, AlgebraWithDifferentCapacities) {
+  auto small = DynBitset::of({2});
+  auto big = DynBitset::of({2, 500});
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.intersects(big));
+  EXPECT_EQ((big - small).to_vector(), (std::vector<std::size_t>{500}));
+  // Difference never grows the left side's membership.
+  EXPECT_EQ((small - big).count(), 0u);
+}
+
+TEST(DynBitset, EqualityIgnoresCapacity) {
+  DynBitset a(10), b(1000);
+  a.set(5);
+  b.set(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(700);
+  EXPECT_NE(a, b);
+}
+
+TEST(DynBitset, OrderingMatchesNumericValue) {
+  EXPECT_LT(DynBitset::of({0}), DynBitset::of({1}));
+  EXPECT_LT(DynBitset::of({1}), DynBitset::of({0, 1}));
+  EXPECT_LT(DynBitset::of({0, 1}), DynBitset::of({2}));
+  EXPECT_LT(DynBitset::of({63}), DynBitset::of({64}));
+  EXPECT_FALSE(DynBitset::of({2}) < DynBitset::of({2}));
+  // Usable as a std::map key.
+  std::map<DynBitset, int> m;
+  m[DynBitset::of({1, 2})] = 1;
+  m[DynBitset::of({3})] = 2;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(DynBitset::of({1, 2})), 1);
+}
+
+TEST(DynBitset, HashUsableInUnorderedSet) {
+  std::unordered_set<DynBitset, DynBitsetHash> set;
+  set.insert(DynBitset::of({1}));
+  set.insert(DynBitset::of({1}));
+  set.insert(DynBitset::of({2, 64}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DynBitset, ToString) {
+  EXPECT_EQ(DynBitset::of({2, 6, 9}).to_string(), "{2,6,9}");
+  EXPECT_EQ(DynBitset().to_string(), "{}");
+}
+
+TEST(DynBitset, Fold64StableAcrossCapacity) {
+  auto a = DynBitset::of({3, 70});
+  DynBitset b(4096);
+  b.set(3);
+  b.set(70);
+  EXPECT_EQ(a.fold64(), b.fold64());
+  EXPECT_NE(a.fold64(), 0u);
+}
+
+// -------------------------------------------------------------------- Value
+
+TEST(Value, TaggedEquality) {
+  EXPECT_EQ(Value::of_int(3), Value::of_int(3));
+  EXPECT_NE(Value::of_int(3), Value::of_float(3.0));  // tag matters
+  EXPECT_NE(Value::of_int(3), Value::of_int(4));
+  EXPECT_EQ(Value::of_float(0.5), Value::of_float(0.5));
+}
+
+TEST(Value, Conversions) {
+  EXPECT_EQ(Value::of_float(2.9).as_int(), 2);  // C truncation
+  EXPECT_EQ(Value::of_int(-7).as_double(), -7.0);
+  EXPECT_TRUE(Value::of_float(0.1).truthy());
+  EXPECT_FALSE(Value::of_float(0.0).truthy());
+  EXPECT_FALSE(Value::of_int(0).truthy());
+}
+
+TEST(Value, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.i, 0);
+}
+
+// ---------------------------------------------------------------------- str
+
+TEST(Str, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Str, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.5, 2), "1.50");
+  EXPECT_EQ(fmt_double(-0.125, 3), "-0.125");
+}
+
+TEST(Str, Cat) { EXPECT_EQ(cat("x=", 42, ", y=", 1.5), "x=42, y=1.5"); }
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.next_range(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+// --------------------------------------------------------------------- diag
+
+TEST(Diag, CompileErrorCarriesLocation) {
+  CompileError err({4, 7}, "bad thing");
+  EXPECT_EQ(std::string(err.what()), "4:7: bad thing");
+  EXPECT_EQ(err.loc().line, 4u);
+}
+
+TEST(Diag, DiagnosticsCollect) {
+  Diagnostics d;
+  EXPECT_FALSE(d.has_errors());
+  d.warn({1, 1}, "w");
+  EXPECT_FALSE(d.has_errors());
+  d.error({2, 2}, "e");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_NE(d.joined().find("warning: 1:1: w"), std::string::npos);
+  EXPECT_NE(d.joined().find("error: 2:2: e"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------- dot
+
+TEST(Dot, EmitsNodesAndEdges) {
+  DotWriter w("g");
+  w.node("a", "A \"quoted\"\nline");
+  w.edge("a", "b", "lbl");
+  std::string out = w.finish();
+  EXPECT_NE(out.find("digraph g {"), std::string::npos);
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\"a\" -> \"b\" [label=\"lbl\"];"), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 2), "}\n");
+}
