@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_csi.dir/bench_csi.cpp.o"
+  "CMakeFiles/bench_csi.dir/bench_csi.cpp.o.d"
+  "bench_csi"
+  "bench_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interp_vs_msc.dir/bench_interp_vs_msc.cpp.o"
+  "CMakeFiles/bench_interp_vs_msc.dir/bench_interp_vs_msc.cpp.o.d"
+  "bench_interp_vs_msc"
+  "bench_interp_vs_msc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interp_vs_msc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spawn.dir/bench_spawn.cpp.o"
+  "CMakeFiles/bench_spawn.dir/bench_spawn.cpp.o.d"
+  "bench_spawn"
+  "bench_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_explosion.dir/bench_state_explosion.cpp.o"
+  "CMakeFiles/bench_state_explosion.dir/bench_state_explosion.cpp.o.d"
+  "bench_state_explosion"
+  "bench_state_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_split.dir/bench_time_split.cpp.o"
+  "CMakeFiles/bench_time_split.dir/bench_time_split.cpp.o.d"
+  "bench_time_split"
+  "bench_time_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_reduction.dir/barrier_reduction.cpp.o"
+  "CMakeFiles/barrier_reduction.dir/barrier_reduction.cpp.o.d"
+  "barrier_reduction"
+  "barrier_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

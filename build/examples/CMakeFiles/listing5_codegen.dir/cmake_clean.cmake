@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing5_codegen.dir/listing5_codegen.cpp.o"
+  "CMakeFiles/listing5_codegen.dir/listing5_codegen.cpp.o.d"
+  "listing5_codegen"
+  "listing5_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing5_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/msc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/msc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/msc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/msc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/msc_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/msc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimd/CMakeFiles/msc_mimd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/msc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_pool.dir/spawn_pool.cpp.o"
+  "CMakeFiles/spawn_pool.dir/spawn_pool.cpp.o.d"
+  "spawn_pool"
+  "spawn_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

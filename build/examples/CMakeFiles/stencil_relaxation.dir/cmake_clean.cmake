@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_relaxation.dir/stencil_relaxation.cpp.o"
+  "CMakeFiles/stencil_relaxation.dir/stencil_relaxation.cpp.o.d"
+  "stencil_relaxation"
+  "stencil_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

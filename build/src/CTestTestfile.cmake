@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("ir")
+subdirs("mimd")
+subdirs("core")
+subdirs("hash")
+subdirs("csi")
+subdirs("codegen")
+subdirs("simd")
+subdirs("interp")
+subdirs("workload")
+subdirs("driver")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/emitter.cpp" "src/codegen/CMakeFiles/msc_codegen.dir/emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/msc_codegen.dir/emitter.cpp.o.d"
+  "/root/repo/src/codegen/generate.cpp" "src/codegen/CMakeFiles/msc_codegen.dir/generate.cpp.o" "gcc" "src/codegen/CMakeFiles/msc_codegen.dir/generate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/msc_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/msc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/msc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_codegen.dir/emitter.cpp.o"
+  "CMakeFiles/msc_codegen.dir/emitter.cpp.o.d"
+  "CMakeFiles/msc_codegen.dir/generate.cpp.o"
+  "CMakeFiles/msc_codegen.dir/generate.cpp.o.d"
+  "libmsc_codegen.a"
+  "libmsc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

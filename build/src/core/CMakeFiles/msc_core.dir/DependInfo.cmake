@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automaton.cpp" "src/core/CMakeFiles/msc_core.dir/automaton.cpp.o" "gcc" "src/core/CMakeFiles/msc_core.dir/automaton.cpp.o.d"
+  "/root/repo/src/core/convert.cpp" "src/core/CMakeFiles/msc_core.dir/convert.cpp.o" "gcc" "src/core/CMakeFiles/msc_core.dir/convert.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/msc_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/msc_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/msc_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/msc_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/straighten.cpp" "src/core/CMakeFiles/msc_core.dir/straighten.cpp.o" "gcc" "src/core/CMakeFiles/msc_core.dir/straighten.cpp.o.d"
+  "/root/repo/src/core/time_split.cpp" "src/core/CMakeFiles/msc_core.dir/time_split.cpp.o" "gcc" "src/core/CMakeFiles/msc_core.dir/time_split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/msc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_core.dir/automaton.cpp.o"
+  "CMakeFiles/msc_core.dir/automaton.cpp.o.d"
+  "CMakeFiles/msc_core.dir/convert.cpp.o"
+  "CMakeFiles/msc_core.dir/convert.cpp.o.d"
+  "CMakeFiles/msc_core.dir/profile.cpp.o"
+  "CMakeFiles/msc_core.dir/profile.cpp.o.d"
+  "CMakeFiles/msc_core.dir/serialize.cpp.o"
+  "CMakeFiles/msc_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/msc_core.dir/straighten.cpp.o"
+  "CMakeFiles/msc_core.dir/straighten.cpp.o.d"
+  "CMakeFiles/msc_core.dir/time_split.cpp.o"
+  "CMakeFiles/msc_core.dir/time_split.cpp.o.d"
+  "libmsc_core.a"
+  "libmsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

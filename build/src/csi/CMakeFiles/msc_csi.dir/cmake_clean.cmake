@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_csi.dir/csi.cpp.o"
+  "CMakeFiles/msc_csi.dir/csi.cpp.o.d"
+  "libmsc_csi.a"
+  "libmsc_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

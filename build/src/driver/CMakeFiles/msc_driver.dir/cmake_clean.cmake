@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/msc_driver.dir/pipeline.cpp.o.d"
+  "CMakeFiles/msc_driver.dir/runner.cpp.o"
+  "CMakeFiles/msc_driver.dir/runner.cpp.o.d"
+  "libmsc_driver.a"
+  "libmsc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_frontend.dir/ast.cpp.o"
+  "CMakeFiles/msc_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/msc_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/msc_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/msc_frontend.dir/parser.cpp.o"
+  "CMakeFiles/msc_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/msc_frontend.dir/sema.cpp.o"
+  "CMakeFiles/msc_frontend.dir/sema.cpp.o.d"
+  "libmsc_frontend.a"
+  "libmsc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

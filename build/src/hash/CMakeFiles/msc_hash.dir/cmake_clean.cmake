@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_hash.dir/multiway.cpp.o"
+  "CMakeFiles/msc_hash.dir/multiway.cpp.o.d"
+  "libmsc_hash.a"
+  "libmsc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_interp.dir/machine.cpp.o"
+  "CMakeFiles/msc_interp.dir/machine.cpp.o.d"
+  "libmsc_interp.a"
+  "libmsc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

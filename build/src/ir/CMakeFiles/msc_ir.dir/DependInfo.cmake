@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/build.cpp" "src/ir/CMakeFiles/msc_ir.dir/build.cpp.o" "gcc" "src/ir/CMakeFiles/msc_ir.dir/build.cpp.o.d"
+  "/root/repo/src/ir/cost.cpp" "src/ir/CMakeFiles/msc_ir.dir/cost.cpp.o" "gcc" "src/ir/CMakeFiles/msc_ir.dir/cost.cpp.o.d"
+  "/root/repo/src/ir/exec.cpp" "src/ir/CMakeFiles/msc_ir.dir/exec.cpp.o" "gcc" "src/ir/CMakeFiles/msc_ir.dir/exec.cpp.o.d"
+  "/root/repo/src/ir/graph.cpp" "src/ir/CMakeFiles/msc_ir.dir/graph.cpp.o" "gcc" "src/ir/CMakeFiles/msc_ir.dir/graph.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/ir/CMakeFiles/msc_ir.dir/passes.cpp.o" "gcc" "src/ir/CMakeFiles/msc_ir.dir/passes.cpp.o.d"
+  "/root/repo/src/ir/peephole.cpp" "src/ir/CMakeFiles/msc_ir.dir/peephole.cpp.o" "gcc" "src/ir/CMakeFiles/msc_ir.dir/peephole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/msc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/msc_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_ir.dir/build.cpp.o"
+  "CMakeFiles/msc_ir.dir/build.cpp.o.d"
+  "CMakeFiles/msc_ir.dir/cost.cpp.o"
+  "CMakeFiles/msc_ir.dir/cost.cpp.o.d"
+  "CMakeFiles/msc_ir.dir/exec.cpp.o"
+  "CMakeFiles/msc_ir.dir/exec.cpp.o.d"
+  "CMakeFiles/msc_ir.dir/graph.cpp.o"
+  "CMakeFiles/msc_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/msc_ir.dir/passes.cpp.o"
+  "CMakeFiles/msc_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/msc_ir.dir/peephole.cpp.o"
+  "CMakeFiles/msc_ir.dir/peephole.cpp.o.d"
+  "libmsc_ir.a"
+  "libmsc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_mimd.dir/machine.cpp.o"
+  "CMakeFiles/msc_mimd.dir/machine.cpp.o.d"
+  "libmsc_mimd.a"
+  "libmsc_mimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_mimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/machine.cpp" "src/simd/CMakeFiles/msc_simd.dir/machine.cpp.o" "gcc" "src/simd/CMakeFiles/msc_simd.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/msc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimd/CMakeFiles/msc_mimd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/msc_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/msc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/msc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_simd.dir/machine.cpp.o"
+  "CMakeFiles/msc_simd.dir/machine.cpp.o.d"
+  "libmsc_simd.a"
+  "libmsc_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_support.dir/bitset.cpp.o"
+  "CMakeFiles/msc_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/msc_support.dir/support.cpp.o"
+  "CMakeFiles/msc_support.dir/support.cpp.o.d"
+  "libmsc_support.a"
+  "libmsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

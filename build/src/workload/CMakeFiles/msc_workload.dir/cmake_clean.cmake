@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_workload.dir/generator.cpp.o"
+  "CMakeFiles/msc_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/msc_workload.dir/kernels.cpp.o"
+  "CMakeFiles/msc_workload.dir/kernels.cpp.o.d"
+  "libmsc_workload.a"
+  "libmsc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

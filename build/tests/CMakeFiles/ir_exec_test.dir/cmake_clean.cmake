@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_exec_test.dir/ir_exec_test.cpp.o"
+  "CMakeFiles/ir_exec_test.dir/ir_exec_test.cpp.o.d"
+  "ir_exec_test"
+  "ir_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_graph_test.dir/ir_graph_test.cpp.o"
+  "CMakeFiles/ir_graph_test.dir/ir_graph_test.cpp.o.d"
+  "ir_graph_test"
+  "ir_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

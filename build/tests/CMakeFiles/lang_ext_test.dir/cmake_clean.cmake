@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_ext_test.dir/lang_ext_test.cpp.o"
+  "CMakeFiles/lang_ext_test.dir/lang_ext_test.cpp.o.d"
+  "lang_ext_test"
+  "lang_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

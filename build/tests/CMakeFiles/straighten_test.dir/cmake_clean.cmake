@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straighten_test.dir/straighten_test.cpp.o"
+  "CMakeFiles/straighten_test.dir/straighten_test.cpp.o.d"
+  "straighten_test"
+  "straighten_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straighten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
