@@ -12,6 +12,11 @@
 //   --no-subsume        keep subset meta states when compressing
 //   --prune             §2.6 barrier handling exactly as in the paper
 //   --split             §2.4 MIMD-state time splitting
+//   --no-cache          disable the successor-set memo cache
+//   --threads N         frontier-expansion workers (1 = serial, 0 = all cores;
+//                       any value yields a bit-identical automaton)
+//   --trace-convert F   write conversion stats (cache hits/misses, restarts,
+//                       per-phase wall time) as JSON to file F ('-' = stdout)
 //   --no-csi            serialize meta-state bodies instead of CSI (§3.1)
 //   --emit mpl|meta|mimd|dot|dot-mimd|profile|module   what to print (default meta)
 //   --run               also execute on SIMD machine + MIMD oracle
@@ -39,11 +44,22 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mscc [--compress] [--no-subsume] [--prune] [--split] "
+               "usage: mscc [--compress] [--adaptive] [--no-subsume] [--prune] "
+               "[--split]\n"
+               "            [--no-cache] [--threads N] [--trace-convert FILE] "
                "[--no-csi]\n"
                "            [--emit mpl|meta|mimd|dot|dot-mimd|profile|module] [--run]\n"
                "            [--nprocs N] [--active N] [--seed S]\n"
-               "            (file.mimdc | --kernel <name>)\n");
+               "            (file.mimdc | --kernel <name>)\n"
+               "\n"
+               "  --no-cache        disable the successor-set memo cache (it\n"
+               "                    otherwise survives --split restarts)\n"
+               "  --threads N       frontier-expansion workers; 1 = serial,\n"
+               "                    0 = all cores; output is bit-identical\n"
+               "                    for every N\n"
+               "  --trace-convert F write conversion stats JSON (cache\n"
+               "                    hits/misses, restarts, per-phase wall\n"
+               "                    time) to F; '-' writes to stdout\n");
   return 2;
 }
 
@@ -51,12 +67,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string source, emit = "meta";
-  core::ConvertOptions copts;
+  driver::PipelineOptions popts;
+  core::ConvertOptions& copts = popts.convert;
   codegen::CodegenOptions gopts;
   mimd::RunConfig config;
   config.nprocs = 8;
   bool run = false;
-  bool adaptive = false;
   bool trace = false;
   std::uint64_t seed = 1;
 
@@ -69,10 +85,14 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--compress") copts.compress = true;
-    else if (arg == "--adaptive") adaptive = true;
+    else if (arg == "--adaptive") popts.adaptive = true;
     else if (arg == "--no-subsume") copts.subsume = false;
     else if (arg == "--prune") copts.barrier_mode = core::BarrierMode::PaperPrune;
     else if (arg == "--split") copts.time_split = true;
+    else if (arg == "--no-cache") copts.memoize = false;
+    else if (arg == "--threads")
+      copts.threads = static_cast<unsigned>(std::atoll(next()));
+    else if (arg == "--trace-convert") popts.trace_convert_path = next();
     else if (arg == "--no-csi") gopts.use_csi = false;
     else if (arg == "--emit") emit = next();
     else if (arg == "--run") run = true;
@@ -97,14 +117,12 @@ int main(int argc, char** argv) {
   if (source.empty()) return usage();
 
   try {
-    driver::Compiled compiled = driver::compile(source);
+    ir::CostModel cost;
+    driver::Converted converted = driver::convert(source, cost, popts);
+    driver::Compiled& compiled = converted.compiled;
     for (const std::string& msg : compiled.diags.messages())
       std::fprintf(stderr, "%s\n", msg.c_str());
-
-    ir::CostModel cost;
-    auto conv = adaptive
-                    ? core::meta_state_convert_adaptive(compiled.graph, cost, copts)
-                    : core::meta_state_convert(compiled.graph, cost, copts);
+    core::ConvertResult& conv = converted.conversion;
 
     if (emit == "mimd") {
       std::printf("%s", conv.graph.dump().c_str());
@@ -118,7 +136,7 @@ int main(int argc, char** argv) {
       std::printf("%s", core::profile(conv.automaton).to_string().c_str());
     } else if (emit == "module") {
       std::printf("%s", core::serialize(
-                            core::Module{conv.graph, conv.automaton})
+                            core::Module{conv.graph, conv.automaton, conv.stats})
                             .c_str());
     } else if (emit == "mpl") {
       auto prog = codegen::generate(conv.automaton, conv.graph, cost, gopts);

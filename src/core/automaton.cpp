@@ -18,6 +18,19 @@ MetaId MetaAutomaton::add(DynBitset members) {
   return id;
 }
 
+MetaId MetaAutomaton::find_or_add(const DynBitset& members, bool& created) {
+  auto [it, inserted] =
+      index.try_emplace(members, static_cast<MetaId>(states.size()));
+  created = inserted;
+  if (inserted) {
+    MetaState ms;
+    ms.id = it->second;
+    ms.members = members;
+    states.push_back(std::move(ms));
+  }
+  return it->second;
+}
+
 std::size_t MetaAutomaton::num_arcs() const {
   std::size_t n = 0;
   for (const MetaState& s : states) n += s.arcs.size();

@@ -1,7 +1,13 @@
 #include "msc/core/convert.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 #include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "msc/core/straighten.hpp"
 #include "msc/core/time_split.hpp"
@@ -22,19 +28,65 @@ ExplosionError::ExplosionError(std::size_t limit)
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 /// Internal signal: a meta state triggered §2.4 time splitting, the graph
 /// changed, and "the construction of the meta-state automaton is restarted
 /// to ensure that the final meta-state automaton is consistent."
 struct RestartRequest {
   int splits;
+  std::vector<StateId> split_ids;
+};
+
+/// Successor-set memo: member bitset → the raw (pre-mask) successor sets
+/// reach() enumerates for it. Owned by meta_state_convert() so it survives
+/// §2.4 restarts; a restart invalidates only the entries whose member sets
+/// include a split state (splitting rewrites exactly those blocks' exits —
+/// every other member's block, and therefore every other entry, is
+/// untouched). Barrier membership never changes across restarts
+/// (split_block refuses barrier-wait blocks), so the all-barrier flag and
+/// the §2.6 mask derived from an entry's key stay valid too.
+struct SuccessorMemo {
+  std::unordered_map<DynBitset, std::vector<DynBitset>, DynBitsetHash> map;
+  /// Member sets already cost-scanned by time_split_state() and found not
+  /// worth splitting. Split decisions depend only on the members' block
+  /// costs, so they survive restarts under the same invalidation rule as
+  /// the successor map.
+  std::unordered_set<DynBitset, DynBitsetHash> no_split;
+
+  std::size_t invalidate(const std::vector<StateId>& split_ids) {
+    DynBitset split;
+    for (StateId s : split_ids) split.set(s);
+    std::size_t dropped = 0;
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->first.intersects(split)) {
+        it = map.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = no_split.begin(); it != no_split.end();) {
+      if (it->intersects(split))
+        it = no_split.erase(it);
+      else
+        ++it;
+    }
+    return dropped;
+  }
 };
 
 class Converter {
  public:
   Converter(StateGraph& graph, const ir::CostModel& cost,
-            const ConvertOptions& opts, bool allow_split, ConvertStats& stats)
+            const ConvertOptions& opts, bool allow_split, ConvertStats& stats,
+            SuccessorMemo* memo)
       : g_(graph), cost_(cost), opts_(opts), allow_split_(allow_split),
-        stats_(stats) {}
+        stats_(stats), memo_(memo) {}
 
   MetaAutomaton run() {
     aut_ = MetaAutomaton{};
@@ -44,6 +96,17 @@ class Converter {
         opts_.compress ? BarrierMode::TrackOccupancy : opts_.barrier_mode;
     aut_.barriers = g_.barrier_states();
     aut_.compressed = opts_.compress;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = opts_.threads != 0 ? opts_.threads : (hw != 0 ? hw : 1);
+    stats_.threads_used = threads_;
+
+    // A restart round rebuilds roughly the memoized prefix: pre-size the
+    // state table and index to skip their reallocation/rehash churn.
+    if (memo_ && !memo_->map.empty()) {
+      aut_.states.reserve(memo_->map.size() + 64);
+      aut_.index.reserve(memo_->map.size() + 64);
+    }
 
     DynBitset start(g_.size());
     start.set(g_.start);
@@ -71,12 +134,31 @@ class Converter {
       }
     }
 
-    // meta_state_convert() main loop (§2.3): take an unmarked meta state,
-    // add arcs to every meta state it can reach, repeat until none remain.
-    // States are created in discovery order, so the worklist is an index.
-    for (MetaId next = 0; next < aut_.states.size(); ++next) process(next);
+    // meta_state_convert() main loop (§2.3), batched: take every unmarked
+    // meta state (one BFS layer of the discovery frontier), enumerate all
+    // their successor sets — in parallel, against the memo — then merge in
+    // discovery order so state numbering is identical to a serial run.
+    for (std::size_t begin = 0; begin < aut_.states.size();) {
+      const std::size_t end = aut_.states.size();
+      ++stats_.batches;
 
-    if (opts_.compress && opts_.subsume) subsume();
+      std::vector<Job> jobs = make_jobs(begin, end);
+      Clock::time_point t0 = Clock::now();
+      expand(jobs);
+      stats_.expand_seconds += since(t0);
+
+      Clock::time_point t1 = Clock::now();
+      merge(jobs);
+      stats_.merge_seconds += since(t1);
+
+      begin = end;
+    }
+
+    if (opts_.compress && opts_.subsume) {
+      Clock::time_point t0 = Clock::now();
+      subsume();
+      stats_.subsume_seconds += since(t0);
+    }
 
     stats_.meta_states = aut_.num_states();
     stats_.arcs = aut_.num_arcs();
@@ -84,66 +166,175 @@ class Converter {
   }
 
  private:
+  /// One frontier meta state awaiting successor enumeration. `cached`
+  /// points into the memo (unordered_map references are insert-stable);
+  /// a miss fills `computed` instead. Member sets are read through the
+  /// automaton by id — stable across the reallocation merge() causes —
+  /// so hits carry no per-job copies at all.
+  struct Job {
+    MetaId id = kNoMeta;
+    bool all_barrier = false;
+    const std::vector<DynBitset>* cached = nullptr;
+    std::vector<DynBitset> computed;
+
+    const std::vector<DynBitset>& raw() const {
+      return cached ? *cached : computed;
+    }
+  };
+
+  const DynBitset& members_of(const Job& job) const {
+    return aut_.states[job.id].members;
+  }
+
   MetaId get_or_create(const DynBitset& members) {
-    MetaId found = aut_.find(members);
-    if (found != kNoMeta) return found;
-    if (aut_.states.size() >= opts_.max_meta_states)
+    bool created = false;
+    MetaId id = aut_.find_or_add(members, created);
+    if (!created) return id;
+    // Enforced at insertion: exactly max_meta_states may be created. The
+    // rollback keeps the single-hash fast path out of the cold limit check.
+    if (aut_.states.size() > opts_.max_meta_states) {
+      aut_.states.pop_back();
+      aut_.index.erase(members);
       throw ExplosionError(opts_.max_meta_states);
-    MetaId id = aut_.add(members);
-    if (allow_split_) {
+    }
+    if (allow_split_ && !(memo_ && memo_->no_split.contains(members))) {
+      std::vector<StateId> split_ids;
       int splits = time_split_state(g_, members, cost_, opts_.split_delta,
-                                    opts_.split_percent);
-      if (splits > 0) throw RestartRequest{splits};
+                                    opts_.split_percent, &split_ids);
+      if (splits > 0) throw RestartRequest{splits, std::move(split_ids)};
+      if (memo_) memo_->no_split.insert(members);
     }
     return id;
   }
 
-  void process(MetaId id) {
-    // Copy members: arcs mutation below may reallocate `states`.
-    const DynBitset members = aut_.at(id).members;
-    std::vector<StateId> mem;
-    for (std::size_t s : members.bits()) mem.push_back(static_cast<StateId>(s));
+  std::vector<Job> make_jobs(std::size_t begin, std::size_t end) {
+    std::vector<Job> jobs(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      Job& job = jobs[i - begin];
+      job.id = static_cast<MetaId>(i);
+      const DynBitset& members = aut_.states[i].members;
+      job.all_barrier =
+          !aut_.barriers.empty() && members.is_subset_of(aut_.barriers);
+      if (memo_) {
+        auto it = memo_->map.find(members);
+        if (it != memo_->map.end()) {
+          job.cached = &it->second;
+          ++stats_.cache_hits;
+        } else {
+          ++stats_.cache_misses;
+        }
+      } else {
+        ++stats_.cache_misses;
+      }
+    }
+    return jobs;
+  }
 
-    const bool all_barrier =
-        !aut_.barriers.empty() && members.is_subset_of(aut_.barriers);
+  /// Enumerate successor sets for every miss in the batch. Workers only
+  /// read the graph and write disjoint Job slots; the memo is frozen for
+  /// the duration (inserts happen in merge()), so hits stay valid.
+  void expand(std::vector<Job>& jobs) {
+    std::vector<Job*> misses;
+    for (Job& job : jobs)
+      if (!job.cached) misses.push_back(&job);
+    if (misses.empty()) return;
 
-    std::set<DynBitset> raw_targets;
-    DynBitset t(g_.size());
-    reach(mem, 0, t, all_barrier, raw_targets);
-
-    if (opts_.compress) {
-      process_compressed(id, members, all_barrier, raw_targets);
+    if (threads_ <= 1 || misses.size() < 2) {
+      std::size_t calls = 0;
+      for (Job* job : misses) expand_one(*job, calls);
+      stats_.reach_calls += calls;
       return;
     }
 
-    std::set<DynBitset> keys;
-    for (const DynBitset& raw : raw_targets) {
-      if (raw.empty()) continue;  // every process ended: terminal (§3.2.1)
-      keys.insert(mask(raw));
+    const std::size_t nworkers = std::min<std::size_t>(threads_, misses.size());
+    const std::size_t chunk = (misses.size() + nworkers - 1) / nworkers;
+    std::vector<std::size_t> calls(nworkers, 0);
+    std::vector<std::exception_ptr> errors(nworkers);
+    std::vector<std::thread> pool;
+    pool.reserve(nworkers);
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          const std::size_t lo = w * chunk;
+          const std::size_t hi = std::min(misses.size(), lo + chunk);
+          for (std::size_t i = lo; i < hi; ++i) expand_one(*misses[i], calls[w]);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
     }
-    for (const DynBitset& key : keys) {
-      MetaId target = get_or_create(key);
-      aut_.at(id).arcs.emplace_back(key, target);
+    for (std::thread& t : pool) t.join();
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      stats_.reach_calls += calls[w];
+      if (errors[w]) std::rethrow_exception(errors[w]);
     }
   }
 
-  void process_compressed(MetaId id, const DynBitset& members, bool all_barrier,
-                          const std::set<DynBitset>& raw_targets) {
+  void expand_one(Job& job, std::size_t& calls) const {
+    std::vector<StateId> mem;
+    for (std::size_t s : members_of(job).bits())
+      mem.push_back(static_cast<StateId>(s));
+    std::set<DynBitset> out;
+    DynBitset t(g_.size());
+    reach(mem, 0, t, job.all_barrier, out, calls);
+    job.computed.assign(out.begin(), out.end());
+  }
+
+  /// Discovery-order merge: publish this batch's enumerations to the memo
+  /// (before any state creation, so a §2.4 restart keeps them), then walk
+  /// the batch in id order creating successors and arcs — the exact order
+  /// a serial converter would, hence identical state numbering.
+  void merge(std::vector<Job>& jobs) {
+    if (memo_) {
+      for (Job& job : jobs)
+        if (!job.cached) {
+          auto [it, inserted] =
+              memo_->map.emplace(members_of(job), std::move(job.computed));
+          job.cached = &it->second;
+          (void)inserted;  // member sets are unique within a round
+        }
+    }
+    for (Job& job : jobs) {
+      if (opts_.compress)
+        attach_compressed(job);
+      else
+        attach(job);
+    }
+  }
+
+  void attach(Job& job) {
+    std::vector<DynBitset> keys;
+    keys.reserve(job.raw().size());
+    for (const DynBitset& raw : job.raw()) {
+      if (raw.empty()) continue;  // every process ended: terminal (§3.2.1)
+      keys.push_back(mask(raw));
+    }
+    // Sorted + deduplicated: the same (ordered) key sequence a std::set
+    // would yield, without per-key node allocations.
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (DynBitset& key : keys) {
+      MetaId target = get_or_create(key);
+      aut_.at(job.id).arcs.emplace_back(std::move(key), target);
+    }
+  }
+
+  void attach_compressed(Job& job) {
     // §2.5: every member takes all paths, so reach() produced exactly one
     // union — the unconditional successor (§3.2.2).
-    if (raw_targets.size() != 1)
+    if (job.raw().size() != 1)
       throw std::logic_error("compressed reach must yield one successor");
-    const DynBitset& succ = *raw_targets.begin();
+    const DynBitset& succ = job.raw().front();
     if (!succ.empty()) {
       MetaId target = get_or_create(succ);
-      aut_.at(id).unconditional = target;
+      aut_.at(job.id).unconditional = target;
     }
     // Barrier release: when every live PE is waiting, occupancy is some
     // nonempty subset of this state's barrier members; key each such
     // occupancy to its dedicated all-barrier meta state so the compressed
     // automaton cannot livelock on a barrier.
-    DynBitset b = members & aut_.barriers;
-    if (b.empty() || all_barrier) return;
+    DynBitset b = members_of(job) & aut_.barriers;
+    if (b.empty() || job.all_barrier) return;
     std::vector<std::size_t> bits = b.to_vector();
     if (bits.size() > 16)
       throw std::runtime_error(
@@ -157,7 +348,7 @@ class Converter {
     }
     for (const DynBitset& key : keys) {
       MetaId target = get_or_create(key);
-      aut_.at(id).arcs.emplace_back(key, target);
+      aut_.at(job.id).arcs.emplace_back(key, target);
     }
   }
 
@@ -174,10 +365,12 @@ class Converter {
   /// Each member contributes TRUE / FALSE / both for a two-exit state
   /// (just both under §2.5 compression), its single successor for a jump,
   /// both arcs for a spawn (§3.2.5), nothing when the process ends, and
-  /// itself when stalled at a barrier.
+  /// itself when stalled at a barrier. Pure with respect to the automaton
+  /// and graph, so expansion workers may run it concurrently.
   void reach(const std::vector<StateId>& mem, std::size_t i, const DynBitset& t,
-             bool all_barrier, std::set<DynBitset>& out) {
-    ++stats_.reach_calls;
+             bool all_barrier, std::set<DynBitset>& out,
+             std::size_t& calls) const {
+    ++calls;
     if (i == mem.size()) {
       out.insert(t);
       return;
@@ -193,27 +386,27 @@ class Converter {
       // barrier; it keeps occupying its own state. (Under PaperPrune
       // such members only appear in all-barrier states, so this path is
       // TrackOccupancy/compressed-specific.)
-      reach(mem, i + 1, with({b.id}), all_barrier, out);
+      reach(mem, i + 1, with({b.id}), all_barrier, out, calls);
       return;
     }
     switch (b.exit) {
       case ExitKind::Halt:
-        reach(mem, i + 1, t, all_barrier, out);
+        reach(mem, i + 1, t, all_barrier, out, calls);
         return;
       case ExitKind::Jump:
-        reach(mem, i + 1, with({b.target}), all_barrier, out);
+        reach(mem, i + 1, with({b.target}), all_barrier, out, calls);
         return;
       case ExitKind::Spawn:
-        reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out);
+        reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out, calls);
         return;
       case ExitKind::Branch:
         if (opts_.compress) {
-          reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out);
+          reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out, calls);
         } else {
-          reach(mem, i + 1, with({b.target}), all_barrier, out);
+          reach(mem, i + 1, with({b.target}), all_barrier, out, calls);
           if (b.alt != b.target) {
-            reach(mem, i + 1, with({b.alt}), all_barrier, out);
-            reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out);
+            reach(mem, i + 1, with({b.alt}), all_barrier, out, calls);
+            reach(mem, i + 1, with({b.target, b.alt}), all_barrier, out, calls);
           }
         }
         return;
@@ -286,27 +479,69 @@ class Converter {
   const ConvertOptions& opts_;
   const bool allow_split_;
   ConvertStats& stats_;
+  SuccessorMemo* memo_;
+  unsigned threads_ = 1;
   MetaAutomaton aut_;
 };
 
 }  // namespace
+
+std::string to_json(const ConvertStats& stats) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"meta_states\": " << stats.meta_states << ",\n"
+     << "  \"arcs\": " << stats.arcs << ",\n"
+     << "  \"reach_calls\": " << stats.reach_calls << ",\n"
+     << "  \"splits_performed\": " << stats.splits_performed << ",\n"
+     << "  \"restarts\": " << stats.restarts << ",\n"
+     << "  \"cache\": {\n"
+     << "    \"hits\": " << stats.cache_hits << ",\n"
+     << "    \"misses\": " << stats.cache_misses << ",\n"
+     << "    \"invalidated\": " << stats.cache_invalidated << "\n"
+     << "  },\n"
+     << "  \"threads\": " << stats.threads_used << ",\n"
+     << "  \"batches\": " << stats.batches << ",\n"
+     << "  \"phase_seconds\": {\n"
+     << "    \"expand\": " << fmt_double(stats.expand_seconds, 6) << ",\n"
+     << "    \"merge\": " << fmt_double(stats.merge_seconds, 6) << ",\n"
+     << "    \"subsume\": " << fmt_double(stats.subsume_seconds, 6) << ",\n"
+     << "    \"straighten\": " << fmt_double(stats.straighten_seconds, 6) << ",\n"
+     << "    \"total\": " << fmt_double(stats.total_seconds, 6) << "\n"
+     << "  }\n"
+     << "}\n";
+  return os.str();
+}
 
 ConvertResult meta_state_convert(const StateGraph& graph, const ir::CostModel& cost,
                                  const ConvertOptions& options) {
   ConvertResult res;
   res.graph = graph;
 
+  // The memo outlives each restarted Converter: that is what makes §2.4
+  // restarts cheap. Scoped to this call — reach() semantics depend on the
+  // compress mode, so adaptive's fallback run builds its own memo.
+  SuccessorMemo memo;
+  SuccessorMemo* memo_ptr = options.memoize ? &memo : nullptr;
+
+  const Clock::time_point t_total = Clock::now();
   int rounds = 0;
   bool allow_split = options.time_split;
   for (;;) {
     try {
-      Converter conv(res.graph, cost, options, allow_split, res.stats);
+      Converter conv(res.graph, cost, options, allow_split, res.stats, memo_ptr);
       res.automaton = conv.run();
-      if (options.straighten) straighten(res.automaton);
+      if (options.straighten) {
+        Clock::time_point t0 = Clock::now();
+        straighten(res.automaton);
+        res.stats.straighten_seconds += since(t0);
+      }
+      res.stats.total_seconds = since(t_total);
       return res;
     } catch (const RestartRequest& restart) {
       res.stats.splits_performed += restart.splits;
       ++res.stats.restarts;
+      if (memo_ptr)
+        res.stats.cache_invalidated += memo.invalidate(restart.split_ids);
       if (++rounds >= options.max_split_rounds) {
         // Too much churn: finish with splitting disabled so the automaton
         // is still consistent with the (already split) graph.

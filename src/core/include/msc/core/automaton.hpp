@@ -65,6 +65,10 @@ struct MetaAutomaton {
     return it == index.end() ? kNoMeta : it->second;
   }
   MetaId add(DynBitset members);
+  /// Combined find()/add() with a single hash of `members`. Sets `created`
+  /// when a new state was made (the caller may roll it back with
+  /// `states.pop_back()` + `index.erase(members)` if it must not exist).
+  MetaId find_or_add(const DynBitset& members, bool& created);
   const MetaState& at(MetaId id) const { return states[id]; }
   MetaState& at(MetaId id) { return states[id]; }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "msc/core/automaton.hpp"
 #include "msc/ir/cost.hpp"
@@ -43,7 +44,21 @@ struct ConvertOptions {
   std::int64_t split_percent = 75;  ///< acceptable utilization, in percent
   int max_split_rounds = 64;
 
-  /// Explosion guard (§1.2 warns of up to S!/(S−N)! states).
+  /// Memoize successor-set enumerations keyed on the meta-state member
+  /// bitset. The memo survives §2.4 time-split restarts: a restart only
+  /// invalidates entries whose member sets include a split state, so the
+  /// (typically dominant) untouched frontier is reused instead of
+  /// recomputed. Disable only to measure the cache (bench_convert_cache).
+  bool memoize = true;
+
+  /// Worker threads for frontier expansion. 1 = serial; 0 = one per
+  /// hardware thread. Any value produces a bit-identical automaton: the
+  /// frontier is expanded in deterministic batches and merged in
+  /// discovery order, so state numbering never depends on thread timing.
+  unsigned threads = 1;
+
+  /// Explosion guard (§1.2 warns of up to S!/(S−N)! states). Enforced
+  /// before insertion: exactly this many meta states may be created.
   std::size_t max_meta_states = 250'000;
 };
 
@@ -59,7 +74,27 @@ struct ConvertStats {
   std::size_t reach_calls = 0;      ///< recursive successor enumerations
   int splits_performed = 0;         ///< §2.4 state splits across all rounds
   int restarts = 0;                 ///< conversion restarts due to splitting
+
+  // Successor-set memo cache (survives time-split restarts).
+  std::size_t cache_hits = 0;        ///< member sets served from the memo
+  std::size_t cache_misses = 0;      ///< member sets enumerated by reach()
+  std::size_t cache_invalidated = 0; ///< entries dropped by split restarts
+
+  // Parallel frontier expansion.
+  unsigned threads_used = 1;  ///< effective worker count
+  std::size_t batches = 0;    ///< deterministic frontier batches expanded
+
+  // Per-phase wall time, in seconds (accumulated across restart rounds).
+  double expand_seconds = 0.0;      ///< successor enumeration (parallel)
+  double merge_seconds = 0.0;       ///< discovery-order merge / arc build
+  double subsume_seconds = 0.0;     ///< Fig. 5 subsumption pass
+  double straighten_seconds = 0.0;  ///< §4.2 layout pass
+  double total_seconds = 0.0;       ///< whole meta_state_convert() call
 };
+
+/// Render stats as a stable JSON object (the `--trace-convert` payload).
+/// Schema documented in DESIGN.md §"Conversion engine".
+std::string to_json(const ConvertStats& stats);
 
 struct ConvertResult {
   /// The (possibly time-split) MIMD state graph the automaton refers to.

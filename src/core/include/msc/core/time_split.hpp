@@ -2,6 +2,7 @@
 #define MSC_CORE_TIME_SPLIT_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "msc/ir/cost.hpp"
 #include "msc/ir/graph.hpp"
@@ -24,9 +25,14 @@ namespace msc::core {
 ///  - no split if min > split_percent% of max (utilization acceptable);
 ///  - a block that cannot be divided (fewer than 2 body instructions)
 ///    is left alone.
+///
+/// When `split_ids` is non-null, the id of every block actually split is
+/// appended to it (the conversion cache uses this to invalidate only memo
+/// entries whose member sets include a split state).
 int time_split_state(ir::StateGraph& graph, const DynBitset& members,
                      const ir::CostModel& cost, std::int64_t split_delta,
-                     std::int64_t split_percent);
+                     std::int64_t split_percent,
+                     std::vector<ir::StateId>* split_ids = nullptr);
 
 /// The idle fraction a meta state with these members would induce:
 /// sum over members of (max_cost − cost) / (width · max_cost).

@@ -12,7 +12,11 @@ namespace msc::core {
 
 namespace {
 
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+
+std::int64_t micros(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e6 + 0.5);
+}
 
 std::string bits_of(const DynBitset& b) {
   std::string out;
@@ -115,6 +119,15 @@ std::string serialize(const Module& module) {
     for (const auto& [key, target] : s.arcs)
       os << "arc " << s.id << " " << target << bits_of(key) << "\n";
   }
+
+  const ConvertStats& st = module.stats;
+  os << "stats " << st.meta_states << " " << st.arcs << " " << st.reach_calls
+     << " " << st.splits_performed << " " << st.restarts << " "
+     << st.cache_hits << " " << st.cache_misses << " " << st.cache_invalidated
+     << " " << st.threads_used << " " << st.batches << " "
+     << micros(st.expand_seconds) << " " << micros(st.merge_seconds) << " "
+     << micros(st.subsume_seconds) << " " << micros(st.straighten_seconds)
+     << " " << micros(st.total_seconds) << "\n";
   os << "end\n";
   return os.str();
 }
@@ -127,7 +140,9 @@ Module deserialize(const std::string& text) {
   if (!rd.next(f) || f.size() != 2 || f[0] != "mscmod")
     fail(rd.lineno(), "missing 'mscmod' header");
   if (to_i64(f[1], rd.lineno()) != kVersion)
-    fail(rd.lineno(), cat("unsupported version ", f[1]));
+    fail(rd.lineno(),
+         cat("unsupported module version ", f[1], " (this build reads version ",
+             kVersion, "; regenerate with mscc --emit module)"));
 
   if (!rd.next(f) || f.size() != 3 || f[0] != "graph")
     fail(rd.lineno(), "expected 'graph'");
@@ -168,8 +183,15 @@ Module deserialize(const std::string& text) {
       for (std::size_t i = 0; i < nstates; ++i)
         mod.automaton.add(DynBitset());  // members filled by 'meta'
       mod.automaton.start = static_cast<MetaId>(to_u64(f[2], ln));
-      mod.automaton.barrier_mode = static_cast<BarrierMode>(to_i64(f[3], ln));
-      mod.automaton.compressed = to_i64(f[4], ln) != 0;
+      std::int64_t mode = to_i64(f[3], ln);
+      if (mode != static_cast<std::int64_t>(BarrierMode::TrackOccupancy) &&
+          mode != static_cast<std::int64_t>(BarrierMode::PaperPrune))
+        fail(ln, cat("unknown barrier mode ", mode));
+      mod.automaton.barrier_mode = static_cast<BarrierMode>(mode);
+      std::int64_t compressed = to_i64(f[4], ln);
+      if (compressed != 0 && compressed != 1)
+        fail(ln, cat("bad compressed flag ", compressed));
+      mod.automaton.compressed = compressed != 0;
     } else if (f[0] == "barriers") {
       mod.automaton.barriers = bits_from(f, 1, ln);
     } else if (f[0] == "meta") {
@@ -189,6 +211,24 @@ Module deserialize(const std::string& text) {
         fail(ln, "arc endpoint out of range");
       mod.automaton.states[from].arcs.emplace_back(bits_from(f, 3, ln),
                                                    static_cast<MetaId>(to));
+    } else if (f[0] == "stats") {
+      if (f.size() != 16) fail(ln, "short 'stats' record");
+      ConvertStats& st = mod.stats;
+      st.meta_states = static_cast<std::size_t>(to_u64(f[1], ln));
+      st.arcs = static_cast<std::size_t>(to_u64(f[2], ln));
+      st.reach_calls = static_cast<std::size_t>(to_u64(f[3], ln));
+      st.splits_performed = static_cast<int>(to_i64(f[4], ln));
+      st.restarts = static_cast<int>(to_i64(f[5], ln));
+      st.cache_hits = static_cast<std::size_t>(to_u64(f[6], ln));
+      st.cache_misses = static_cast<std::size_t>(to_u64(f[7], ln));
+      st.cache_invalidated = static_cast<std::size_t>(to_u64(f[8], ln));
+      st.threads_used = static_cast<unsigned>(to_u64(f[9], ln));
+      st.batches = static_cast<std::size_t>(to_u64(f[10], ln));
+      st.expand_seconds = static_cast<double>(to_i64(f[11], ln)) / 1e6;
+      st.merge_seconds = static_cast<double>(to_i64(f[12], ln)) / 1e6;
+      st.subsume_seconds = static_cast<double>(to_i64(f[13], ln)) / 1e6;
+      st.straighten_seconds = static_cast<double>(to_i64(f[14], ln)) / 1e6;
+      st.total_seconds = static_cast<double>(to_i64(f[15], ln)) / 1e6;
     } else if (f[0] == "end") {
       saw_end = true;
       break;

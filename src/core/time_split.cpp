@@ -53,7 +53,8 @@ bool split_block(StateGraph& graph, StateId id, std::int64_t target,
 
 int time_split_state(StateGraph& graph, const DynBitset& members,
                      const ir::CostModel& cost, std::int64_t split_delta,
-                     std::int64_t split_percent) {
+                     std::int64_t split_percent,
+                     std::vector<StateId>* split_ids) {
   std::int64_t min = std::numeric_limits<std::int64_t>::max();
   std::int64_t max = 0;
   for (std::size_t s : members.bits()) {
@@ -72,7 +73,10 @@ int time_split_state(StateGraph& graph, const DynBitset& members,
   for (std::size_t s : members.bits()) {
     StateId id = static_cast<StateId>(s);
     if (cost.block_cost(graph.at(id)) > min) {
-      if (split_block(graph, id, min, cost)) ++did_split;
+      if (split_block(graph, id, min, cost)) {
+        ++did_split;
+        if (split_ids) split_ids->push_back(id);
+      }
     }
   }
   return did_split;

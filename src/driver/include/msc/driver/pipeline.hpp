@@ -35,6 +35,22 @@ struct Converted {
 Converted convert(const std::string& source, const ir::CostModel& cost = {},
                   const core::ConvertOptions& options = {});
 
+/// Full front-half configuration: conversion options plus the driver-level
+/// policies that wrap them.
+struct PipelineOptions {
+  core::ConvertOptions convert;
+  /// Use meta_state_convert_adaptive (compress only on state explosion).
+  bool adaptive = false;
+  /// When non-empty, write the conversion's ConvertStats as JSON to this
+  /// path after a successful conversion ("-" = stdout). Schema: see
+  /// core::to_json / DESIGN.md. Lets benches and users see where
+  /// conversion time goes (--trace-convert in mscc).
+  std::string trace_convert_path;
+};
+
+Converted convert(const std::string& source, const ir::CostModel& cost,
+                  const PipelineOptions& options);
+
 }  // namespace msc::driver
 
 #endif  // MSC_DRIVER_PIPELINE_HPP

@@ -48,6 +48,12 @@ void seed_machine(M& machine, const Compiled& compiled,
     machine.poke(p, slot->addr, Value::of_int(seed_input(seed, p)));
 }
 
+/// Write `stats` as JSON to `path` ("-" = stdout). Throws
+/// std::runtime_error when the file cannot be written. Used by
+/// --trace-convert and PipelineOptions::trace_convert_path.
+void write_convert_trace(const core::ConvertStats& stats,
+                         const std::string& path);
+
 /// Run the MIMD oracle and collect observations.
 Observed run_oracle(const Compiled& compiled, const mimd::RunConfig& config,
                     std::uint64_t seed, mimd::MimdStats* stats_out = nullptr);

@@ -1,5 +1,6 @@
 #include "msc/driver/pipeline.hpp"
 
+#include "msc/driver/runner.hpp"
 #include "msc/frontend/parser.hpp"
 #include "msc/ir/build.hpp"
 #include "msc/ir/passes.hpp"
@@ -22,6 +23,20 @@ Converted convert(const std::string& source, const ir::CostModel& cost,
   Converted out;
   out.compiled = compile(source);
   out.conversion = core::meta_state_convert(out.compiled.graph, cost, options);
+  return out;
+}
+
+Converted convert(const std::string& source, const ir::CostModel& cost,
+                  const PipelineOptions& options) {
+  Converted out;
+  out.compiled = compile(source);
+  out.conversion =
+      options.adaptive
+          ? core::meta_state_convert_adaptive(out.compiled.graph, cost,
+                                              options.convert)
+          : core::meta_state_convert(out.compiled.graph, cost, options.convert);
+  if (!options.trace_convert_path.empty())
+    write_convert_trace(out.conversion.stats, options.trace_convert_path);
   return out;
 }
 

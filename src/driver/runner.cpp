@@ -1,6 +1,8 @@
 #include "msc/driver/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "msc/support/rng.hpp"
@@ -80,6 +82,20 @@ std::string Observed::to_string() const {
     for (const Value& v : vals) os << " " << v.to_string();
   }
   return os.str();
+}
+
+void write_convert_trace(const core::ConvertStats& stats,
+                         const std::string& path) {
+  std::string json = core::to_json(stats);
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error(cat("cannot write convert trace to '", path, "'"));
+  out << json;
+  if (!out.flush())
+    throw std::runtime_error(cat("failed writing convert trace to '", path, "'"));
 }
 
 std::int64_t seed_input(std::uint64_t seed, std::int64_t pe) {

@@ -53,8 +53,16 @@ std::int32_t HashedSwitch::lookup(std::uint64_t key) const {
   std::uint64_t h = fn.eval(key);
   if (h >= table.size()) return -1;
   std::int32_t idx = table[h];
+  // A foreign key can hash to an empty slot: that is a miss, and the -1
+  // sentinel must never escape as if it were a match for "key index -1".
+  if (idx < 0) return -1;
   // Guard against aliasing: a foreign key may hash into an occupied slot.
-  if (idx >= 0 && keys[static_cast<std::size_t>(idx)] != key) return -1;
+  // A corrupt or hand-built table may also hold an index past `keys`;
+  // bounds-check before the confirming compare rather than reading out of
+  // range.
+  if (static_cast<std::size_t>(idx) >= keys.size() ||
+      keys[static_cast<std::size_t>(idx)] != key)
+    return -1;
   return idx;
 }
 

@@ -43,14 +43,22 @@ Value arith(Opcode op, const Value& a, const Value& b) {
     }
   }
   std::int64_t x = a.as_int(), y = b.as_int();
+  // Guest integer arithmetic wraps mod 2^64, matching the hardware the
+  // simulated machine models; route through uint64 so overflow is defined.
+  auto ux = static_cast<std::uint64_t>(x), uy = static_cast<std::uint64_t>(y);
   switch (op) {
-    case Opcode::Add: return Value::of_int(x + y);
-    case Opcode::Sub: return Value::of_int(x - y);
-    case Opcode::Mul: return Value::of_int(x * y);
+    case Opcode::Add: return Value::of_int(static_cast<std::int64_t>(ux + uy));
+    case Opcode::Sub: return Value::of_int(static_cast<std::int64_t>(ux - uy));
+    case Opcode::Mul: return Value::of_int(static_cast<std::int64_t>(ux * uy));
     // Division by zero is defined as 0 so that randomly generated
-    // workloads are total; documented in DESIGN.md.
-    case Opcode::Div: return Value::of_int(y == 0 ? 0 : x / y);
-    case Opcode::Mod: return Value::of_int(y == 0 ? 0 : x % y);
+    // workloads are total; documented in DESIGN.md. INT64_MIN / -1 wraps.
+    case Opcode::Div:
+      if (y == 0) return Value::of_int(0);
+      if (y == -1) return Value::of_int(static_cast<std::int64_t>(-ux));
+      return Value::of_int(x / y);
+    case Opcode::Mod:
+      if (y == 0 || y == -1) return Value::of_int(0);
+      return Value::of_int(x % y);
     case Opcode::Lt: return Value::of_int(x < y);
     case Opcode::Le: return Value::of_int(x <= y);
     case Opcode::Gt: return Value::of_int(x > y);

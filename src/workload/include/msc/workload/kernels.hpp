@@ -60,6 +60,14 @@ std::string imbalanced_source(int cheap_ops, int expensive_ops);
 /// base-mode conversion with time splitting).
 std::string imbalanced_once_source(int cheap_ops, int expensive_ops);
 
+/// A depth-`depth` tree of nested two-arm branches with unequal arm costs;
+/// every all-ones path ends in a heavy straight-line leaf that triggers
+/// §2.4 splitting. PEs spread across the tree, so meta states hold several
+/// simultaneously-occupied branch blocks and reach() enumeration (3^width
+/// choice combinations) dominates conversion — the restart-heavy workload
+/// for CONV-CACHE.
+std::string nested_branch_source(int depth);
+
 }  // namespace msc::workload
 
 #endif  // MSC_WORKLOAD_KERNELS_HPP

@@ -201,6 +201,46 @@ int main() {
 )");
 }
 
+namespace {
+
+std::string nested_arm(int d, const std::string& path) {
+  if (d == 0) {
+    // Heavy leaves on paths taking two TRUE arms in a row: enough
+    // straight-line work past the split thresholds to force §2.4
+    // splitting, in enough distinct subtrees that splits (and hence
+    // restarts) keep arriving throughout discovery.
+    if (path.size() >= 2 && path.compare(path.size() - 2, 2, "11") == 0) {
+      std::string heavy;
+      for (int i = 0; i < 24; ++i) heavy += "a = a * 3 + 1; ";
+      return heavy;
+    }
+    return cat("a = a + ", path.size(), "; ");
+  }
+  return cat("if ((a >> ", d, ") & 1) { ", nested_arm(d - 1, path + "1"),
+             "} else { ", nested_arm(d - 1, path + "0"), "} a = a + 1; ");
+}
+
+}  // namespace
+
+std::string nested_branch_source(int depth) {
+  // The trailing cheap loop keeps finished PEs occupying low-cost blocks,
+  // so every heavy tail left by a §2.4 split still shares its meta states
+  // with a cheap co-member and keeps splitting — one restart per slice —
+  // until the whole leaf is diced. Without it, splitting stops as soon as
+  // the cheap paths halt (a lone member is never imbalanced).
+  return cat(R"(int main() {
+  poly int a;
+  poly int j;
+  a = procid();
+  )",
+             nested_arm(depth, ""), R"(
+  j = 0;
+  while (j < 8) { j = j + 1; }
+  return a + j;
+}
+)");
+}
+
 const std::vector<Kernel>& suite() {
   static const std::vector<Kernel> kernels = [] {
     std::vector<Kernel> v;

@@ -5,6 +5,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -114,6 +115,34 @@ TEST(Cli, ProfileEmit) {
 TEST(Cli, ModuleEmitIsParseable) {
   auto r = run_cli("--kernel listing1 --emit module");
   EXPECT_EQ(r.exit_code, 0);
-  EXPECT_NE(r.output.find("mscmod 1"), std::string::npos);
+  EXPECT_NE(r.output.find("mscmod 2"), std::string::npos);
+  EXPECT_NE(r.output.find("\nstats "), std::string::npos);
   EXPECT_NE(r.output.find("\nend\n"), std::string::npos);
+}
+
+TEST(Cli, ThreadedConversionIsBitIdentical) {
+  auto serial = run_cli("--kernel oddeven_sort --emit module");
+  auto threaded = run_cli("--kernel oddeven_sort --threads 4 --emit module");
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(threaded.exit_code, 0);
+  // Stats lines differ (thread count, timings); everything structural
+  // above them must be byte-identical.
+  auto structural = [](const std::string& s) {
+    return s.substr(0, s.find("\nstats "));
+  };
+  EXPECT_EQ(structural(serial.output), structural(threaded.output));
+}
+
+TEST(Cli, TraceConvertWritesJson) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_trace.json";
+  auto r = run_cli("--kernel listing1 --split --trace-convert " + path +
+                   " --emit meta");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"cache\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"restarts\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
 }

@@ -180,6 +180,24 @@ TEST(Convert, ExplosionGuardFires) {
   EXPECT_THROW(meta_state_convert(compiled.graph, kCost, opts), ExplosionError);
 }
 
+TEST(Convert, ExplosionLimitIsExactAtBoundary) {
+  // The guard must fire *before* inserting the state that exceeds it:
+  // a limit of exactly the automaton's final state count succeeds, one
+  // less throws. Listing 1's base conversion needs exactly 8 meta states.
+  auto compiled = driver::compile(workload::listing1().source);
+  ConvertOptions at_limit;
+  at_limit.max_meta_states = 8;
+  auto res = meta_state_convert(compiled.graph, kCost, at_limit);
+  EXPECT_EQ(res.automaton.num_states(), 8u);
+  ConvertOptions below;
+  below.max_meta_states = 7;
+  EXPECT_THROW(meta_state_convert(compiled.graph, kCost, below), ExplosionError);
+  // Degenerate budgets: even the start state must respect the limit.
+  ConvertOptions zero;
+  zero.max_meta_states = 0;
+  EXPECT_THROW(meta_state_convert(compiled.graph, kCost, zero), ExplosionError);
+}
+
 TEST(Convert, CompressionNeverExplodes) {
   // §2.5: compressed meta-state count is bounded by reachable unions —
   // tiny even where base mode blows past the guard.
@@ -222,19 +240,21 @@ TEST(TimeSplit, SplitsExpensiveMemberIntoHeadAndTail) {
   StateGraph g = compiled.graph;
   std::size_t before = g.size();
 
-  // Find the two divergent arms (successors of the start branch).
-  const ir::Block& start = g.at(g.start);
-  DynBitset members = DynBitset::of({start.target, start.alt});
-  std::int64_t cheap = std::min(kCost.block_cost(g.at(start.target)),
-                                kCost.block_cost(g.at(start.alt)));
+  // Find the two divergent arms (successors of the start branch). Copy the
+  // ids out: splitting appends blocks, invalidating references into g.
+  ir::StateId arm_a = g.at(g.start).target;
+  ir::StateId arm_b = g.at(g.start).alt;
+  DynBitset members = DynBitset::of({arm_a, arm_b});
+  std::int64_t cheap =
+      std::min(kCost.block_cost(g.at(arm_a)), kCost.block_cost(g.at(arm_b)));
 
   int splits = time_split_state(g, members, kCost, 4, 75);
   EXPECT_EQ(splits, 1);
   EXPECT_EQ(g.size(), before + 1);
   EXPECT_TRUE(g.validate().empty());
   // The expensive arm now costs about the cheap arm.
-  std::int64_t head_cost = std::max(kCost.block_cost(g.at(start.target)),
-                                    kCost.block_cost(g.at(start.alt)));
+  std::int64_t head_cost =
+      std::max(kCost.block_cost(g.at(arm_a)), kCost.block_cost(g.at(arm_b)));
   EXPECT_LE(head_cost, cheap + 4);
 }
 
@@ -304,6 +324,53 @@ TEST(TimeSplit, ConversionWithSplittingReducesIdleFraction) {
     return worst;
   };
   EXPECT_LT(worst_idle(splitres), worst_idle(unsplit));
+}
+
+// ----------------------------------------------------------- memo cache
+
+TEST(ConvertCache, SurvivesTimeSplitRestartsAndMatchesUncached) {
+  // Splitting restarts conversion (§2.4); the memo must serve the
+  // untouched frontier back (hits), drop entries containing split states
+  // (invalidations), and change nothing about the result. listing1 splits
+  // blocks that earlier rounds already expanded, so all three counters move.
+  auto compiled = driver::compile(workload::listing1().source);
+  ConvertOptions cached;
+  cached.time_split = true;
+  auto with = meta_state_convert(compiled.graph, kCost, cached);
+  ASSERT_GT(with.stats.restarts, 0);
+  EXPECT_GT(with.stats.cache_hits, 0u);
+  EXPECT_GT(with.stats.cache_invalidated, 0u);
+
+  ConvertOptions uncached = cached;
+  uncached.memoize = false;
+  auto without = meta_state_convert(compiled.graph, kCost, uncached);
+  EXPECT_EQ(without.stats.cache_hits, 0u);
+  EXPECT_EQ(with.automaton.dump(), without.automaton.dump());
+  EXPECT_EQ(with.graph.dump(), without.graph.dump());
+  // The cache replaces re-enumeration: strictly fewer reach() calls.
+  EXPECT_LT(with.stats.reach_calls, without.stats.reach_calls);
+}
+
+TEST(ConvertCache, NoRestartMeansNoHits) {
+  // Member sets are unique per meta state, so within a single round every
+  // lookup is a miss; hits only come from restart reuse.
+  auto compiled = driver::compile(workload::listing1().source);
+  auto res = meta_state_convert(compiled.graph, kCost, {});
+  EXPECT_EQ(res.stats.cache_hits, 0u);
+  EXPECT_EQ(res.stats.cache_misses, res.automaton.num_states());
+  EXPECT_EQ(res.stats.restarts, 0);
+}
+
+TEST(ConvertStatsJson, ContainsEveryCounter) {
+  auto compiled = driver::compile(workload::listing1().source);
+  auto res = meta_state_convert(compiled.graph, kCost, {});
+  std::string json = to_json(res.stats);
+  for (const char* field :
+       {"\"meta_states\"", "\"arcs\"", "\"reach_calls\"", "\"splits_performed\"",
+        "\"restarts\"", "\"cache\"", "\"hits\"", "\"misses\"", "\"invalidated\"",
+        "\"threads\"", "\"batches\"", "\"phase_seconds\"", "\"expand\"",
+        "\"merge\"", "\"subsume\"", "\"straighten\"", "\"total\""})
+    EXPECT_NE(json.find(field), std::string::npos) << field << "\n" << json;
 }
 
 TEST(Convert, AdaptiveFallsBackToCompression) {

@@ -47,6 +47,60 @@ TEST(Determinism, RandomProgramsStable) {
   }
 }
 
+TEST(Determinism, ParallelConversionBitIdenticalToSerial) {
+  // The parallel frontier expansion must not leak thread timing into the
+  // result: across every option combination, 1-thread and 4-thread (and
+  // all-cores) conversions must produce bit-identical automata — same
+  // state ids, transitions, straightened order, serialized bytes.
+  for (const auto& name : {"listing1", "listing3", "branchy4", "oddeven_sort"}) {
+    const auto& k = workload::kernel(name);
+    for (bool compress : {false, true}) {
+      for (bool subsume : {false, true}) {
+        for (auto mode :
+             {BarrierMode::TrackOccupancy, BarrierMode::PaperPrune}) {
+          for (bool split : {false, true}) {
+            ConvertOptions opts;
+            opts.compress = compress;
+            opts.subsume = subsume;
+            opts.barrier_mode = mode;
+            opts.time_split = split;
+            auto run = [&](unsigned threads) {
+              opts.threads = threads;
+              auto compiled = driver::compile(k.source);
+              auto conv = meta_state_convert(compiled.graph, kCost, opts);
+              return serialize(
+                  Module{std::move(conv.graph), std::move(conv.automaton)});
+            };
+            std::string serial = run(1);
+            EXPECT_EQ(serial, run(4))
+                << name << " compress=" << compress << " subsume=" << subsume
+                << " prune=" << (mode == BarrierMode::PaperPrune)
+                << " split=" << split;
+            EXPECT_EQ(serial, run(0)) << name << " (threads=all)";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Determinism, CacheDoesNotChangeResults) {
+  // Memoized and unmemoized conversions of a restart-heavy workload must
+  // serialize identically (stats excluded — Module carries default stats).
+  std::string src = workload::kernel("branchy4").source;
+  for (bool split : {false, true}) {
+    ConvertOptions opts;
+    opts.time_split = split;
+    auto run = [&](bool memoize) {
+      opts.memoize = memoize;
+      auto compiled = driver::compile(src);
+      auto conv = meta_state_convert(compiled.graph, kCost, opts);
+      return serialize(Module{std::move(conv.graph), std::move(conv.automaton)});
+    };
+    EXPECT_EQ(run(true), run(false)) << "split=" << split;
+  }
+}
+
 TEST(Validate, CatchesStructuralCorruption) {
   auto compiled = driver::compile(workload::listing1().source);
   auto conv = meta_state_convert(compiled.graph, kCost, {});

@@ -121,6 +121,45 @@ TEST(Hash, RejectsBadInput) {
   EXPECT_THROW(build_switch({5, 5}), std::invalid_argument);
 }
 
+TEST(Hash, ForeignKeyHashingToEmptySlotIsMiss) {
+  // 5 keys in an 8-slot table leave empty (-1 sentinel) slots. A foreign
+  // key landing in one must report a miss — the sentinel must not escape
+  // as a fake "index -1 matched" result, nor index keys[] out of range.
+  std::vector<std::uint64_t> keys = {1, 2, 3, 4, 5};
+  HashedSwitch sw = build_switch(keys);
+  ASSERT_FALSE(sw.is_linear());
+  bool probed_empty_slot = false;
+  for (std::uint64_t probe = 0; probe < 64; ++probe) {
+    bool is_key = false;
+    for (std::uint64_t k : keys) is_key |= k == probe;
+    if (is_key) continue;
+    std::uint64_t h = sw.fn.eval(probe);
+    ASSERT_LT(h, sw.table.size());
+    if (sw.table[h] < 0) probed_empty_slot = true;
+    EXPECT_EQ(sw.lookup(probe), -1) << "probe " << probe;
+  }
+  EXPECT_TRUE(probed_empty_slot);
+}
+
+TEST(Hash, CorruptTableIndexOutOfRangeIsMiss) {
+  // A hand-built (or corrupted/deserialized) table may hold slot indexes
+  // past the key vector; lookup must answer miss, not read out of range.
+  HashedSwitch sw = build_switch({0, 1, 2, 3});
+  ASSERT_EQ(sw.fn.kind, HashFn::Kind::Identity);
+  sw.table[2] = 99;  // points far past keys.size()
+  EXPECT_EQ(sw.lookup(2), -1);
+  // Untouched slots still resolve.
+  EXPECT_EQ(sw.lookup(1), 1);
+}
+
+TEST(Hash, AllEmptyTableRejectsEverything) {
+  HashedSwitch sw = build_switch({7, 11});
+  for (auto& slot : sw.table) slot = -1;
+  EXPECT_EQ(sw.lookup(7), -1);
+  EXPECT_EQ(sw.lookup(11), -1);
+  EXPECT_EQ(sw.lookup(0), -1);
+}
+
 TEST(Hash, RenderedExpressionsLookLikeListing5) {
   HashFn f1{HashFn::Kind::NotShiftMask, 5, 0, 3};
   EXPECT_EQ(f1.render("apc"), "(((~apc) >> 5) & 3)");
