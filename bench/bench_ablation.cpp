@@ -26,7 +26,8 @@ std::int64_t run_cycles(const driver::Compiled& compiled,
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, gopts);
   mimd::RunConfig cfg;
   cfg.nprocs = 16;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, compiled, cfg, kSeed);
   m.run();
   return m.stats().control_cycles;

@@ -71,7 +71,8 @@ void BM_RunBase(benchmark::State& state) {
   mimd::RunConfig cfg;
   cfg.nprocs = 16;
   for (auto _ : state) {
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, compiled, cfg, kSeed);
     m.run();
     benchmark::DoNotOptimize(m.stats());
@@ -88,7 +89,8 @@ void BM_RunCompressed(benchmark::State& state) {
   mimd::RunConfig cfg;
   cfg.nprocs = 16;
   for (auto _ : state) {
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, compiled, cfg, kSeed);
     m.run();
     benchmark::DoNotOptimize(m.stats());

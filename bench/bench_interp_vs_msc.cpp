@@ -23,7 +23,8 @@ struct Row {
   std::string kernel;
   interp::InterpStats naive;
   interp::InterpStats smart;
-  simd::SimdStats msc;
+  simd::SimdStats msc;       // fast (occupancy-indexed) engine
+  simd::SimdStats msc_ref;   // reference (scalar) engine — must equal msc
 };
 
 mimd::RunConfig config_for(const workload::Kernel& k) {
@@ -45,7 +46,10 @@ Row measure(const workload::Kernel& k) {
     (dispatch == interp::Dispatch::Naive ? row.naive : row.smart) = m.stats();
   }
   auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+  cfg.engine = mimd::SimdEngine::Fast;
   driver::run_simd(compiled, conv, cfg, kSeed, kCost, {}, &row.msc);
+  cfg.engine = mimd::SimdEngine::Reference;
+  driver::run_simd(compiled, conv, cfg, kSeed, kCost, {}, &row.msc_ref);
   return row;
 }
 
@@ -98,6 +102,15 @@ void report() {
     u.row({r.kernel, bench::pct(r.smart.utilization()),
            bench::pct(r.msc.utilization())});
   u.print("PE utilization while executing");
+
+  Table e({"kernel", "fast cyc", "reference cyc", "stats equal"},
+          {18, 12, 15, 12});
+  for (const Row& r : rows)
+    e.row({r.kernel, bench::num(r.msc.control_cycles),
+           bench::num(r.msc_ref.control_cycles),
+           r.msc == r.msc_ref ? "yes" : "DRIFT"});
+  e.print("Engine cross-check — the occupancy-indexed engine and the scalar "
+          "reference report bit-identical simulated cycles");
 }
 
 void BM_InterpNaive(benchmark::State& state) {
@@ -134,7 +147,8 @@ void BM_MscExecution(benchmark::State& state) {
   mimd::RunConfig cfg;
   cfg.nprocs = 16;
   for (auto _ : state) {
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, compiled, cfg, kSeed);
     m.run();
     benchmark::DoNotOptimize(m.stats());

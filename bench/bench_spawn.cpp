@@ -50,7 +50,8 @@ void report() {
     mimd::RunConfig cfg;
     cfg.nprocs = 16;
     cfg.initial_active = 3;
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     std::int64_t peak = m.alive_count();
     while (m.step()) peak = std::max(peak, m.alive_count());
 
@@ -83,7 +84,8 @@ void report() {
       cfg.nprocs = 4;
       cfg.initial_active = 1;
       cfg.reuse_halted_pes = reuse;
-      simd::SimdMachine m(prog, kCost, cfg);
+      auto m_ptr = simd::make_machine(prog, kCost, cfg);
+      simd::SimdMachine& m = *m_ptr;
       try {
         m.run();
         r.row({reuse ? "reuse halted PEs" : "fresh PEs only",
@@ -109,7 +111,8 @@ void BM_SpawnHeavyRun(benchmark::State& state) {
   cfg.nprocs = 64;
   cfg.initial_active = 8;
   for (auto _ : state) {
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     m.run();
     benchmark::DoNotOptimize(m.stats());
   }

@@ -80,7 +80,8 @@ void BM_SimdWithBarriers(benchmark::State& state) {
   mimd::RunConfig cfg;
   cfg.nprocs = state.range(0);
   for (auto _ : state) {
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, compiled, cfg, kSeed);
     m.run();
     benchmark::DoNotOptimize(m.stats());

@@ -21,6 +21,12 @@
 //   --emit mpl|meta|mimd|dot|dot-mimd|profile|module   what to print (default meta)
 //   --run               also execute on SIMD machine + MIMD oracle
 //   --trace             like --run, plus a per-meta-state occupancy trace
+//   --simd-engine E     SIMD simulator engine: fast (occupancy-indexed,
+//                       default) or reference (scalar oracle); both are
+//                       bit-identical in results and stats
+//   --trace-simd F      like --run, plus write execution stats (engine,
+//                       cycles, utilization, per-meta-state visits) as
+//                       JSON to file F ('-' = stdout)
 //   --nprocs N          PEs (default 8)
 //   --active N          initially active PEs (default all)
 //   --seed S            per-PE input seed (default 1)
@@ -28,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "msc/codegen/program.hpp"
@@ -49,6 +56,7 @@ int usage() {
                "            [--no-cache] [--threads N] [--trace-convert FILE] "
                "[--no-csi]\n"
                "            [--emit mpl|meta|mimd|dot|dot-mimd|profile|module] [--run]\n"
+               "            [--simd-engine fast|reference] [--trace-simd FILE]\n"
                "            [--nprocs N] [--active N] [--seed S]\n"
                "            (file.mimdc | --kernel <name>)\n"
                "\n"
@@ -59,7 +67,13 @@ int usage() {
                "                    for every N\n"
                "  --trace-convert F write conversion stats JSON (cache\n"
                "                    hits/misses, restarts, per-phase wall\n"
-               "                    time) to F; '-' writes to stdout\n");
+               "                    time) to F; '-' writes to stdout\n"
+               "  --simd-engine E   fast = occupancy-indexed engine (default),\n"
+               "                    reference = the scalar oracle; results and\n"
+               "                    stats are bit-identical either way\n"
+               "  --trace-simd F    implies --run; write SIMD execution stats\n"
+               "                    JSON (engine, cycles, utilization,\n"
+               "                    per-meta-state visits) to F; '-' = stdout\n");
   return 2;
 }
 
@@ -74,6 +88,7 @@ int main(int argc, char** argv) {
   config.nprocs = 8;
   bool run = false;
   bool trace = false;
+  std::string trace_simd_path;
   std::uint64_t seed = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +112,15 @@ int main(int argc, char** argv) {
     else if (arg == "--emit") emit = next();
     else if (arg == "--run") run = true;
     else if (arg == "--trace") { run = true; trace = true; }
+    else if (arg == "--simd-engine") {
+      try {
+        config.engine = simd::parse_engine(next());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "mscc: %s\n", e.what());
+        return usage();
+      }
+    }
+    else if (arg == "--trace-simd") { run = true; trace_simd_path = next(); }
     else if (arg == "--nprocs") config.nprocs = std::atoll(next());
     else if (arg == "--active") config.initial_active = std::atoll(next());
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
@@ -148,8 +172,9 @@ int main(int argc, char** argv) {
     if (run) {
       simd::SimdStats stats;
       auto oracle = driver::run_oracle(compiled, config, seed);
-      if (trace) {
-        // Step the SIMD machine manually, printing occupancy per state.
+      if (trace || !trace_simd_path.empty()) {
+        // Step the SIMD machine manually, printing occupancy per state
+        // and/or dumping the execution-stats JSON.
         class Printer final : public simd::SimdTracer {
          public:
           void on_state(core::MetaId id, const DynBitset& occ,
@@ -167,20 +192,25 @@ int main(int argc, char** argv) {
           int step_ = 0;
         } printer;
         auto prog = codegen::generate(conv.automaton, conv.graph, cost, gopts);
-        simd::SimdMachine machine(prog, cost, config);
-        driver::seed_machine(machine, compiled, config, seed);
-        machine.set_tracer(&printer);
-        std::printf("\n%5s  %-6s %-22s %s\n", "step", "state", "occupancy",
-                    "alive");
-        machine.run();
+        auto machine = simd::make_machine(prog, cost, config);
+        driver::seed_machine(*machine, compiled, config, seed);
+        if (trace) {
+          machine->set_tracer(&printer);
+          std::printf("\n%5s  %-6s %-22s %s\n", "step", "state", "occupancy",
+                      "alive");
+        }
+        machine->run();
+        if (!trace_simd_path.empty())
+          driver::write_simd_trace(*machine, trace_simd_path);
       }
       auto simd = driver::run_simd(compiled, conv, config, seed, cost, gopts,
                                    &stats);
       std::printf("\noracle: %s\n", oracle.to_string().c_str());
       std::printf("simd  : %s\n", simd.to_string().c_str());
       std::printf("match : %s\n", oracle == simd ? "yes" : "NO");
-      std::printf("meta states=%zu cycles=%lld utilization=%.1f%% "
+      std::printf("engine=%s meta states=%zu cycles=%lld utilization=%.1f%% "
                   "global-ors=%lld\n",
+                  config.engine == mimd::SimdEngine::Fast ? "fast" : "reference",
                   conv.automaton.num_states(),
                   static_cast<long long>(stats.control_cycles),
                   100.0 * stats.utilization(),

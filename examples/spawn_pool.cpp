@@ -29,7 +29,8 @@ int main() {
   config.nprocs = 8;
   config.initial_active = 2;  // PEs 2..7 form the free pool
 
-  simd::SimdMachine machine(prog, cost, config);
+  auto machine_ptr = simd::make_machine(prog, cost, config);
+  simd::SimdMachine& machine = *machine_ptr;
   std::printf("== PE pool occupancy per meta state ==\n");
   std::printf("%6s %-14s %6s %8s\n", "step", "meta state", "alive", "spawns");
   int step = 0;

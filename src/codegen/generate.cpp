@@ -58,7 +58,11 @@ class Generator {
     prog.mimd_states = graph_.size();
     prog.index = aut_.index;
     prog.states.reserve(aut_.states.size());
-    for (const MetaState& ms : aut_.states) prog.states.push_back(gen_state(ms));
+    for (const MetaState& ms : aut_.states) {
+      MetaCode mc = gen_state(ms);
+      finalize_guards(mc);
+      prog.states.push_back(std::move(mc));
+    }
     // §4.2 straightening laid direct chains out consecutively; mark the
     // transitions that became fall-throughs.
     for (MetaCode& mc : prog.states)
@@ -68,6 +72,17 @@ class Generator {
   }
 
  private:
+  static void finalize_guards(MetaCode& mc) {
+    const DynBitset* prev = nullptr;
+    for (SOp& op : mc.code) {
+      op.guard_states.clear();
+      for (std::size_t s : op.guard.bits())
+        op.guard_states.push_back(static_cast<StateId>(s));
+      op.new_guard = !prev || !(*prev == op.guard);
+      prev = &op.guard;
+    }
+  }
+
   MetaCode gen_state(const MetaState& ms) {
     MetaCode mc;
     mc.id = ms.id;

@@ -32,6 +32,14 @@ struct SOp {
   ir::Instr instr{ir::Opcode::PushI, {}};
   ir::StateId a = ir::kNoState;
   ir::StateId b = ir::kNoState;
+  /// Sorted members of `guard`, precomputed by generate() so the
+  /// occupancy-indexed engine iterates per-state PE lists instead of
+  /// testing every PE against the guard bitset.
+  std::vector<ir::StateId> guard_states;
+  /// True when this op's guard differs from the previous op's in the same
+  /// meta state — the enable-mask reprogramming boundaries the machines
+  /// charge `cost.guard_switch` for (first op of a state is always true).
+  bool new_guard = true;
 };
 
 /// How execution leaves a meta state (§3.2.1–3.2.4).

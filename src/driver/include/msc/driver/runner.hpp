@@ -54,16 +54,27 @@ void seed_machine(M& machine, const Compiled& compiled,
 void write_convert_trace(const core::ConvertStats& stats,
                          const std::string& path);
 
+/// Write a finished SIMD machine's execution trace (simd::to_json: engine
+/// name, cycle stats, utilization, per-meta-state visits) to `path`
+/// ("-" = stdout). Throws std::runtime_error when the file cannot be
+/// written. Used by mscc --trace-simd.
+void write_simd_trace(const simd::SimdMachine& machine,
+                      const std::string& path);
+
 /// Run the MIMD oracle and collect observations.
 Observed run_oracle(const Compiled& compiled, const mimd::RunConfig& config,
                     std::uint64_t seed, mimd::MimdStats* stats_out = nullptr);
 
-/// Convert + codegen + run on the SIMD machine and collect observations.
+/// Convert + codegen + run on the SIMD machine (engine per
+/// `config.engine`) and collect observations. `visits_out`, when given,
+/// receives the per-meta-state visit counts (differential tests,
+/// --trace-simd).
 Observed run_simd(const Compiled& compiled, const core::ConvertResult& conversion,
                   const mimd::RunConfig& config, std::uint64_t seed,
                   const ir::CostModel& cost = {},
                   const codegen::CodegenOptions& cg = {},
-                  simd::SimdStats* stats_out = nullptr);
+                  simd::SimdStats* stats_out = nullptr,
+                  std::vector<std::int64_t>* visits_out = nullptr);
 
 }  // namespace msc::driver
 

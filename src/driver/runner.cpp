@@ -84,18 +84,32 @@ std::string Observed::to_string() const {
   return os.str();
 }
 
-void write_convert_trace(const core::ConvertStats& stats,
-                         const std::string& path) {
-  std::string json = core::to_json(stats);
+namespace {
+
+void write_trace_json(const std::string& json, const std::string& what,
+                      const std::string& path) {
   if (path == "-") {
     std::fputs(json.c_str(), stdout);
     return;
   }
   std::ofstream out(path);
-  if (!out) throw std::runtime_error(cat("cannot write convert trace to '", path, "'"));
+  if (!out)
+    throw std::runtime_error(cat("cannot write ", what, " to '", path, "'"));
   out << json;
   if (!out.flush())
-    throw std::runtime_error(cat("failed writing convert trace to '", path, "'"));
+    throw std::runtime_error(cat("failed writing ", what, " to '", path, "'"));
+}
+
+}  // namespace
+
+void write_convert_trace(const core::ConvertStats& stats,
+                         const std::string& path) {
+  write_trace_json(core::to_json(stats), "convert trace", path);
+}
+
+void write_simd_trace(const simd::SimdMachine& machine,
+                      const std::string& path) {
+  write_trace_json(simd::to_json(machine), "simd trace", path);
 }
 
 std::int64_t seed_input(std::uint64_t seed, std::int64_t pe) {
@@ -119,17 +133,19 @@ Observed run_oracle(const Compiled& compiled, const mimd::RunConfig& config,
 Observed run_simd(const Compiled& compiled, const core::ConvertResult& conversion,
                   const mimd::RunConfig& config, std::uint64_t seed,
                   const ir::CostModel& cost, const codegen::CodegenOptions& cg,
-                  simd::SimdStats* stats_out) {
+                  simd::SimdStats* stats_out,
+                  std::vector<std::int64_t>* visits_out) {
   codegen::SimdProgram prog =
       codegen::generate(conversion.automaton, conversion.graph, cost, cg);
-  simd::SimdMachine machine(prog, cost, config);
-  seed_machine(machine, compiled, config, seed);
-  machine.run();
-  if (stats_out) *stats_out = machine.stats();
+  auto machine = simd::make_machine(prog, cost, config);
+  seed_machine(*machine, compiled, config, seed);
+  machine->run();
+  if (stats_out) *stats_out = machine->stats();
+  if (visits_out) *visits_out = machine->state_visits();
   std::vector<bool> ran(static_cast<std::size_t>(config.nprocs));
   for (std::int64_t p = 0; p < config.nprocs; ++p)
-    ran[static_cast<std::size_t>(p)] = machine.ever_ran(p);
-  return observe(machine, compiled, config, ran);
+    ran[static_cast<std::size_t>(p)] = machine->ever_ran(p);
+  return observe(*machine, compiled, config, ran);
 }
 
 }  // namespace msc::driver

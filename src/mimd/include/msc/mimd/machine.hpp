@@ -11,6 +11,16 @@
 
 namespace msc::mimd {
 
+/// Which SIMD simulator executes the meta-state program. Both engines are
+/// observably identical (memories, stats, tracer streams — enforced by
+/// tests/simd_differential_test.cpp); they differ only in host cost:
+///  - Fast: occupancy-indexed — per-broadcast work proportional to the
+///    PEs actually enabled, with incrementally maintained aggregate pc,
+///    alive count, and free-PE pool.
+///  - Reference: the original scalar oracle — every broadcast scans all
+///    nprocs PEs; kept compiled in forever as the differential baseline.
+enum class SimdEngine : std::uint8_t { Fast, Reference };
+
 /// Shared run parameters for both simulated machines.
 struct RunConfig {
   std::int64_t nprocs = 4;
@@ -28,6 +38,8 @@ struct RunConfig {
   /// SIMD machine may hand the same process different PEs. The default
   /// (false) allocates fresh PEs only, keeping assignment deterministic.
   bool reuse_halted_pes = false;
+  /// SIMD simulator engine built by simd::make_machine / driver::run_simd.
+  SimdEngine engine = SimdEngine::Fast;
 
   std::int64_t active() const { return initial_active < 0 ? nprocs : initial_active; }
 };

@@ -1,0 +1,196 @@
+// Occupancy-indexed SIMD engine. Host cost per broadcast is proportional
+// to the PEs the guard actually enables, not to nprocs:
+//
+//  - occ_[s] holds the ids of the PEs sitting in MIMD state s, so a
+//    broadcast walks occ_[s] for the occupied guard states only. Bitset
+//    order makes multi-PE side effects (mono/router stores) land in
+//    ascending PE id — the same order the reference engine's 0..nprocs
+//    scan uses, hence bit-identical memories.
+//  - apc_ (the aggregate pc) and alive_ are maintained at the pc commit
+//    of each meta state instead of by the reference engine's three full
+//    scans per step.
+//  - free_ is the spawn pool; first() returns the lowest-numbered free
+//    PE, matching the reference engine's linear search.
+//
+// Invariants between meta states (DESIGN.md §7):
+//   occ_[s] == { i | pes_[i].pc == s }, occ_count_[s] == |occ_[s]|,
+//   apc_.test(s) == (occ_count_[s] > 0), alive_ == Σ occ_count_,
+//   pes_[i].next_pc == pes_[i].pc, and free_ holds exactly the PEs a
+//   spawn may claim (idle, and fresh unless reuse_halted_pes).
+// Within exec_state, pcs are frozen (lockstep semantics) — only next_pc
+// changes, and each changed PE is recorded once in moved_.
+#include "msc/simd/machine.hpp"
+
+namespace msc::simd {
+
+using codegen::MetaCode;
+using codegen::SOp;
+using codegen::SOpKind;
+using core::MetaId;
+using ir::kNoState;
+using ir::MachineFault;
+using ir::StateId;
+
+FastSimdMachine::FastSimdMachine(const codegen::SimdProgram& program,
+                                 const ir::CostModel& cost,
+                                 const mimd::RunConfig& config)
+    : SimdMachine(program, cost, config),
+      occ_(prog_.mimd_states, DynBitset(static_cast<std::size_t>(config_.nprocs))),
+      occ_count_(prog_.mimd_states, 0),
+      apc_(prog_.mimd_states),
+      free_(static_cast<std::size_t>(config_.nprocs)) {
+  for (std::int64_t i = 0; i < config_.nprocs; ++i) {
+    Pe& pe = pes_[static_cast<std::size_t>(i)];
+    pe.next_pc = pe.pc;
+    if (pe.pc != kNoState) {
+      occ_[static_cast<std::size_t>(pe.pc)].set(static_cast<std::size_t>(i));
+      if (occ_count_[static_cast<std::size_t>(pe.pc)]++ == 0)
+        apc_.set(static_cast<std::size_t>(pe.pc));
+      ++alive_;
+    } else {
+      free_.set(static_cast<std::size_t>(i));  // never ran: spawnable
+    }
+  }
+}
+
+void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
+                              std::int64_t i) {
+  Pe& pe = pes_[static_cast<std::size_t>(i)];
+  stats_.busy_pe_cycles += op_cost;
+  switch (op.kind) {
+    case SOpKind::Data: {
+      ir::PeContext ctx{&pe.local, &pe.stack, i, config_.nprocs};
+      ir::exec_instr(op.instr, ctx, *this);
+      break;
+    }
+    case SOpKind::SetPc:
+      pe.next_pc = op.a;
+      moved_.push_back(i);
+      break;
+    case SOpKind::CondSetPc: {
+      Value cond = ir::stack_pop(pe.stack);
+      pe.next_pc = cond.truthy() ? op.a : op.b;
+      moved_.push_back(i);
+      break;
+    }
+    case SOpKind::HaltPc:
+      pe.next_pc = kNoState;
+      moved_.push_back(i);
+      break;
+    case SOpKind::SpawnPc: {
+      std::size_t child = free_.first();
+      if (child == DynBitset::npos)
+        throw MachineFault("spawn failed: no free processing element "
+                           "(§3.2.5 assumes processes ≤ processors)");
+      free_.reset(child);
+      Pe& ch = pes_[child];
+      ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
+                      Value{});
+      ch.stack.clear();
+      ch.next_pc = op.a;
+      ch.ever_ran = true;
+      moved_.push_back(static_cast<std::int64_t>(child));
+      ++stats_.spawns;
+      pe.next_pc = op.b;
+      moved_.push_back(i);
+      break;
+    }
+  }
+}
+
+void FastSimdMachine::exec_state(const MetaCode& mc) {
+  for (const SOp& op : mc.code) {
+    // Enable-mask reprogramming boundaries are precomputed by codegen
+    // (SOp::new_guard); the reference engine re-derives them at runtime.
+    if (op.new_guard) {
+      stats_.control_cycles += cost_.guard_switch;
+      ++stats_.guard_switches;
+    }
+    std::int64_t op_cost = 0;
+    switch (op.kind) {
+      case SOpKind::Data: op_cost = cost_.instr_cost(op.instr); break;
+      case SOpKind::SetPc: op_cost = cost_.jump; break;
+      case SOpKind::CondSetPc: op_cost = cost_.branch; break;
+      case SOpKind::HaltPc: op_cost = cost_.halt; break;
+      case SOpKind::SpawnPc: op_cost = cost_.spawn; break;
+    }
+    stats_.control_cycles += op_cost;
+    stats_.offered_pe_cycles += op_cost * alive_;
+
+    // Broadcast to the occupied guard states only.
+    occupied_scratch_.clear();
+    for (StateId s : op.guard_states)
+      if (occ_count_[static_cast<std::size_t>(s)] != 0)
+        occupied_scratch_.push_back(s);
+    if (occupied_scratch_.empty()) continue;  // nobody enabled: PEs idle
+
+    if (occupied_scratch_.size() == 1) {
+      // Count-limited traversal: stop after occ_count_ PEs instead of
+      // scanning the bitset's trailing zero words for the npos sentinel.
+      std::size_t s = static_cast<std::size_t>(occupied_scratch_[0]);
+      const DynBitset& pes = occ_[s];
+      std::size_t i = pes.first();
+      for (std::int64_t left = occ_count_[s];;) {
+        exec_op(op, op_cost, static_cast<std::int64_t>(i));
+        if (--left == 0) break;
+        i = pes.next(i);
+      }
+    } else {
+      // Multi-state guard (CSI-induced data op). A PE sits in exactly one
+      // MIMD state, so the per-state PE sets are disjoint: a k-way merge
+      // of count-limited cursors visits the union in ascending PE id
+      // (the reference engine's 0..nprocs order) without materializing it.
+      cursor_scratch_.clear();
+      for (StateId s : occupied_scratch_) {
+        const DynBitset& pes = occ_[static_cast<std::size_t>(s)];
+        cursor_scratch_.push_back(
+            {&pes, pes.first(), occ_count_[static_cast<std::size_t>(s)]});
+      }
+      while (!cursor_scratch_.empty()) {
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < cursor_scratch_.size(); ++k)
+          if (cursor_scratch_[k].pos < cursor_scratch_[best].pos) best = k;
+        OccCursor& c = cursor_scratch_[best];
+        exec_op(op, op_cost, static_cast<std::int64_t>(c.pos));
+        if (--c.left == 0) {
+          cursor_scratch_.erase(cursor_scratch_.begin() +
+                                static_cast<std::ptrdiff_t>(best));
+        } else {
+          c.pos = c.pes->next(c.pos);
+        }
+      }
+    }
+  }
+  commit();
+}
+
+void FastSimdMachine::commit() {
+  for (std::int64_t i : moved_) {
+    Pe& pe = pes_[static_cast<std::size_t>(i)];
+    if (pe.next_pc == pe.pc) continue;  // e.g. a self-loop branch target
+    if (pe.pc != kNoState) {
+      std::size_t old_pc = static_cast<std::size_t>(pe.pc);
+      occ_[old_pc].reset(static_cast<std::size_t>(i));
+      if (--occ_count_[old_pc] == 0) apc_.reset(old_pc);
+    } else {
+      ++alive_;  // spawned child comes to life
+    }
+    if (pe.next_pc != kNoState) {
+      std::size_t new_pc = static_cast<std::size_t>(pe.next_pc);
+      occ_[new_pc].set(static_cast<std::size_t>(i));
+      if (occ_count_[new_pc]++ == 0) apc_.set(new_pc);
+    } else {
+      --alive_;  // halted; §3.2.5: returns to the pool only under reuse
+      if (config_.reuse_halted_pes) free_.set(static_cast<std::size_t>(i));
+    }
+    pe.pc = pe.next_pc;
+  }
+  moved_.clear();
+}
+
+MetaId FastSimdMachine::next_state(const MetaCode& mc, DynBitset* apc) {
+  *apc = apc_;
+  return resolve_transition(mc, *apc);
+}
+
+}  // namespace msc::simd

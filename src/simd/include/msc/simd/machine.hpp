@@ -2,12 +2,14 @@
 #define MSC_SIMD_MACHINE_HPP
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "msc/codegen/program.hpp"
 #include "msc/ir/cost.hpp"
 #include "msc/ir/exec.hpp"
-#include "msc/mimd/machine.hpp"  // RunConfig, Timeout
+#include "msc/mimd/machine.hpp"  // RunConfig, SimdEngine, Timeout
 
 namespace msc::simd {
 
@@ -36,11 +38,14 @@ struct SimdStats {
                : static_cast<double>(busy_pe_cycles) /
                      static_cast<double>(offered_pe_cycles);
   }
+
+  bool operator==(const SimdStats& o) const = default;
 };
 
 /// Observer for meta-state execution (tracing/visualization). Callbacks
 /// fire synchronously from run()/step(); implementations must not mutate
-/// the machine.
+/// the machine. Attaching a tracer never changes the run's statistics:
+/// both engines compute tracer inputs lazily (machine_test asserts this).
 class SimdTracer {
  public:
   virtual ~SimdTracer() = default;
@@ -58,10 +63,17 @@ class SimdTracer {
 /// merely hold data"), per-PE enable bits derived from the pc guards, a
 /// global-or network for aggregate pcs, and a router for parallel
 /// subscripts. Per-PE program memory footprint is zero by construction.
+///
+/// This is the engine-independent interface plus the shared substrate
+/// (PE/mono memory, stats, visit counts, the step() skeleton and the
+/// transition-table lookup). Two engines implement the per-broadcast hot
+/// path — see mimd::SimdEngine and make_machine(); their observable
+/// behaviour is bit-identical by contract (simd_differential_test).
 class SimdMachine : public ir::MemoryBus {
  public:
   SimdMachine(const codegen::SimdProgram& program, const ir::CostModel& cost,
               const mimd::RunConfig& config);
+  ~SimdMachine() override = default;
 
   void poke(std::int64_t proc, std::int64_t addr, Value v);
   Value peek(std::int64_t proc, std::int64_t addr) const;
@@ -78,11 +90,16 @@ class SimdMachine : public ir::MemoryBus {
   /// trace occupancy over time.
   bool step();
   core::MetaId current_state() const { return cur_; }
-  std::int64_t alive_count() const;
+  virtual std::int64_t alive_count() const;
+
+  /// "fast" or "reference" (--trace-simd, bench labels).
+  virtual const char* engine_name() const = 0;
 
   const SimdStats& stats() const { return stats_; }
-  bool ever_ran(std::int64_t proc) const { return pes_[proc].ever_ran; }
-  /// Per-meta-state execution counts (benches).
+  bool ever_ran(std::int64_t proc) const {
+    return pes_[static_cast<std::size_t>(proc)].ever_ran;
+  }
+  /// Per-meta-state execution counts (benches, --trace-simd).
   const std::vector<std::int64_t>& state_visits() const { return visits_; }
 
   // MemoryBus:
@@ -91,7 +108,7 @@ class SimdMachine : public ir::MemoryBus {
   Value route_load(std::int64_t proc, std::int64_t addr) override;
   void route_store(std::int64_t proc, std::int64_t addr, Value v) override;
 
- private:
+ protected:
   struct Pe {
     ir::StateId pc = ir::kNoState;
     ir::StateId next_pc = ir::kNoState;
@@ -101,8 +118,25 @@ class SimdMachine : public ir::MemoryBus {
   };
 
   bool alive(const Pe& pe) const { return pe.pc != ir::kNoState; }
-  void exec_state(const codegen::MetaCode& mc);
-  core::MetaId next_state(const codegen::MetaCode& mc);
+
+  /// Run one meta state's guarded broadcasts and commit the pc updates.
+  virtual void exec_state(const codegen::MetaCode& mc) = 0;
+  /// Produce the post-exec aggregate pc into *apc (a single computation
+  /// per step, shared by the transition and the tracer) and resolve the
+  /// exit transition via resolve_transition().
+  virtual core::MetaId next_state(const codegen::MetaCode& mc,
+                                  DynBitset* apc) = 0;
+  /// Is any PE running? (pre-first-step emptiness check)
+  virtual bool any_alive() const;
+  /// Current occupancy for the tracer (only called when a tracer is set).
+  virtual DynBitset occupancy() const { return aggregate_pc(); }
+
+  /// Transition-table lookup shared by both engines: charges the static
+  /// transition cost, counts global-ors, and resolves Direct/Multiway/
+  /// rescue exactly as §3.2.1–3.2.4 prescribe.
+  core::MetaId resolve_transition(const codegen::MetaCode& mc,
+                                  const DynBitset& apc);
+  /// O(nprocs) occupancy scan (reference path; tracer fallback).
   DynBitset aggregate_pc() const;
   void check_local(std::int64_t proc, std::int64_t addr) const;
 
@@ -117,6 +151,87 @@ class SimdMachine : public ir::MemoryBus {
   bool finished_ = false;
   SimdTracer* tracer_ = nullptr;
 };
+
+/// The original scalar implementation, kept compiled in forever as the
+/// differential oracle: every broadcast scans all nprocs PEs against the
+/// guard, the aggregate pc is a full rescan, and spawn allocation is a
+/// linear free-PE search.
+class ReferenceSimdMachine final : public SimdMachine {
+ public:
+  using SimdMachine::SimdMachine;
+  const char* engine_name() const override { return "reference"; }
+
+ protected:
+  void exec_state(const codegen::MetaCode& mc) override;
+  core::MetaId next_state(const codegen::MetaCode& mc,
+                          DynBitset* apc) override;
+};
+
+/// Occupancy-indexed engine: per-MIMD-state PE sets let each broadcast
+/// iterate only the PEs whose pc is in the op's guard, and the aggregate
+/// pc, alive count, and free-PE pool are maintained incrementally at the
+/// per-meta-state pc commit instead of by full scans. Host cost per
+/// broadcast is O(enabled PEs + occupied guard states), not O(nprocs).
+/// See DESIGN.md §7 for the maintained invariants.
+class FastSimdMachine final : public SimdMachine {
+ public:
+  FastSimdMachine(const codegen::SimdProgram& program,
+                  const ir::CostModel& cost, const mimd::RunConfig& config);
+  const char* engine_name() const override { return "fast"; }
+  std::int64_t alive_count() const override { return alive_; }
+
+ protected:
+  void exec_state(const codegen::MetaCode& mc) override;
+  core::MetaId next_state(const codegen::MetaCode& mc,
+                          DynBitset* apc) override;
+  bool any_alive() const override { return alive_ > 0; }
+  DynBitset occupancy() const override { return apc_; }
+
+ private:
+  void exec_op(const codegen::SOp& op, std::int64_t op_cost, std::int64_t pe);
+  void commit();
+
+  /// occ_[s] = PE ids whose pc == s (bit order doubles as the PE-id
+  /// execution order the reference engine uses); occ_count_[s] = |occ_[s]|.
+  std::vector<DynBitset> occ_;
+  std::vector<std::int64_t> occ_count_;
+  /// Incremental aggregate pc: bit s set iff occ_count_[s] > 0.
+  DynBitset apc_;
+  std::int64_t alive_ = 0;
+  /// PEs a spawn may claim: pc == none, no pending claim, and fresh per
+  /// `reuse_halted_pes` (halted PEs re-enter the pool only when reuse is
+  /// on). first() yields the lowest-numbered free PE, matching the
+  /// reference engine's linear scan.
+  DynBitset free_;
+  /// PEs with a pending next_pc ≠ pc this meta state (each PE executes at
+  /// most one pc-writing op per state, so entries are unique).
+  std::vector<std::int64_t> moved_;
+  /// Count-limited iterator over one occupied state's PE set: `left`
+  /// bounds the traversal so bits() never pays the trailing zero-word
+  /// scan, keeping per-op host cost proportional to enabled PEs.
+  struct OccCursor {
+    const DynBitset* pes;
+    std::size_t pos;
+    std::int64_t left;
+  };
+
+  // Scratch reused across broadcasts (no per-op allocation).
+  std::vector<ir::StateId> occupied_scratch_;
+  std::vector<OccCursor> cursor_scratch_;
+};
+
+/// Build the engine selected by `config.engine`.
+std::unique_ptr<SimdMachine> make_machine(const codegen::SimdProgram& program,
+                                          const ir::CostModel& cost,
+                                          const mimd::RunConfig& config);
+
+/// Parse "fast"/"reference" (mscc --simd-engine); throws
+/// std::invalid_argument on anything else.
+mimd::SimdEngine parse_engine(const std::string& name);
+
+/// JSON for --trace-simd: engine name, cycle/utilization stats, and
+/// per-meta-state visit counts. Schema documented in DESIGN.md §7.
+std::string to_json(const SimdMachine& machine);
 
 }  // namespace msc::simd
 

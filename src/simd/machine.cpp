@@ -1,12 +1,16 @@
+// Engine-independent SIMD machine substrate: construction, memory access,
+// the step() skeleton, and the §3.2 transition-table lookup. The two
+// per-broadcast hot paths live in reference.cpp and fast.cpp.
 #include "msc/simd/machine.hpp"
+
+#include <cstdio>
+#include <stdexcept>
 
 #include "msc/support/str.hpp"
 
 namespace msc::simd {
 
 using codegen::MetaCode;
-using codegen::SOp;
-using codegen::SOpKind;
 using codegen::TransKind;
 using core::kNoMeta;
 using core::MetaId;
@@ -80,95 +84,24 @@ DynBitset SimdMachine::aggregate_pc() const {
   return apc;
 }
 
-void SimdMachine::exec_state(const MetaCode& mc) {
-  std::int64_t alive_count = 0;
-  for (Pe& pe : pes_) {
-    pe.next_pc = pe.pc;
-    if (alive(pe)) ++alive_count;
-  }
-
-  const DynBitset* prev_guard = nullptr;
-  for (const SOp& op : mc.code) {
-    // Re-programming the PE enable mask costs a broadcast of its own
-    // whenever consecutive ops carry different guards (the `if (pc & …)`
-    // boundaries of Listing 5).
-    // (Charged to the control unit only: utilization remains the §2.4
-    // divergence metric over instruction broadcasts.)
-    if (!prev_guard || !(*prev_guard == op.guard)) {
-      stats_.control_cycles += cost_.guard_switch;
-      ++stats_.guard_switches;
-    }
-    prev_guard = &op.guard;
-    // Single instruction broadcast: enabled PEs act, the rest idle.
-    std::int64_t op_cost = 0;
-    switch (op.kind) {
-      case SOpKind::Data: op_cost = cost_.instr_cost(op.instr); break;
-      case SOpKind::SetPc: op_cost = cost_.jump; break;
-      case SOpKind::CondSetPc: op_cost = cost_.branch; break;
-      case SOpKind::HaltPc: op_cost = cost_.halt; break;
-      case SOpKind::SpawnPc: op_cost = cost_.spawn; break;
-    }
-    stats_.control_cycles += op_cost;
-    stats_.offered_pe_cycles += op_cost * alive_count;
-
-    for (std::int64_t i = 0; i < config_.nprocs; ++i) {
-      Pe& pe = pes_[static_cast<std::size_t>(i)];
-      if (!alive(pe) || !op.guard.test(pe.pc)) continue;
-      stats_.busy_pe_cycles += op_cost;
-      switch (op.kind) {
-        case SOpKind::Data: {
-          ir::PeContext ctx{&pe.local, &pe.stack, i, config_.nprocs};
-          ir::exec_instr(op.instr, ctx, *this);
-          break;
-        }
-        case SOpKind::SetPc:
-          pe.next_pc = op.a;
-          break;
-        case SOpKind::CondSetPc: {
-          Value cond = ir::stack_pop(pe.stack);
-          pe.next_pc = cond.truthy() ? op.a : op.b;
-          break;
-        }
-        case SOpKind::HaltPc:
-          pe.next_pc = kNoState;
-          break;
-        case SOpKind::SpawnPc: {
-          // Allocate the lowest-numbered free PE (free: not running and
-          // not already claimed in this meta state).
-          std::int64_t child = -1;
-          for (std::int64_t c = 0; c < config_.nprocs; ++c) {
-            const Pe& cp = pes_[static_cast<std::size_t>(c)];
-            bool idle = cp.pc == kNoState && cp.next_pc == kNoState;
-            bool fresh = config_.reuse_halted_pes || !cp.ever_ran;
-            if (idle && fresh) {
-              child = c;
-              break;
-            }
-          }
-          if (child < 0)
-            throw MachineFault("spawn failed: no free processing element "
-                               "(§3.2.5 assumes processes ≤ processors)");
-          Pe& ch = pes_[static_cast<std::size_t>(child)];
-          ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
-                          Value{});
-          ch.stack.clear();
-          ch.next_pc = op.a;
-          ch.ever_ran = true;
-          ++stats_.spawns;
-          pe.next_pc = op.b;
-          break;
-        }
-      }
-    }
-  }
-  for (Pe& pe : pes_) pe.pc = pe.next_pc;
+std::int64_t SimdMachine::alive_count() const {
+  std::int64_t n = 0;
+  for (const Pe& pe : pes_)
+    if (pe.pc != kNoState) ++n;
+  return n;
 }
 
-MetaId SimdMachine::next_state(const MetaCode& mc) {
+bool SimdMachine::any_alive() const {
+  for (const Pe& pe : pes_)
+    if (pe.pc != kNoState) return true;
+  return false;
+}
+
+MetaId SimdMachine::resolve_transition(const MetaCode& mc,
+                                       const DynBitset& apc) {
   stats_.control_cycles += prog_.transition_cost(mc, cost_);
   if (mc.needs_apc || mc.trans == TransKind::Multiway) ++stats_.global_ors;
 
-  DynBitset apc = aggregate_pc();
   if (apc.empty()) return kNoMeta;  // every process finished: exit
 
   DynBitset key = prog_.transition_key(apc);
@@ -200,31 +133,28 @@ MetaId SimdMachine::next_state(const MetaCode& mc) {
                          apc.to_string(), " from meta state ", mc.id));
 }
 
-std::int64_t SimdMachine::alive_count() const {
-  std::int64_t n = 0;
-  for (const Pe& pe : pes_)
-    if (pe.pc != kNoState) ++n;
-  return n;
-}
-
 bool SimdMachine::step() {
   if (finished_) return false;
   if (cur_ == kNoMeta) {  // first step
     cur_ = prog_.start;
-    if (aggregate_pc().empty()) {
+    if (!any_alive()) {
       finished_ = true;
       return false;
     }
   }
   const MetaCode& mc = prog_.states[cur_];
   ++visits_[cur_];
-  if (tracer_) tracer_->on_state(cur_, aggregate_pc(), alive_count());
+  // Tracer inputs are computed lazily: an untraced run pays no occupancy
+  // or alive-count work here in either engine.
+  if (tracer_) tracer_->on_state(cur_, occupancy(), alive_count());
   exec_state(mc);
   ++stats_.meta_transitions;
   if (stats_.meta_transitions > config_.max_blocks) throw mimd::Timeout();
-  DynBitset apc_after = aggregate_pc();
-  MetaId next = next_state(mc);
-  if (tracer_) tracer_->on_transition(cur_, next, apc_after);
+  // One aggregate-pc computation per step, produced by next_state() and
+  // reused for the tracer (the seed engine recomputed it three times).
+  DynBitset apc;
+  MetaId next = next_state(mc, &apc);
+  if (tracer_) tracer_->on_transition(cur_, next, apc);
   if (next == kNoMeta) {
     finished_ = true;
     return false;
@@ -236,6 +166,46 @@ bool SimdMachine::step() {
 void SimdMachine::run() {
   while (step()) {
   }
+}
+
+std::unique_ptr<SimdMachine> make_machine(const codegen::SimdProgram& program,
+                                          const ir::CostModel& cost,
+                                          const mimd::RunConfig& config) {
+  if (config.engine == mimd::SimdEngine::Reference)
+    return std::make_unique<ReferenceSimdMachine>(program, cost, config);
+  return std::make_unique<FastSimdMachine>(program, cost, config);
+}
+
+mimd::SimdEngine parse_engine(const std::string& name) {
+  if (name == "fast") return mimd::SimdEngine::Fast;
+  if (name == "reference") return mimd::SimdEngine::Reference;
+  throw std::invalid_argument(
+      cat("unknown SIMD engine '", name, "' (expected fast|reference)"));
+}
+
+std::string to_json(const SimdMachine& machine) {
+  const SimdStats& s = machine.stats();
+  char util[32];
+  std::snprintf(util, sizeof util, "%.6f", s.utilization());
+  std::string json = cat(
+      "{\n"
+      "  \"engine\": \"", machine.engine_name(), "\",\n"
+      "  \"meta_states\": ", machine.state_visits().size(), ",\n"
+      "  \"meta_transitions\": ", s.meta_transitions, ",\n"
+      "  \"control_cycles\": ", s.control_cycles, ",\n"
+      "  \"busy_pe_cycles\": ", s.busy_pe_cycles, ",\n"
+      "  \"offered_pe_cycles\": ", s.offered_pe_cycles, ",\n"
+      "  \"utilization\": ", util, ",\n"
+      "  \"guard_switches\": ", s.guard_switches, ",\n"
+      "  \"global_ors\": ", s.global_ors, ",\n"
+      "  \"rescue_transitions\": ", s.rescue_transitions, ",\n"
+      "  \"spawns\": ", s.spawns, ",\n"
+      "  \"visits\": [");
+  const std::vector<std::int64_t>& visits = machine.state_visits();
+  for (std::size_t i = 0; i < visits.size(); ++i)
+    json += cat(i ? ", " : "", visits[i]);
+  json += "]\n}\n";
+  return json;
 }
 
 }  // namespace msc::simd

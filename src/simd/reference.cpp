@@ -1,0 +1,107 @@
+// The original scalar SIMD engine, kept as the differential oracle: every
+// broadcast scans all nprocs PEs, the aggregate pc is a full rescan, and
+// spawn allocation is a linear free-PE search. Deliberately simple — its
+// value is being obviously correct, so the occupancy-indexed engine in
+// fast.cpp can be checked against it bit-for-bit forever
+// (tests/simd_differential_test.cpp).
+#include "msc/simd/machine.hpp"
+
+namespace msc::simd {
+
+using codegen::MetaCode;
+using codegen::SOp;
+using codegen::SOpKind;
+using core::MetaId;
+using ir::kNoState;
+using ir::MachineFault;
+
+void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
+  std::int64_t alive_count = 0;
+  for (Pe& pe : pes_) {
+    pe.next_pc = pe.pc;
+    if (alive(pe)) ++alive_count;
+  }
+
+  const DynBitset* prev_guard = nullptr;
+  for (const SOp& op : mc.code) {
+    // Re-programming the PE enable mask costs a broadcast of its own
+    // whenever consecutive ops carry different guards (the `if (pc & …)`
+    // boundaries of Listing 5).
+    // (Charged to the control unit only: utilization remains the §2.4
+    // divergence metric over instruction broadcasts.)
+    if (!prev_guard || !(*prev_guard == op.guard)) {
+      stats_.control_cycles += cost_.guard_switch;
+      ++stats_.guard_switches;
+    }
+    prev_guard = &op.guard;
+    // Single instruction broadcast: enabled PEs act, the rest idle.
+    std::int64_t op_cost = 0;
+    switch (op.kind) {
+      case SOpKind::Data: op_cost = cost_.instr_cost(op.instr); break;
+      case SOpKind::SetPc: op_cost = cost_.jump; break;
+      case SOpKind::CondSetPc: op_cost = cost_.branch; break;
+      case SOpKind::HaltPc: op_cost = cost_.halt; break;
+      case SOpKind::SpawnPc: op_cost = cost_.spawn; break;
+    }
+    stats_.control_cycles += op_cost;
+    stats_.offered_pe_cycles += op_cost * alive_count;
+
+    for (std::int64_t i = 0; i < config_.nprocs; ++i) {
+      Pe& pe = pes_[static_cast<std::size_t>(i)];
+      if (!alive(pe) || !op.guard.test(pe.pc)) continue;
+      stats_.busy_pe_cycles += op_cost;
+      switch (op.kind) {
+        case SOpKind::Data: {
+          ir::PeContext ctx{&pe.local, &pe.stack, i, config_.nprocs};
+          ir::exec_instr(op.instr, ctx, *this);
+          break;
+        }
+        case SOpKind::SetPc:
+          pe.next_pc = op.a;
+          break;
+        case SOpKind::CondSetPc: {
+          Value cond = ir::stack_pop(pe.stack);
+          pe.next_pc = cond.truthy() ? op.a : op.b;
+          break;
+        }
+        case SOpKind::HaltPc:
+          pe.next_pc = kNoState;
+          break;
+        case SOpKind::SpawnPc: {
+          // Allocate the lowest-numbered free PE (free: not running and
+          // not already claimed in this meta state).
+          std::int64_t child = -1;
+          for (std::int64_t c = 0; c < config_.nprocs; ++c) {
+            const Pe& cp = pes_[static_cast<std::size_t>(c)];
+            bool idle = cp.pc == kNoState && cp.next_pc == kNoState;
+            bool fresh = config_.reuse_halted_pes || !cp.ever_ran;
+            if (idle && fresh) {
+              child = c;
+              break;
+            }
+          }
+          if (child < 0)
+            throw MachineFault("spawn failed: no free processing element "
+                               "(§3.2.5 assumes processes ≤ processors)");
+          Pe& ch = pes_[static_cast<std::size_t>(child)];
+          ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
+                          Value{});
+          ch.stack.clear();
+          ch.next_pc = op.a;
+          ch.ever_ran = true;
+          ++stats_.spawns;
+          pe.next_pc = op.b;
+          break;
+        }
+      }
+    }
+  }
+  for (Pe& pe : pes_) pe.pc = pe.next_pc;
+}
+
+MetaId ReferenceSimdMachine::next_state(const MetaCode& mc, DynBitset* apc) {
+  *apc = aggregate_pc();
+  return resolve_transition(mc, *apc);
+}
+
+}  // namespace msc::simd

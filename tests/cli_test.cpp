@@ -146,3 +146,31 @@ TEST(Cli, TraceConvertWritesJson) {
   EXPECT_NE(json.find("\"restarts\""), std::string::npos);
   EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
 }
+
+TEST(Cli, TraceSimdWritesJsonForBothEngines) {
+  for (const char* engine : {"fast", "reference"}) {
+    std::string path =
+        std::string(MSCC_TMPDIR) + "/cli_simd_trace_" + engine + ".json";
+    auto r = run_cli("--kernel listing1 --emit meta --simd-engine " +
+                     std::string(engine) + " --trace-simd " + path);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    // --trace-simd implies --run: the summary must name the engine.
+    EXPECT_NE(r.output.find("engine=" + std::string(engine)),
+              std::string::npos)
+        << r.output;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"engine\": \"" + std::string(engine) + "\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+    EXPECT_NE(json.find("\"visits\""), std::string::npos);
+  }
+}
+
+TEST(Cli, BadSimdEngineIsUsageError) {
+  auto r = run_cli("--kernel listing1 --simd-engine warp");
+  EXPECT_NE(r.exit_code, 0);
+}

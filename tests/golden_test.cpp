@@ -11,6 +11,8 @@
 
 #include "msc/codegen/program.hpp"
 #include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/simd/machine.hpp"
 #include "msc/workload/kernels.hpp"
 
 using namespace msc;
@@ -30,4 +32,37 @@ TEST(Golden, Listing4MplSnapshot) {
   EXPECT_EQ(got, want.str())
       << "emitter output drifted from the golden snapshot; if intentional, "
          "regenerate per the header comment";
+}
+
+// The --trace-simd JSON dump for listing1 (fast engine, nprocs 4, seed 1)
+// must be byte-identical to tests/golden/listing1_trace.json. This pins the
+// execution-stats schema (engine name, every cycle counter, utilization
+// formatting, per-meta-state visits) and — because the counters themselves
+// are part of the snapshot — the engine's cost accounting. Regenerate with:
+//   ./build/examples/mscc --kernel listing1 --emit meta --nprocs 4 --seed 1 \
+//       --trace-simd tests/golden/listing1_trace.json > /dev/null
+TEST(Golden, TraceSimdJsonSnapshot) {
+  std::ifstream in(MSC_GOLDEN_DIR "/listing1_trace.json");
+  ASSERT_TRUE(in) << "missing golden file";
+  std::ostringstream want;
+  want << in.rdbuf();
+
+  auto compiled = driver::compile(workload::listing1().source);
+  ir::CostModel cost;
+  auto conv = core::meta_state_convert(compiled.graph, cost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, cost, {});
+  mimd::RunConfig config;
+  config.nprocs = 4;
+  auto machine = simd::make_machine(prog, cost, config);
+  driver::seed_machine(*machine, compiled, config, 1);
+  machine->run();
+  std::string got = simd::to_json(*machine);
+
+  EXPECT_EQ(got, want.str())
+      << "simd trace JSON drifted from the golden snapshot; if intentional, "
+         "regenerate per the comment above";
+  // Schema sanity independent of exact values.
+  EXPECT_NE(got.find("\"engine\": \"fast\""), std::string::npos);
+  EXPECT_NE(got.find("\"utilization\""), std::string::npos);
+  EXPECT_NE(got.find("\"visits\""), std::string::npos);
 }

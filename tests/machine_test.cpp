@@ -142,7 +142,8 @@ TEST(SimdMachine, UtilizationIsOneWithoutDivergence) {
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 8;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   m.run();
   EXPECT_DOUBLE_EQ(m.stats().utilization(), 1.0);
   EXPECT_EQ(m.stats().spawns, 0);
@@ -154,7 +155,8 @@ TEST(SimdMachine, DivergenceCostsUtilization) {
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 8;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, c, cfg, 3);
   m.run();
   EXPECT_LT(m.stats().utilization(), 1.0);
@@ -169,7 +171,8 @@ TEST(SimdMachine, TrackOccupancyNeedsNoRescues) {
     mimd::RunConfig cfg;
     cfg.nprocs = 8;
     if (k.name == "spawn_tree") cfg.initial_active = 2;
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, c, cfg, 9);
     m.run();
     EXPECT_EQ(m.stats().rescue_transitions, 0) << k.name;
@@ -182,7 +185,8 @@ TEST(SimdMachine, StateVisitCountsCoverRun) {
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 4;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, c, cfg, 1);
   m.run();
   std::int64_t total = 0;
@@ -197,7 +201,8 @@ TEST(SimdMachine, GlobalOrCountMatchesMultiwayTraffic) {
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 4;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, c, cfg, 2);
   m.run();
   EXPECT_GT(m.stats().global_ors, 0);
@@ -211,7 +216,8 @@ TEST(SimdMachine, ZeroActivePEsExitImmediately) {
   mimd::RunConfig cfg;
   cfg.nprocs = 4;
   cfg.initial_active = 0;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   m.run();
   EXPECT_EQ(m.stats().meta_transitions, 0);
 }
@@ -225,7 +231,8 @@ TEST(SimdMachine, ControlCyclesAreChargedOncePerBroadcast) {
   {
     mimd::RunConfig cfg;
     cfg.nprocs = 2;
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, c, cfg, 4);
     m.run();
     cycles_small = m.stats().control_cycles;
@@ -233,7 +240,8 @@ TEST(SimdMachine, ControlCyclesAreChargedOncePerBroadcast) {
   {
     mimd::RunConfig cfg;
     cfg.nprocs = 64;
-    simd::SimdMachine m(prog, kCost, cfg);
+    auto m_ptr = simd::make_machine(prog, kCost, cfg);
+    simd::SimdMachine& m = *m_ptr;
     driver::seed_machine(m, c, cfg, 4);
     m.run();
     cycles_large = m.stats().control_cycles;
@@ -269,7 +277,8 @@ TEST(SimdMachine, TracerSeesEveryStateAndTheExit) {
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 4;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, c, cfg, 6);
   RecordingTracer tracer;
   m.set_tracer(&tracer);
@@ -283,13 +292,115 @@ TEST(SimdMachine, TracerSeesEveryStateAndTheExit) {
   EXPECT_EQ(tracer.apcs.back(), "{}");
 }
 
+// ------------------------------------------- engine boundaries & regressions
+
+TEST(SimdMachine, PeCountBoundaries) {
+  // PE counts straddling the 64-bit words of the occupancy and free-pool
+  // bitsets (1, 63, 64, 65, 127) plus a large non-power-of-two count.
+  // Both engines must match the oracle and each other at every size.
+  auto c = compile(workload::kernel("escape_iter").source);
+  auto conv = core::meta_state_convert(c.graph, kCost, {});
+  for (std::int64_t nprocs : {1, 63, 64, 65, 127, 1000}) {
+    SCOPED_TRACE(nprocs);
+    mimd::RunConfig cfg;
+    cfg.nprocs = nprocs;
+    auto oracle = driver::run_oracle(c, cfg, 3);
+    simd::SimdStats stats[2];
+    int idx = 0;
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+      cfg.engine = engine;
+      auto simd = driver::run_simd(c, conv, cfg, 3, kCost, {}, &stats[idx]);
+      EXPECT_TRUE(oracle == simd)
+          << "engine=" << (idx == 0 ? "fast" : "reference")
+          << "\noracle: " << oracle.to_string()
+          << "\nsimd:   " << simd.to_string();
+      ++idx;
+    }
+    EXPECT_TRUE(stats[0] == stats[1]);
+  }
+}
+
+TEST(SimdMachine, SpawnWithoutFreePEFaultsBothEngines) {
+  auto c = compile("int main() { spawn { return 1; } return 0; }");
+  auto conv = core::meta_state_convert(c.graph, kCost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+    mimd::RunConfig cfg;
+    cfg.nprocs = 2;
+    cfg.initial_active = 2;  // nobody free
+    cfg.engine = engine;
+    auto m = simd::make_machine(prog, kCost, cfg);
+    EXPECT_THROW(m->run(), ir::MachineFault);
+  }
+}
+
+TEST(SimdMachine, SpawnReusePolicyBothEngines) {
+  // SIMD twin of MimdMachine.SpawnReusePolicy: 1 parent spawning 2
+  // children sequentially with only 1 spare PE. Succeeds only when halted
+  // PEs return to the pool — the exact path the fast engine's free list
+  // must get right.
+  auto c = compile(R"(
+int main() {
+  poly int i;
+  i = 0;
+  while (i < 2) {
+    spawn { return 5; }
+    i = i + 1;
+  }
+  return 1;
+}
+)");
+  auto conv = core::meta_state_convert(c.graph, kCost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+    mimd::RunConfig cfg;
+    cfg.nprocs = 2;
+    cfg.initial_active = 1;
+    cfg.engine = engine;
+    {
+      auto strict = simd::make_machine(prog, kCost, cfg);
+      EXPECT_THROW(strict->run(), ir::MachineFault);
+    }
+    cfg.reuse_halted_pes = true;
+    auto reuse = simd::make_machine(prog, kCost, cfg);
+    reuse->run();
+    EXPECT_EQ(reuse->stats().spawns, 2);
+    EXPECT_EQ(reuse->peek(1, frontend::Layout::kResultAddr).i, 5);
+  }
+}
+
+TEST(SimdMachine, TracerDoesNotChangeStats) {
+  // Tracer inputs (occupancy, alive count, apc) are computed lazily; an
+  // attached tracer must observe the run without perturbing any counter.
+  auto c = compile(workload::listing1().source);
+  auto conv = core::meta_state_convert(c.graph, kCost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+    mimd::RunConfig cfg;
+    cfg.nprocs = 8;
+    cfg.engine = engine;
+    auto plain = simd::make_machine(prog, kCost, cfg);
+    driver::seed_machine(*plain, c, cfg, 6);
+    plain->run();
+    auto traced = simd::make_machine(prog, kCost, cfg);
+    driver::seed_machine(*traced, c, cfg, 6);
+    RecordingTracer tracer;
+    traced->set_tracer(&tracer);
+    traced->run();
+    EXPECT_TRUE(plain->stats() == traced->stats()) << plain->engine_name();
+    EXPECT_EQ(plain->state_visits(), traced->state_visits());
+    EXPECT_FALSE(tracer.states.empty());
+  }
+}
+
 TEST(SimdMachine, GuardSwitchesCounted) {
   auto c = compile(workload::listing1().source);
   auto conv = core::meta_state_convert(c.graph, kCost, {});
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 8;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, c, cfg, 6);
   m.run();
   EXPECT_GT(m.stats().guard_switches, 0);

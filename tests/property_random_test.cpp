@@ -83,4 +83,50 @@ TEST_P(RandomProgramTest, AllModesMatchOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
                          testing::Range<std::uint64_t>(1, 41));
 
+// PE counts straddling the 64-bit word boundaries of the fast engine's
+// occupancy/free-pool bitsets, plus a large non-power-of-two count. Random
+// programs at each size must match the oracle on both engines, with
+// bit-identical stats between the engines.
+class BoundaryPeCountTest : public testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BoundaryPeCountTest, BothEnginesMatchOracle) {
+  const std::int64_t nprocs = GetParam();
+  ir::CostModel cost;
+  for (std::uint64_t seed : {3ull, 17ull}) {
+    workload::GenOptions gen;
+    gen.stmts = 5;
+    gen.max_depth = 2;
+    std::string source = workload::generate_program(seed, gen);
+    SCOPED_TRACE(source);
+    auto compiled = driver::compile(source);
+    core::ConvertResult conversion;
+    try {
+      conversion = core::meta_state_convert(compiled.graph, cost, {});
+    } catch (const core::ExplosionError&) {
+      continue;
+    }
+    mimd::RunConfig config;
+    config.nprocs = nprocs;
+    auto oracle = driver::run_oracle(compiled, config, seed + 1);
+    simd::SimdStats stats[2];
+    int idx = 0;
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+      config.engine = engine;
+      auto simd = driver::run_simd(compiled, conversion, config, seed + 1,
+                                   cost, {}, &stats[idx]);
+      EXPECT_TRUE(oracle == simd)
+          << "nprocs=" << nprocs
+          << " engine=" << (idx == 0 ? "fast" : "reference")
+          << "\noracle: " << oracle.to_string()
+          << "\nsimd:   " << simd.to_string();
+      ++idx;
+    }
+    EXPECT_TRUE(stats[0] == stats[1]) << "nprocs=" << nprocs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BoundaryPeCountTest,
+                         testing::Values<std::int64_t>(1, 63, 64, 65, 127,
+                                                       1000));
+
 }  // namespace

@@ -46,7 +46,8 @@ TEST(Serialize, ReloadedModuleExecutesIdentically) {
   auto prog = codegen::generate(reloaded.automaton, reloaded.graph, kCost, {});
   mimd::RunConfig cfg;
   cfg.nprocs = 8;
-  simd::SimdMachine m(prog, kCost, cfg);
+  auto m_ptr = simd::make_machine(prog, kCost, cfg);
+  simd::SimdMachine& m = *m_ptr;
   driver::seed_machine(m, compiled, cfg, 3);
   m.run();
   auto oracle = driver::run_oracle(compiled, cfg, 3);
