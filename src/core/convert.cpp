@@ -11,6 +11,7 @@
 
 #include "msc/core/straighten.hpp"
 #include "msc/core/time_split.hpp"
+#include "msc/support/coverage.hpp"
 #include "msc/support/str.hpp"
 
 namespace msc::core {
@@ -536,7 +537,22 @@ ConvertResult meta_state_convert(const StateGraph& graph, const ir::CostModel& c
         res.stats.straighten_seconds += since(t0);
       }
       res.stats.total_seconds = since(t_total);
+      // Fuzzer feature coverage (no-op without an installed sink): the
+      // automaton's coarse shape and how much §2.4 splitting it needed.
+      if (coverage_sink()) {
+        coverage_hit(cov::kConvertShape,
+                     (std::uint64_t{coverage_bucket(res.stats.meta_states)} << 16) |
+                         (std::uint64_t{coverage_bucket(res.stats.arcs)} << 8) |
+                         coverage_bucket(res.stats.reach_calls));
+        coverage_hit(cov::kConvertRestarts,
+                     (std::uint64_t{std::min(res.stats.restarts, 15)} << 8) |
+                         coverage_bucket(
+                             static_cast<std::uint64_t>(res.stats.splits_performed)));
+      }
       return res;
+    } catch (const ExplosionError&) {
+      coverage_hit(cov::kConvertExplosion, 1);
+      throw;
     } catch (const RestartRequest& restart) {
       res.stats.splits_performed += restart.splits;
       ++res.stats.restarts;

@@ -26,7 +26,10 @@ enum class BarrierMode : std::uint8_t {
   /// state unless *all* its members are barriers, and at runtime the
   /// aggregate pc is masked by the barrier set (§3.2.4). Reproduces
   /// Figure 6 exactly. Sound whenever at most one distinct barrier-wait
-  /// state can be occupied at a time (the common SPMD pattern).
+  /// state can be occupied at a time *and* the process population is
+  /// static (the common SPMD pattern): a §3.2.5 spawn can leave only the
+  /// children at a barrier, an occupancy the pruned automaton has no arc
+  /// for (found by mscfuzz — see tests/corpus/spawn_child_barrier.mimdc).
   PaperPrune,
 };
 

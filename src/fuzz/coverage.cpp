@@ -1,0 +1,70 @@
+// Coverage bookkeeping and the differential option matrix.
+#include "msc/fuzz/fuzz.hpp"
+
+#include "msc/support/str.hpp"
+
+namespace msc::fuzz {
+
+std::size_t FuzzCoverage::merge() {
+  std::size_t novel = 0;
+  for (std::uint64_t f : current_)
+    if (global_.insert(f).second) ++novel;
+  return novel;
+}
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::Divergence: return "divergence";
+    case FindingKind::StatsMismatch: return "stats-mismatch";
+    case FindingKind::Crash: return "crash";
+    case FindingKind::CompileError: return "compile-error";
+  }
+  return "unknown";
+}
+
+std::string RunSpec::convert_key() const {
+  return cat(compress ? "compress" : "base", compress && !subsume ? "-nosub" : "",
+             barrier_mode == core::BarrierMode::PaperPrune ? "-prune" : "",
+             time_split ? "-split" : "", "-t", threads);
+}
+
+std::string RunSpec::label() const {
+  return cat(convert_key(), "/",
+             engine == mimd::SimdEngine::Fast ? "fast" : "reference");
+}
+
+std::vector<RunSpec> default_matrix() {
+  std::vector<RunSpec> m;
+  auto add = [&](bool compress, bool subsume, core::BarrierMode mode,
+                 bool split, unsigned threads, mimd::SimdEngine engine) {
+    RunSpec s;
+    s.compress = compress;
+    s.subsume = subsume;
+    s.barrier_mode = mode;
+    s.time_split = split;
+    s.threads = threads;
+    s.engine = engine;
+    m.push_back(s);
+  };
+  using core::BarrierMode;
+  using mimd::SimdEngine;
+  // Base mode on both engines, plus a threads=2 conversion whose automaton
+  // must be bit-identical to the serial one (checked inside evaluate()).
+  add(false, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Fast);
+  add(false, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Reference);
+  add(false, true, BarrierMode::TrackOccupancy, false, 2, SimdEngine::Fast);
+  // The paper's §2.6 pruning rule (skipped per-candidate when >1 barrier
+  // state makes it unsound).
+  add(false, true, BarrierMode::PaperPrune, false, 1, SimdEngine::Fast);
+  add(false, true, BarrierMode::PaperPrune, false, 1, SimdEngine::Reference);
+  // §2.5 compression, with and without Fig. 5 subsumption.
+  add(true, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Fast);
+  add(true, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Reference);
+  add(true, false, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Fast);
+  // §2.4 time splitting (restart machinery + split graphs).
+  add(false, true, BarrierMode::TrackOccupancy, true, 1, SimdEngine::Fast);
+  add(false, true, BarrierMode::TrackOccupancy, true, 1, SimdEngine::Reference);
+  return m;
+}
+
+}  // namespace msc::fuzz

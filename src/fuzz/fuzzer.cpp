@@ -1,0 +1,325 @@
+// Differential evaluation and the coverage-guided fuzzing loop.
+#include "msc/fuzz/fuzz.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/fuzz/manifest.hpp"
+#include "msc/support/diag.hpp"
+#include "msc/support/rng.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::fuzz {
+namespace {
+
+struct SimdOutcome {
+  enum class Kind : std::uint8_t { Ok, Fault, Timeout } kind = Kind::Ok;
+  driver::Observed obs;
+  simd::SimdStats stats;
+  std::vector<std::int64_t> visits;
+  std::string fault;
+};
+
+Finding make_finding(FindingKind kind, const RunSpec& spec,
+                     const std::string& source, std::string detail) {
+  Finding f;
+  f.kind = kind;
+  f.spec = spec;
+  f.source = source;
+  f.detail = std::move(detail);
+  return f;
+}
+
+core::ConvertOptions convert_options(const RunSpec& spec,
+                                     const EvalConfig& cfg) {
+  core::ConvertOptions copts;
+  copts.compress = spec.compress;
+  copts.subsume = spec.subsume;
+  copts.barrier_mode = spec.barrier_mode;
+  copts.time_split = spec.time_split;
+  copts.threads = spec.threads;
+  copts.max_meta_states = cfg.max_meta_states;
+  return copts;
+}
+
+}  // namespace
+
+EvalResult evaluate(const std::string& source, const EvalConfig& cfg,
+                    const std::vector<RunSpec>& matrix) {
+  EvalResult res;
+  auto fail = [&](FindingKind kind, const RunSpec& spec, std::string detail) {
+    res.finding = make_finding(kind, spec, source, std::move(detail));
+    return res;
+  };
+
+  driver::Compiled compiled;
+  try {
+    compiled = driver::compile(source);
+  } catch (const CompileError& e) {
+    return fail(FindingKind::CompileError, RunSpec{}, e.what());
+  } catch (const std::exception& e) {
+    return fail(FindingKind::Crash, RunSpec{},
+                cat("compile crashed: ", e.what()));
+  }
+
+  mimd::RunConfig base_config;
+  base_config.nprocs = cfg.nprocs;
+  base_config.initial_active = cfg.initial_active;
+  base_config.reuse_halted_pes = cfg.reuse_halted_pes;
+
+  bool oracle_fault = false;
+  std::string oracle_fault_msg;
+  driver::Observed oracle;
+  mimd::MimdStats ostats;
+  try {
+    oracle = driver::run_oracle(compiled, base_config, cfg.input_seed, &ostats);
+  } catch (const mimd::Timeout&) {
+    // Generated programs halt by construction, but a replayed external
+    // source may not: not a converter bug, just unusable as an oracle.
+    res.skipped = true;
+    return res;
+  } catch (const ir::MachineFault& e) {
+    oracle_fault = true;
+    oracle_fault_msg = e.what();
+  } catch (const std::exception& e) {
+    return fail(FindingKind::Crash, RunSpec{},
+                cat("oracle crashed: ", e.what()));
+  }
+
+  // The SIMD machine counts meta transitions against max_blocks; a sound
+  // automaton finishes within a small multiple of the oracle's block
+  // count, so a corrupted one that livelocks trips this budget quickly
+  // instead of grinding toward the 4M default.
+  const std::int64_t simd_block_budget =
+      oracle_fault ? 1'000'000 : ostats.blocks_executed * 8 + 4096;
+  const bool unordered = source.find("spawn") != std::string::npos;
+  const bool single_barrier = compiled.graph.barrier_states().count() <= 1;
+  const ir::CostModel cost;
+
+  // One conversion per distinct convert_key; nullopt records an explosion.
+  std::map<std::string, std::optional<core::ConvertResult>> conversions;
+  // Thread-width determinism: key-without-threads → (first key, dump).
+  std::map<std::string, std::pair<std::string, std::string>> dumps;
+  // Engine agreement: convert_key → (spec, outcome) of the first engine.
+  std::map<std::string, std::pair<RunSpec, SimdOutcome>> engine_runs;
+
+  for (const RunSpec& spec : matrix) {
+    // PaperPrune is only sound with at most one barrier state and a
+    // static process population (spawn lets a barrier be occupied by a
+    // subset the pruned automaton has no arc for); compression ignores
+    // the barrier mode entirely.
+    if (spec.barrier_mode == core::BarrierMode::PaperPrune &&
+        (spec.compress || !single_barrier || unordered))
+      continue;
+
+    const std::string key = spec.convert_key();
+    auto it = conversions.find(key);
+    if (it == conversions.end()) {
+      try {
+        core::ConvertResult conv =
+            core::meta_state_convert(compiled.graph, cost,
+                                     convert_options(spec, cfg));
+        if (cfg.corrupt_conversion) cfg.corrupt_conversion(conv);
+        it = conversions.emplace(key, std::move(conv)).first;
+      } catch (const core::ExplosionError&) {
+        it = conversions.emplace(key, std::nullopt).first;
+      } catch (const std::exception& e) {
+        return fail(FindingKind::Crash, spec,
+                    cat("conversion crashed: ", e.what()));
+      }
+      if (it->second) {
+        // Any thread width must produce a bit-identical automaton.
+        RunSpec serial = spec;
+        serial.threads = 1;
+        const std::string width_key = serial.convert_key();
+        const std::string dump = it->second->automaton.dump();
+        auto [dit, fresh] = dumps.emplace(width_key, std::make_pair(key, dump));
+        if (!fresh && dit->second.second != dump)
+          return fail(FindingKind::StatsMismatch, spec,
+                      cat("automaton differs between conversions ",
+                          dit->second.first, " and ", key,
+                          " (thread-width nondeterminism)"));
+      }
+    }
+    if (!it->second) continue;  // exploded under this mode: nothing to run
+
+    mimd::RunConfig rc = base_config;
+    rc.engine = spec.engine;
+    rc.max_blocks = simd_block_budget;
+    SimdOutcome out;
+    try {
+      out.obs = driver::run_simd(compiled, *it->second, rc, cfg.input_seed,
+                                 cost, {}, &out.stats, &out.visits);
+    } catch (const mimd::Timeout&) {
+      out.kind = SimdOutcome::Kind::Timeout;
+    } catch (const ir::MachineFault& e) {
+      out.kind = SimdOutcome::Kind::Fault;
+      out.fault = e.what();
+    } catch (const std::exception& e) {
+      return fail(FindingKind::Crash, spec, cat("simd crashed: ", e.what()));
+    }
+
+    if (oracle_fault) {
+      // The oracle faulted (e.g. spawn exhaustion); SIMD must fault too.
+      if (out.kind != SimdOutcome::Kind::Fault)
+        return fail(FindingKind::Divergence, spec,
+                    cat("oracle faulted (", oracle_fault_msg, ") but ",
+                        spec.label(), " ",
+                        out.kind == SimdOutcome::Kind::Timeout
+                            ? "timed out"
+                            : "completed normally"));
+    } else {
+      switch (out.kind) {
+        case SimdOutcome::Kind::Fault:
+          return fail(FindingKind::Divergence, spec,
+                      cat(spec.label(), " faulted: ", out.fault));
+        case SimdOutcome::Kind::Timeout:
+          return fail(FindingKind::Divergence, spec,
+                      cat(spec.label(), " exceeded ", simd_block_budget,
+                          " meta transitions (oracle ran ",
+                          ostats.blocks_executed, " blocks)"));
+        case SimdOutcome::Kind::Ok: {
+          const bool match = unordered ? oracle.equivalent_unordered(out.obs)
+                                       : oracle == out.obs;
+          if (!match)
+            return fail(FindingKind::Divergence, spec,
+                        cat(spec.label(), " diverged from the oracle\n",
+                            "--- oracle ---\n", oracle.to_string(),
+                            "--- simd ---\n", out.obs.to_string()));
+          break;
+        }
+      }
+    }
+
+    // Both engines over one conversion must agree bit-for-bit on stats
+    // and per-meta-state visits (the PR2 contract).
+    auto [eit, first] = engine_runs.emplace(key, std::make_pair(spec, out));
+    if (!first && eit->second.first.engine != spec.engine) {
+      const SimdOutcome& other = eit->second.second;
+      if (other.kind != out.kind || other.fault != out.fault ||
+          !(other.stats == out.stats) || other.visits != out.visits)
+        return fail(FindingKind::StatsMismatch, spec,
+                    cat(eit->second.first.label(), " and ", spec.label(),
+                        " disagree on stats/visits over one conversion"));
+    }
+  }
+  return res;
+}
+
+bool reproduces(const std::string& source, const EvalConfig& cfg,
+                const RunSpec& spec, FindingKind kind) {
+  std::vector<RunSpec> mini{spec};
+  if (kind == FindingKind::StatsMismatch) {
+    // Pair checks need a partner cell: the other engine, and (for
+    // thread-width nondeterminism) the serial conversion.
+    RunSpec other = spec;
+    other.engine = spec.engine == mimd::SimdEngine::Fast
+                       ? mimd::SimdEngine::Reference
+                       : mimd::SimdEngine::Fast;
+    if (spec.threads != 1) {
+      RunSpec serial = spec;
+      serial.threads = 1;
+      mini.insert(mini.begin(), serial);
+    }
+    mini.push_back(other);
+  }
+  EvalResult ev = evaluate(source, cfg, mini);
+  return !ev.skipped && ev.finding && ev.finding->kind == kind;
+}
+
+FuzzResult run_fuzzer(const FuzzOptions& opts) {
+  FuzzResult res;
+  const std::vector<RunSpec> matrix =
+      opts.matrix.empty() ? default_matrix() : opts.matrix;
+
+  FuzzCoverage coverage;
+  ScopedCoverage installed(&coverage);
+  Rng rng(opts.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<workload::GenProgram> corpus;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_time = [&] {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= opts.time_budget_seconds;
+  };
+
+  while (!out_of_time()) {
+    if (opts.max_iterations >= 0 && res.iterations >= opts.max_iterations)
+      break;
+    if (opts.max_findings > 0 &&
+        static_cast<int>(res.findings.size()) >= opts.max_findings)
+      break;
+    ++res.iterations;
+
+    workload::GenProgram cand;
+    if (corpus.empty() || rng.chance(1, 4)) {
+      cand = workload::generate_ast(
+          opts.seed * 1000003 + static_cast<std::uint64_t>(res.iterations),
+          opts.gen);
+    } else {
+      cand = corpus[rng.next_below(corpus.size())];
+      const int rounds = 1 + static_cast<int>(rng.next_below(3));
+      for (int i = 0; i < rounds; ++i) workload::mutate_program(cand, rng);
+    }
+    const std::string source = cand.render();
+    if (source.size() > 16384) {  // keep mutation growth bounded
+      ++res.skipped;
+      continue;
+    }
+
+    coverage.begin_candidate();
+    EvalResult ev = evaluate(source, opts.eval, matrix);
+    if (ev.skipped) {
+      ++res.skipped;
+      continue;
+    }
+    if (ev.finding) {
+      Finding f = *ev.finding;
+      if (opts.log)
+        *opts.log << "[mscfuzz] iteration " << res.iterations << ": "
+                  << to_string(f.kind) << " in " << f.spec.label()
+                  << (opts.shrink ? ", shrinking..." : "") << "\n";
+      if (opts.shrink) {
+        const RunSpec spec = f.spec;
+        const FindingKind kind = f.kind;
+        f.source = shrink_source(source, [&](const std::string& s) {
+          return reproduces(s, opts.eval, spec, kind);
+        });
+      }
+      if (!opts.out_dir.empty()) {
+        namespace fs = std::filesystem;
+        fs::create_directories(opts.out_dir);
+        const std::string stem =
+            cat("repro_", static_cast<std::int64_t>(res.findings.size()) + 1);
+        const fs::path src_path = fs::path(opts.out_dir) / (stem + ".mimdc");
+        const fs::path man_path = fs::path(opts.out_dir) / (stem + ".json");
+        std::ofstream(src_path) << f.source;
+        std::ofstream(man_path)
+            << to_json(manifest_for(f, opts.eval, stem + ".mimdc"));
+        res.written.push_back(src_path.string());
+        res.written.push_back(man_path.string());
+      }
+      res.findings.push_back(std::move(f));
+      continue;
+    }
+    if (coverage.merge() > 0) {
+      corpus.push_back(std::move(cand));
+      if (opts.log)
+        *opts.log << "[mscfuzz] iteration " << res.iterations
+                  << ": new coverage (" << coverage.total_features()
+                  << " features, corpus " << corpus.size() << ")\n";
+    }
+  }
+
+  res.corpus_size = corpus.size();
+  res.features = coverage.total_features();
+  return res;
+}
+
+}  // namespace msc::fuzz

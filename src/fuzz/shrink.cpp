@@ -1,0 +1,227 @@
+// Deterministic delta-debugging over MIMDC source text.
+//
+// The generator renders strictly line-structured code (every `{` ends its
+// line, every closing `}` starts one), so shrinking works on lines and
+// brace-balanced regions instead of a parse tree — which lets --replay and
+// --shrink-only shrink any manifest's source file, not just programs the
+// generator produced. Rewrites are tried in one fixed order per round and
+// a rewrite is accepted only when it strictly shrinks the text, so the
+// whole pass is a pure function of (source, predicate): it terminates (the
+// byte count is a strictly decreasing measure) and re-shrinking its own
+// output is the identity (the corpus stability check in fuzz_selftest).
+#include "msc/fuzz/fuzz.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msc::fuzz {
+namespace {
+
+using Lines = std::vector<std::string>;
+
+Lines split_lines(const std::string& text) {
+  Lines lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const Lines& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+int brace_delta(const std::string& line) {
+  int d = 0;
+  for (char c : line) {
+    if (c == '{') ++d;
+    if (c == '}') --d;
+  }
+  return d;
+}
+
+std::string trimmed(const std::string& line) {
+  std::size_t b = line.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = line.find_last_not_of(" \t");
+  return line.substr(b, e - b + 1);
+}
+
+/// Index of the line that closes the region opened at `open`
+/// (brace_delta(lines[open]) > 0), or npos when unbalanced.
+std::size_t find_close(const Lines& lines, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < lines.size(); ++i) {
+    depth += brace_delta(lines[i]);
+    if (depth <= 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// The region's top-level `} else {` line, or npos.
+std::size_t find_else(const Lines& lines, std::size_t open, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = open; i < close; ++i) {
+    if (i > open && depth == 1 && trimmed(lines[i]) == "} else {") return i;
+    depth += brace_delta(lines[i]);
+  }
+  return std::string::npos;
+}
+
+Lines erase_range(const Lines& lines, std::size_t from, std::size_t to) {
+  Lines out;
+  out.reserve(lines.size() - (to - from + 1));
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (i < from || i > to) out.push_back(lines[i]);
+  return out;
+}
+
+/// Replace [from..to] with the sub-range [keep_from..keep_to].
+Lines splice_range(const Lines& lines, std::size_t from, std::size_t to,
+                   std::size_t keep_from, std::size_t keep_to) {
+  Lines out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i < from || i > to) {
+      out.push_back(lines[i]);
+    } else if (i >= keep_from && i <= keep_to && keep_from <= keep_to) {
+      out.push_back(lines[i]);
+    }
+  }
+  return out;
+}
+
+std::size_t total_bytes(const Lines& lines) {
+  std::size_t n = 0;
+  for (const std::string& l : lines) n += l.size() + 1;
+  return n;
+}
+
+}  // namespace
+
+std::string shrink_source(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_fails,
+    int max_checks) {
+  int checks = 0;
+  auto check = [&](const Lines& cand) {
+    if (cand.empty()) return false;  // the empty program is never a repro
+    if (checks >= max_checks) return false;
+    ++checks;
+    try {
+      return still_fails(join_lines(cand));
+    } catch (...) {
+      return false;  // a predicate that blows up never accepts
+    }
+  };
+
+  Lines lines = split_lines(source);
+  if (!check(lines)) return source;  // does not reproduce as-is: keep it
+
+  bool changed = true;
+  while (changed && checks < max_checks) {
+    changed = false;
+    const std::size_t before = total_bytes(lines);
+
+    // Pass 1: brace regions — delete whole, or unwrap to a branch body.
+    for (std::size_t i = 0; i < lines.size() && !changed; ++i) {
+      if (brace_delta(lines[i]) <= 0) continue;
+      const std::size_t j = find_close(lines, i);
+      if (j == std::string::npos || j <= i) continue;
+      Lines cand = erase_range(lines, i, j);
+      if (check(cand)) {
+        lines = std::move(cand);
+        changed = true;
+        break;
+      }
+      const std::size_t k = find_else(lines, i, j);
+      if (k == std::string::npos) {
+        if (j > i + 1) {
+          cand = splice_range(lines, i, j, i + 1, j - 1);
+          if (check(cand)) {
+            lines = std::move(cand);
+            changed = true;
+          }
+        }
+      } else {
+        cand = splice_range(lines, i, j, i + 1, k - 1);  // keep then-branch
+        if (check(cand)) {
+          lines = std::move(cand);
+          changed = true;
+          break;
+        }
+        cand = splice_range(lines, i, j, k + 1, j - 1);  // keep else-branch
+        if (check(cand)) {
+          lines = std::move(cand);
+          changed = true;
+        }
+      }
+    }
+    if (changed) continue;
+
+    // Pass 2: single statement lines (no braces involved).
+    for (std::size_t i = 0; i < lines.size() && !changed; ++i) {
+      const std::string t = trimmed(lines[i]);
+      if (t.empty() || brace_delta(lines[i]) != 0) continue;
+      if (t.find('{') != std::string::npos ||
+          t.find('}') != std::string::npos)
+        continue;
+      if (t.back() != ';') continue;
+      Lines cand = erase_range(lines, i, i);
+      if (check(cand)) {
+        lines = std::move(cand);
+        changed = true;
+      }
+    }
+    if (changed) continue;
+
+    // Pass 3: expression simplification (strictly shorter only).
+    for (std::size_t i = 0; i < lines.size() && !changed; ++i) {
+      const std::string t = trimmed(lines[i]);
+      const std::string indent =
+          lines[i].substr(0, lines[i].size() - t.size());
+      std::string repl;
+      if (t.rfind("return ", 0) == 0 && t.back() == ';' &&
+          t != "return 0;") {
+        repl = "return 0;";
+      } else if (t.rfind("if (", 0) == 0 && t.size() > 2 &&
+                 t.compare(t.size() - 2, 2, ") {") == 0 && t != "if (1) {") {
+        repl = "if (1) {";
+      } else if (brace_delta(lines[i]) == 0 && t.back() == ';' &&
+                 t.find('{') == std::string::npos) {
+        const std::size_t eq = t.find(" = ");
+        if (eq != std::string::npos && t.compare(eq, 4, " == ") != 0) {
+          std::string zeroed = t.substr(0, eq) + " = 0;";
+          if (zeroed != t) repl = zeroed;
+        }
+      }
+      if (repl.empty() || indent.size() + repl.size() >= lines[i].size())
+        continue;
+      Lines cand = lines;
+      cand[i] = indent + repl;
+      if (check(cand)) {
+        lines = std::move(cand);
+        changed = true;
+      }
+    }
+
+    // Every accepted rewrite strictly shrinks; belt-and-braces guard so a
+    // future rule can't loop.
+    if (changed && total_bytes(lines) >= before) break;
+  }
+  return join_lines(lines);
+}
+
+}  // namespace msc::fuzz

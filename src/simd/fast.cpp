@@ -21,6 +21,8 @@
 // changes, and each changed PE is recorded once in moved_.
 #include "msc/simd/machine.hpp"
 
+#include "msc/support/coverage.hpp"
+
 namespace msc::simd {
 
 using codegen::MetaCode;
@@ -84,6 +86,7 @@ void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
                            "(§3.2.5 assumes processes ≤ processors)");
       free_.reset(child);
       Pe& ch = pes_[child];
+      if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
       ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
                       Value{});
       ch.stack.clear();

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "msc/support/coverage.hpp"
 #include "msc/support/str.hpp"
 
 namespace msc::simd {
@@ -127,6 +128,7 @@ MetaId SimdMachine::resolve_transition(const MetaCode& mc,
   auto it = prog_.index.find(key);
   if (it != prog_.index.end()) {
     ++stats_.rescue_transitions;
+    coverage_hit(cov::kSimdRescue, 1);
     return it->second;
   }
   throw MachineFault(cat("no meta-state transition for aggregate pc ",
@@ -155,8 +157,25 @@ bool SimdMachine::step() {
   DynBitset apc;
   MetaId next = next_state(mc, &apc);
   if (tracer_) tracer_->on_transition(cur_, next, apc);
+  if (coverage_sink())
+    coverage_hit(cov::kSimdTransitionKind, static_cast<std::uint64_t>(mc.trans));
   if (next == kNoMeta) {
     finished_ = true;
+    // Fuzzer feature coverage: the finished run's guard-switch / spawn /
+    // transition / global-or shape, bucketed (DESIGN.md §8).
+    if (coverage_sink())
+      coverage_hit(
+          cov::kSimdRunShape,
+          (std::uint64_t{coverage_bucket(
+               static_cast<std::uint64_t>(stats_.guard_switches))}
+           << 24) |
+              (std::uint64_t{coverage_bucket(
+                   static_cast<std::uint64_t>(stats_.spawns))}
+               << 16) |
+              (std::uint64_t{coverage_bucket(
+                   static_cast<std::uint64_t>(stats_.meta_transitions))}
+               << 8) |
+              coverage_bucket(static_cast<std::uint64_t>(stats_.global_ors)));
     return false;
   }
   cur_ = next;

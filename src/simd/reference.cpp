@@ -6,6 +6,8 @@
 // (tests/simd_differential_test.cpp).
 #include "msc/simd/machine.hpp"
 
+#include "msc/support/coverage.hpp"
+
 namespace msc::simd {
 
 using codegen::MetaCode;
@@ -84,6 +86,7 @@ void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
             throw MachineFault("spawn failed: no free processing element "
                                "(§3.2.5 assumes processes ≤ processors)");
           Pe& ch = pes_[static_cast<std::size_t>(child)];
+          if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
           ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
                           Value{});
           ch.stack.clear();

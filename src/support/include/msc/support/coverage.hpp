@@ -1,0 +1,49 @@
+#ifndef MSC_SUPPORT_COVERAGE_HPP
+#define MSC_SUPPORT_COVERAGE_HPP
+
+#include <cstdint>
+
+namespace msc {
+
+/// Feature-coverage hook for the differential fuzzer (DESIGN.md §8).
+///
+/// Subsystems report coarse execution features — (signal, key) pairs —
+/// through a process-global sink installed by the fuzzer. With no sink
+/// installed (every normal run) the hook is a single pointer load; the
+/// hot paths never compute keys unless a sink is present. Sinks are not
+/// synchronized: hooks fire only from the orchestrating thread
+/// (conversion records post-run, the SIMD machines are single-threaded).
+class CoverageSink {
+ public:
+  virtual ~CoverageSink() = default;
+  virtual void hit(std::uint32_t signal, std::uint64_t key) = 0;
+};
+
+namespace cov {
+/// Signal ids (stable; used in FuzzCoverage fingerprints).
+enum : std::uint32_t {
+  kConvertShape = 1,   ///< key: packed log2 buckets of states/arcs/reach
+  kConvertRestarts,    ///< key: §2.4 restarts (capped) + splits bucket
+  kConvertExplosion,   ///< key: 1 — conversion hit max_meta_states
+  kSimdTransitionKind, ///< key: TransKind actually resolved at runtime
+  kSimdRescue,         ///< key: 1 — a rescue (member-index) transition ran
+  kSimdRunShape,       ///< key: packed buckets: guard switches, spawns,
+                       ///  meta transitions, global-ors (per finished run)
+  kSimdSpawnReuse,     ///< key: 1 — a spawn claimed a previously-run PE
+};
+}  // namespace cov
+
+/// Install/read the process-global sink (nullptr = coverage off).
+void set_coverage_sink(CoverageSink* sink);
+CoverageSink* coverage_sink();
+
+/// 0 → 0, otherwise 1 + floor(log2(v)): a stable bucketing for counters.
+std::uint32_t coverage_bucket(std::uint64_t v);
+
+inline void coverage_hit(std::uint32_t signal, std::uint64_t key) {
+  if (CoverageSink* s = coverage_sink()) s->hit(signal, key);
+}
+
+}  // namespace msc
+
+#endif  // MSC_SUPPORT_COVERAGE_HPP

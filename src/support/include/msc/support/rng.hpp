@@ -24,9 +24,14 @@ class Rng {
   /// Uniform in [0, n); n must be > 0.
   std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
 
-  /// Uniform in [lo, hi] inclusive.
+  /// Uniform in [lo, hi] inclusive. The span is computed in unsigned
+  /// arithmetic so full-width ranges (e.g. [0, INT64_MAX]) don't overflow;
+  /// for every narrower range the value stream is unchanged.
   std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t off = span == 0 ? next_u64() : next_below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
   }
 
   /// True with probability num/den.

@@ -1,12 +1,31 @@
 #include <cstdio>
 #include <sstream>
 
+#include "msc/support/coverage.hpp"
 #include "msc/support/diag.hpp"
 #include "msc/support/dot.hpp"
 #include "msc/support/str.hpp"
 #include "msc/support/value.hpp"
 
 namespace msc {
+
+// ------------------------------------------------------------- coverage
+
+namespace {
+CoverageSink* g_coverage_sink = nullptr;
+}
+
+void set_coverage_sink(CoverageSink* sink) { g_coverage_sink = sink; }
+CoverageSink* coverage_sink() { return g_coverage_sink; }
+
+std::uint32_t coverage_bucket(std::uint64_t v) {
+  std::uint32_t b = 0;
+  while (v) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
 
 // ---------------------------------------------------------------- Value
 

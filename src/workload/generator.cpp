@@ -1,133 +1,505 @@
 #include "msc/workload/generator.hpp"
 
-#include <vector>
+#include <algorithm>
+#include <cctype>
 
-#include "msc/support/rng.hpp"
 #include "msc/support/str.hpp"
 
 namespace msc::workload {
 
 namespace {
 
-class Generator {
- public:
-  Generator(std::uint64_t seed, const GenOptions& opts) : rng_(seed), opts_(opts) {}
+std::string var_name(int idx) { return cat("v", idx); }
 
-  std::string run() {
-    std::string body;
-    // Declarations and deterministic initialization from the seeded input.
-    for (int v = 0; v < opts_.num_vars; ++v)
-      body += cat("  poly int v", v, ";\n");
-    if (opts_.allow_float) body += "  poly float g;\n";
-    for (int v = 0; v < opts_.num_vars; ++v)
-      body += cat("  v", v, " = (x >> ", v, ") + procid() * ", v + 1, ";\n");
-    if (opts_.allow_float) body += "  g = x * 0.5;\n";
+// ---------------------------------------------------------------- grammar
 
-    bool used_mono = opts_.allow_mono && rng_.chance(1, 2);
-    if (used_mono) {
-      body += "  if (procid() == 0) { shared = x + 1; }\n";
-      body += "  wait;\n";
-      body += cat("  v0 = v0 + shared;\n");
+std::string int_expr(Rng& rng, const GenOptions& opts, int depth) {
+  if (depth <= 0 || rng.chance(1, 3)) {
+    switch (rng.next_below(4)) {
+      case 0: return var_name(static_cast<int>(
+                  rng.next_below(static_cast<std::uint64_t>(opts.num_vars))));
+      case 1: return std::to_string(rng.next_range(0, 17));
+      case 2: return "procid()";
+      default: return "x";
     }
-
-    for (int s = 0; s < opts_.stmts; ++s) body += stmt(1);
-
-    body += cat("  return ", int_expr(opts_.expr_depth), ";\n");
-
-    std::string prog = "poly int x;\n";
-    if (used_mono) prog += "mono int shared;\n";
-    prog += "\nint main() {\n" + body + "}\n";
-    return prog;
   }
+  static const char* ops[] = {"+", "-", "*", "%", "&", "|",
+                              "^", "<", "<=", "==", "!=", ">>"};
+  const char* op = ops[rng.next_below(12)];
+  std::string lhs = int_expr(rng, opts, depth - 1);
+  std::string rhs = int_expr(rng, opts, depth - 1);
+  // Keep shift counts tiny so values stay interesting.
+  if (std::string(op) == ">>") rhs = std::to_string(rng.next_range(0, 5));
+  return cat("(", lhs, " ", op, " ", rhs, ")");
+}
 
- private:
-  std::string var(int exclude_counters = 0) {
-    (void)exclude_counters;
-    return cat("v", rng_.next_below(static_cast<std::uint64_t>(opts_.num_vars)));
-  }
+int rand_var(Rng& rng, const GenOptions& opts) {
+  return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opts.num_vars)));
+}
 
-  std::string int_expr(int depth) {
-    if (depth <= 0 || rng_.chance(1, 3)) {
-      switch (rng_.next_below(4)) {
-        case 0: return var();
-        case 1: return std::to_string(rng_.next_range(0, 17));
-        case 2: return "procid()";
-        default: return "x";
-      }
+GenStmt make_assign(Rng& rng, const GenOptions& opts) {
+  GenStmt s;
+  s.kind = GenStmt::Kind::Assign;
+  s.var = rand_var(rng, opts);
+  s.expr = int_expr(rng, opts, opts.expr_depth);
+  return s;
+}
+
+GenStmt gen_stmt(Rng& rng, const GenOptions& opts, int depth) {
+  std::uint64_t pick = rng.next_below(10);
+  if (depth >= opts.max_depth) pick = rng.next_below(4);  // leaves only
+  switch (pick) {
+    case 0:
+    case 1:
+      return make_assign(rng, opts);
+    case 2: {
+      static const char* kCompound[] = {"+=", "-=", "*=", "^=", "|=", "&="};
+      GenStmt s;
+      s.kind = GenStmt::Kind::Compound;
+      s.var = rand_var(rng, opts);
+      s.op = kCompound[rng.next_below(6)];
+      s.expr = int_expr(rng, opts, opts.expr_depth - 1);
+      return s;
     }
-    static const char* ops[] = {"+", "-", "*", "%", "&", "|",
-                                "^", "<", "<=", "==", "!=", ">>"};
-    const char* op = ops[rng_.next_below(12)];
-    std::string lhs = int_expr(depth - 1);
-    std::string rhs = int_expr(depth - 1);
-    // Keep shift counts tiny so values stay interesting.
-    if (std::string(op) == ">>") rhs = std::to_string(rng_.next_range(0, 5));
-    return cat("(", lhs, " ", op, " ", rhs, ")");
-  }
-
-  std::string stmt(int depth) {
-    std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
-    std::uint64_t pick = rng_.next_below(10);
-    if (depth >= opts_.max_depth) pick = rng_.next_below(4);  // leaves only
-    switch (pick) {
-      case 0:
-      case 1:
-        return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
-      case 2: {
-        static const char* kCompound[] = {"+=", "-=", "*=", "^=", "|=", "&="};
-        return cat(pad, var(), " ", kCompound[rng_.next_below(6)], " ",
-                   int_expr(opts_.expr_depth - 1), ";\n");
-      }
-      case 3:
-        return rng_.chance(1, 2) ? cat(pad, var(), "++;\n")
-                                 : cat(pad, "--", var(), ";\n");
-      case 4:
-        if (opts_.allow_float)
-          return cat(pad, "g = g * 0.5 + ", int_expr(1), ";\n");
-        return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
-      case 5:
-        if (opts_.allow_barrier && rng_.chance(1, 2)) return cat(pad, "wait;\n");
-        return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
-      case 6:
-      case 7: {  // divergent if/else
-        std::string s = cat(pad, "if (", int_expr(2), ") {\n");
-        int n = static_cast<int>(rng_.next_range(1, 2));
-        for (int i = 0; i < n; ++i) s += stmt(depth + 1);
-        if (rng_.chance(2, 3)) {
-          s += cat(pad, "} else {\n");
-          n = static_cast<int>(rng_.next_range(1, 2));
-          for (int i = 0; i < n; ++i) s += stmt(depth + 1);
-        }
-        return s + cat(pad, "}\n");
-      }
-      default: {  // bounded counted loop (always terminates)
-        if (!opts_.allow_loops)
-          return cat(pad, var(), " = ", int_expr(opts_.expr_depth), ";\n");
-        int id = counter_id_++;
-        std::string c = cat("c", id);
-        std::string s =
-            cat(pad, "poly int ", c, ";\n", pad, c, " = (", int_expr(1), " % ",
-                opts_.loop_max_trips, ") + 1;\n", pad, "do {\n");
-        int n = static_cast<int>(rng_.next_range(1, 2));
-        for (int i = 0; i < n; ++i) s += stmt(depth + 1);
-        if (rng_.chance(1, 4))
-          s += cat(pad, "  if ((", int_expr(1), " & 7) == 3) { break; }\n");
-        s += cat(pad, "  ", c, " -= 1;\n");
-        s += cat(pad, "} while (", c, " > 0);\n");
+    case 3: {
+      GenStmt s;
+      s.kind = GenStmt::Kind::IncDec;
+      s.var = rand_var(rng, opts);
+      s.op = rng.chance(1, 2) ? "++" : "--";
+      return s;
+    }
+    case 4: {
+      if (!opts.allow_float) return make_assign(rng, opts);
+      GenStmt s;
+      s.kind = GenStmt::Kind::FloatOp;
+      s.expr = int_expr(rng, opts, 1);
+      return s;
+    }
+    case 5: {
+      if (opts.allow_spawn && rng.chance(1, 3)) {
+        GenStmt s;
+        s.kind = GenStmt::Kind::Spawn;
+        s.body.push_back(make_assign(rng, opts));
         return s;
       }
+      if (opts.allow_barrier && rng.chance(1, 2)) {
+        GenStmt s;
+        s.kind = GenStmt::Kind::Wait;
+        return s;
+      }
+      return make_assign(rng, opts);
+    }
+    case 6:
+    case 7: {  // divergent if/else
+      GenStmt s;
+      s.kind = GenStmt::Kind::If;
+      s.expr = int_expr(rng, opts, 2);
+      int n = static_cast<int>(rng.next_range(1, 2));
+      for (int i = 0; i < n; ++i) s.body.push_back(gen_stmt(rng, opts, depth + 1));
+      if (rng.chance(2, 3)) {
+        n = static_cast<int>(rng.next_range(1, 2));
+        for (int i = 0; i < n; ++i)
+          s.else_body.push_back(gen_stmt(rng, opts, depth + 1));
+      }
+      return s;
+    }
+    default: {  // bounded counted loop (always terminates, structurally)
+      if (!opts.allow_loops) return make_assign(rng, opts);
+      GenStmt s;
+      s.kind = GenStmt::Kind::Loop;
+      s.expr = int_expr(rng, opts, 1);
+      s.trips = opts.loop_max_trips;
+      int n = static_cast<int>(rng.next_range(1, 2));
+      for (int i = 0; i < n; ++i) s.body.push_back(gen_stmt(rng, opts, depth + 1));
+      if (rng.chance(1, 4)) {
+        s.has_break = true;
+        s.break_expr = int_expr(rng, opts, 1);
+      }
+      return s;
     }
   }
+}
 
-  Rng rng_;
-  GenOptions opts_;
-  int counter_id_ = 0;
+// --------------------------------------------------------------- rendering
+
+struct Renderer {
+  std::string out;
+  int counter_id = 0;
+
+  void stmt(const GenStmt& s, int depth) {
+    std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (s.kind) {
+      case GenStmt::Kind::Assign:
+        out += cat(pad, var_name(s.var), " = ", s.expr, ";\n");
+        return;
+      case GenStmt::Kind::Compound:
+        out += cat(pad, var_name(s.var), " ", s.op, " ", s.expr, ";\n");
+        return;
+      case GenStmt::Kind::IncDec:
+        out += s.op == "++" ? cat(pad, var_name(s.var), "++;\n")
+                            : cat(pad, "--", var_name(s.var), ";\n");
+        return;
+      case GenStmt::Kind::FloatOp:
+        out += cat(pad, "g = g * 0.5 + ", s.expr, ";\n");
+        return;
+      case GenStmt::Kind::Wait:
+        out += cat(pad, "wait;\n");
+        return;
+      case GenStmt::Kind::If: {
+        out += cat(pad, "if (", s.expr, ") {\n");
+        for (const GenStmt& c : s.body) stmt(c, depth + 1);
+        if (!s.else_body.empty()) {
+          out += cat(pad, "} else {\n");
+          for (const GenStmt& c : s.else_body) stmt(c, depth + 1);
+        }
+        out += cat(pad, "}\n");
+        return;
+      }
+      case GenStmt::Kind::Loop: {
+        // The counter declaration, bounded positive start, decrement, and
+        // exit test are emitted structurally: no mutation can remove them,
+        // so the loop halts within `trips` iterations no matter what the
+        // body does (break only exits earlier).
+        std::string c = cat("c", counter_id++);
+        out += cat(pad, "poly int ", c, ";\n", pad, c, " = ((", s.expr,
+                   ") % ", s.trips, ") + 1;\n", pad, "do {\n");
+        for (const GenStmt& child : s.body) stmt(child, depth + 1);
+        if (s.has_break)
+          out += cat(pad, "  if (((", s.break_expr, ") & 7) == 3) { break; }\n");
+        out += cat(pad, "  ", c, " -= 1;\n");
+        out += cat(pad, "} while (", c, " > 0);\n");
+        return;
+      }
+      case GenStmt::Kind::Spawn: {
+        out += cat(pad, "spawn {\n");
+        for (const GenStmt& c : s.body) stmt(c, depth + 1);
+        out += cat(pad, "}\n");
+        return;
+      }
+    }
+  }
 };
+
+std::int64_t stmt_bound(const GenStmt& s) {
+  switch (s.kind) {
+    case GenStmt::Kind::If: {
+      std::int64_t then_b = 0, else_b = 0;
+      for (const GenStmt& c : s.body) then_b += stmt_bound(c);
+      for (const GenStmt& c : s.else_body) else_b += stmt_bound(c);
+      return 2 + std::max(then_b, else_b);
+    }
+    case GenStmt::Kind::Loop: {
+      std::int64_t body_b = 0;
+      for (const GenStmt& c : s.body) body_b += stmt_bound(c);
+      return 3 + static_cast<std::int64_t>(s.trips) * (body_b + 3);
+    }
+    case GenStmt::Kind::Spawn: {
+      std::int64_t body_b = 0;
+      for (const GenStmt& c : s.body) body_b += stmt_bound(c);
+      return 3 + body_b;  // child blocks are charged to the spawner's bound
+    }
+    default:
+      return 1;
+  }
+}
+
+bool stmt_uses_spawn(const GenStmt& s) {
+  if (s.kind == GenStmt::Kind::Spawn) return true;
+  for (const GenStmt& c : s.body)
+    if (stmt_uses_spawn(c)) return true;
+  for (const GenStmt& c : s.else_body)
+    if (stmt_uses_spawn(c)) return true;
+  return false;
+}
+
+/// Does `text` reference variable v<idx> as a whole token?
+bool text_uses_var(const std::string& text, int idx) {
+  const std::string name = var_name(idx);
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    std::size_t end = pos + name.size();
+    bool head_ok = pos == 0 || !std::isalnum(static_cast<unsigned char>(text[pos - 1]));
+    bool tail_ok =
+        end >= text.size() || !std::isdigit(static_cast<unsigned char>(text[end]));
+    if (head_ok && tail_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool stmt_uses_var(const GenStmt& s, int idx) {
+  switch (s.kind) {
+    case GenStmt::Kind::Assign:
+    case GenStmt::Kind::Compound:
+    case GenStmt::Kind::IncDec:
+      if (s.var == idx) return true;
+      break;
+    default:
+      break;
+  }
+  if (text_uses_var(s.expr, idx) || text_uses_var(s.break_expr, idx)) return true;
+  for (const GenStmt& c : s.body)
+    if (stmt_uses_var(c, idx)) return true;
+  for (const GenStmt& c : s.else_body)
+    if (stmt_uses_var(c, idx)) return true;
+  return false;
+}
 
 }  // namespace
 
+std::string GenProgram::render() const {
+  std::string body_text;
+  for (int v = 0; v < opts.num_vars; ++v)
+    body_text += cat("  poly int ", var_name(v), ";\n");
+  if (opts.allow_float) body_text += "  poly float g;\n";
+  for (int v = 0; v < opts.num_vars; ++v)
+    body_text += cat("  ", var_name(v), " = (x >> ", v, ") + procid() * ",
+                     v + 1, ";\n");
+  if (opts.allow_float) body_text += "  g = x * 0.5;\n";
+  if (used_mono) {
+    body_text += "  if (procid() == 0) { shared = x + 1; }\n";
+    body_text += "  wait;\n";
+    body_text += "  v0 = v0 + shared;\n";
+  }
+
+  Renderer r;
+  for (const GenStmt& s : body) r.stmt(s, 1);
+  body_text += r.out;
+
+  body_text += cat("  return ", ret_expr, ";\n");
+
+  std::string prog = "poly int x;\n";
+  if (used_mono) prog += "mono int shared;\n";
+  prog += "\nint main() {\n" + body_text + "}\n";
+  return prog;
+}
+
+std::int64_t GenProgram::block_bound() const {
+  // Declarations + per-var inits + mono prologue + return, then the tree.
+  std::int64_t b = 4 + 2 * opts.num_vars + (used_mono ? 4 : 0);
+  for (const GenStmt& s : body) b += stmt_bound(s);
+  return b;
+}
+
+bool GenProgram::uses_spawn() const {
+  for (const GenStmt& s : body)
+    if (stmt_uses_spawn(s)) return true;
+  return false;
+}
+
+bool GenProgram::var_used(int idx) const {
+  if (idx == 0 && used_mono) return true;
+  if (text_uses_var(ret_expr, idx)) return true;
+  for (const GenStmt& s : body)
+    if (stmt_uses_var(s, idx)) return true;
+  return false;
+}
+
+GenProgram generate_ast(std::uint64_t seed, const GenOptions& options) {
+  Rng rng(seed);
+  GenProgram prog;
+  prog.opts = options;
+  prog.used_mono = options.allow_mono && rng.chance(1, 2);
+  for (int s = 0; s < options.stmts; ++s)
+    prog.body.push_back(gen_stmt(rng, options, 1));
+  prog.ret_expr = int_expr(rng, options, options.expr_depth);
+  return prog;
+}
+
 std::string generate_program(std::uint64_t seed, const GenOptions& options) {
-  return Generator(seed, options).run();
+  return generate_ast(seed, options).render();
+}
+
+GenStmt random_stmt(Rng& rng, const GenOptions& opts, int depth) {
+  return gen_stmt(rng, opts, depth);
+}
+
+std::string random_int_expr(Rng& rng, const GenOptions& opts, int depth) {
+  return int_expr(rng, opts, depth);
+}
+
+// ---------------------------------------------------------------- mutation
+
+namespace {
+
+/// Deterministic DFS collection of every statement list in the program
+/// (mutation sites for insert/delete/splice) and every statement node.
+void collect_lists(std::vector<GenStmt>& list, int depth,
+                   std::vector<std::pair<std::vector<GenStmt>*, int>>& lists,
+                   std::vector<GenStmt*>& nodes) {
+  lists.emplace_back(&list, depth);
+  for (GenStmt& s : list) {
+    nodes.push_back(&s);
+    if (s.kind == GenStmt::Kind::If || s.kind == GenStmt::Kind::Loop ||
+        s.kind == GenStmt::Kind::Spawn) {
+      collect_lists(s.body, depth + 1, lists, nodes);
+      if (!s.else_body.empty()) collect_lists(s.else_body, depth + 1, lists, nodes);
+    }
+  }
+}
+
+/// Perturb one integer literal inside an expression string. Returns false
+/// when the string holds no digits.
+bool tweak_const(std::string& text, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // [begin, end)
+  for (std::size_t i = 0; i < text.size();) {
+    if (std::isdigit(static_cast<unsigned char>(text[i]))) {
+      std::size_t j = i;
+      while (j < text.size() && std::isdigit(static_cast<unsigned char>(text[j])))
+        ++j;
+      // Skip float literals (e.g. the 0.5 in FloatOp expressions) and
+      // digits that are part of an identifier (v2, c0): renaming a
+      // variable would produce an uncompilable program.
+      bool is_float = (j < text.size() && text[j] == '.') ||
+                      (i > 0 && text[i - 1] == '.');
+      bool is_ident =
+          i > 0 && (std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+                    text[i - 1] == '_');
+      if (!is_float && !is_ident) runs.emplace_back(i, j);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (runs.empty()) return false;
+  auto [begin, end] = runs[rng.next_below(runs.size())];
+  std::int64_t v = 0;
+  for (std::size_t i = begin; i < end && v < (1ll << 40); ++i)
+    v = v * 10 + (text[i] - '0');
+  std::string repl;
+  switch (rng.next_below(6)) {
+    case 0: repl = std::to_string(v + 1); break;
+    case 1: repl = std::to_string(v > 0 ? v - 1 : 0); break;
+    case 2: repl = std::to_string(v * 2 + 1); break;
+    case 3: repl = "0"; break;
+    case 4: repl = "63"; break;
+    default: repl = std::to_string(rng.next_range(0, 9223372036854775807ll)); break;
+  }
+  text.replace(begin, end - begin, repl);
+  return true;
+}
+
+/// Every tweakable expression string in the tree, in DFS order.
+void collect_exprs(std::vector<GenStmt>& list, std::vector<std::string*>& out) {
+  for (GenStmt& s : list) {
+    if (!s.expr.empty()) out.push_back(&s.expr);
+    if (s.has_break) out.push_back(&s.break_expr);
+    collect_exprs(s.body, out);
+    collect_exprs(s.else_body, out);
+  }
+}
+
+GenStmt deep_copy(const GenStmt& s) { return s; }
+
+}  // namespace
+
+bool mutate_program(GenProgram& prog, Rng& rng) {
+  std::vector<std::pair<std::vector<GenStmt>*, int>> lists;
+  std::vector<GenStmt*> nodes;
+  collect_lists(prog.body, 1, lists, nodes);
+
+  switch (rng.next_below(8)) {
+    case 0: {  // insert a fresh random statement
+      auto [list, depth] = lists[rng.next_below(lists.size())];
+      std::size_t at = rng.next_below(list->size() + 1);
+      list->insert(list->begin() + static_cast<std::ptrdiff_t>(at),
+                   gen_stmt(rng, prog.opts, depth));
+      return true;
+    }
+    case 1: {  // delete a statement
+      auto [list, depth] = lists[rng.next_below(lists.size())];
+      (void)depth;
+      if (list->empty()) return false;
+      list->erase(list->begin() +
+                  static_cast<std::ptrdiff_t>(rng.next_below(list->size())));
+      return true;
+    }
+    case 2: {  // splice: copy one subtree to another position
+      if (nodes.empty()) return false;
+      GenStmt copy = deep_copy(*nodes[rng.next_below(nodes.size())]);
+      auto [list, depth] = lists[rng.next_below(lists.size())];
+      (void)depth;
+      std::size_t at = rng.next_below(list->size() + 1);
+      list->insert(list->begin() + static_cast<std::ptrdiff_t>(at),
+                   std::move(copy));
+      return true;
+    }
+    case 3: {  // constant tweak
+      std::vector<std::string*> exprs;
+      collect_exprs(prog.body, exprs);
+      exprs.push_back(&prog.ret_expr);
+      return tweak_const(*exprs[rng.next_below(exprs.size())], rng);
+    }
+    case 4: {  // barrier toggle: insert a wait, or drop an existing one
+      std::vector<GenStmt*> waits;
+      for (GenStmt* s : nodes)
+        if (s->kind == GenStmt::Kind::Wait) waits.push_back(s);
+      if (!waits.empty() && rng.chance(1, 2)) {
+        GenStmt* victim = waits[rng.next_below(waits.size())];
+        victim->kind = GenStmt::Kind::Assign;
+        victim->var = rand_var(rng, prog.opts);
+        victim->expr = int_expr(rng, prog.opts, 1);
+        return true;
+      }
+      if (!prog.opts.allow_barrier) return false;
+      auto [list, depth] = lists[rng.next_below(lists.size())];
+      (void)depth;
+      GenStmt w;
+      w.kind = GenStmt::Kind::Wait;
+      std::size_t at = rng.next_below(list->size() + 1);
+      list->insert(list->begin() + static_cast<std::ptrdiff_t>(at),
+                   std::move(w));
+      return true;
+    }
+    case 5: {  // spawn toggle: wrap a simple statement, or unwrap a spawn
+      std::vector<GenStmt*> spawns;
+      for (GenStmt* s : nodes)
+        if (s->kind == GenStmt::Kind::Spawn) spawns.push_back(s);
+      if (!spawns.empty() && rng.chance(1, 2)) {
+        GenStmt* victim = spawns[rng.next_below(spawns.size())];
+        if (victim->body.empty()) return false;
+        GenStmt inner = std::move(victim->body.front());
+        *victim = std::move(inner);
+        return true;
+      }
+      if (!prog.opts.allow_spawn) return false;
+      std::vector<GenStmt*> simple;
+      for (GenStmt* s : nodes)
+        if (s->kind == GenStmt::Kind::Assign ||
+            s->kind == GenStmt::Kind::Compound ||
+            s->kind == GenStmt::Kind::IncDec)
+          simple.push_back(s);
+      if (simple.empty()) return false;
+      GenStmt* victim = simple[rng.next_below(simple.size())];
+      GenStmt wrapped;
+      wrapped.kind = GenStmt::Kind::Spawn;
+      wrapped.body.push_back(std::move(*victim));
+      *victim = std::move(wrapped);
+      return true;
+    }
+    case 6: {  // loop-bound tweak
+      std::vector<GenStmt*> loops;
+      for (GenStmt* s : nodes)
+        if (s->kind == GenStmt::Kind::Loop) loops.push_back(s);
+      if (loops.empty()) return false;
+      loops[rng.next_below(loops.size())]->trips =
+          static_cast<int>(rng.next_range(1, 8));
+      return true;
+    }
+    default: {  // add or drop an else branch
+      std::vector<GenStmt*> ifs;
+      for (GenStmt* s : nodes)
+        if (s->kind == GenStmt::Kind::If) ifs.push_back(s);
+      if (ifs.empty()) return false;
+      GenStmt* target = ifs[rng.next_below(ifs.size())];
+      if (!target->else_body.empty() && rng.chance(1, 2)) {
+        target->else_body.clear();
+      } else {
+        target->else_body.push_back(gen_stmt(rng, prog.opts, 2));
+      }
+      return true;
+    }
+  }
 }
 
 }  // namespace msc::workload

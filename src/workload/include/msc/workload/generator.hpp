@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "msc/support/rng.hpp"
 
 namespace msc::workload {
 
@@ -16,15 +19,89 @@ struct GenOptions {
   bool allow_float = true;
   bool allow_loops = true;
   bool allow_mono = true;   ///< adds a PE-0-guarded mono variable
+  bool allow_spawn = false; ///< §3.2.5 spawn leaves (off for legacy suites)
   int loop_max_trips = 4;   ///< loop counters start in [1, loop_max_trips]
 };
 
+/// One node of the generator's statement grammar. Programs are kept as
+/// trees (not text) so the fuzzer's mutation and shrinking layers can
+/// splice/insert/delete statements without ever producing an ill-formed
+/// or non-terminating program: a Loop node renders its counter
+/// declaration, bounded initialization, decrement, and exit test
+/// structurally — they are not statements a mutation could remove, so
+/// every rendered loop halts within `trips` iterations by construction
+/// (the program never relies on the interpreter's block budget to stop).
+struct GenStmt {
+  enum class Kind : std::uint8_t {
+    Assign,    ///< v<var> = <expr>;
+    Compound,  ///< v<var> <op>= <expr>;
+    IncDec,    ///< v<var>++; or --v<var>;
+    FloatOp,   ///< g = g * 0.5 + <expr>;
+    Wait,      ///< wait;
+    If,        ///< if (<expr>) { body } [else { else_body }]
+    Loop,      ///< bounded counted do-loop, body + structural counter
+    Spawn,     ///< spawn { body }
+  };
+  Kind kind = Kind::Assign;
+  int var = 0;           ///< target variable index for Assign/Compound/IncDec
+  std::string op;        ///< Compound operator ("+=" …); IncDec "++"/"--"
+  std::string expr;      ///< RHS / condition / loop trip seed expression
+  int trips = 1;         ///< Loop: counter starts in [1, trips]
+  bool has_break = false;    ///< Loop: optional data-dependent early break
+  std::string break_expr;    ///< Loop: break condition seed
+  std::vector<GenStmt> body;       ///< If-then / Loop / Spawn body
+  std::vector<GenStmt> else_body;  ///< If: empty = no else branch
+};
+
+/// A whole generated program: options snapshot, optional mono prologue,
+/// and the statement tree of main. Rendering is deterministic (loop
+/// counters are numbered in traversal order), so equal trees render to
+/// byte-identical source.
+struct GenProgram {
+  GenOptions opts;
+  bool used_mono = false;
+  std::vector<GenStmt> body;
+  std::string ret_expr = "0";
+
+  std::string render() const;
+  /// Upper bound on MIMD blocks any single PE (or spawned child) executes:
+  /// statements are counted structurally and loop bodies multiply by
+  /// `trips`. Every generated program halts within nprocs * block_bound()
+  /// oracle blocks (workload_test pins this).
+  std::int64_t block_bound() const;
+  bool uses_spawn() const;
+  /// True when variable v<idx> is referenced anywhere (statement targets
+  /// or expression text) — the shrinker uses this to drop dead scratch
+  /// variables.
+  bool var_used(int idx) const;
+};
+
+/// Build the statement tree for `seed` (grammar identical to
+/// generate_program; exposed for the fuzzer's mutation layer).
+GenProgram generate_ast(std::uint64_t seed, const GenOptions& options = {});
+
 /// Generate a random, *always terminating*, race-free MIMDC program:
-/// loops are counted down from a bounded positive start, conditions are
-/// PE-divergent (they read the seeded input `x` and `procid()`), division
-/// and modulo are total (x/0 == 0 by language definition), and mono writes
-/// are guarded to PE 0 before a barrier. Deterministic in `seed`.
+/// loops are counted down from a bounded positive start (the bound is
+/// structural — see GenStmt), conditions are PE-divergent (they read the
+/// seeded input `x` and `procid()`), division and modulo are total
+/// (x/0 == 0 by language definition), and mono writes are guarded to PE 0
+/// before a barrier. Deterministic in `seed`, byte-identical across
+/// platforms and standard libraries (all randomness is the self-contained
+/// splitmix64 msc::Rng — no <random> distributions).
 std::string generate_program(std::uint64_t seed, const GenOptions& options = {});
+
+/// One random statement / integer expression from the same grammar, for
+/// insert/replace mutations. `depth` is the current nesting depth.
+GenStmt random_stmt(Rng& rng, const GenOptions& opts, int depth);
+std::string random_int_expr(Rng& rng, const GenOptions& opts, int depth);
+
+/// Fuzzing mutation layer: apply one structure-preserving random
+/// mutation (insert/delete/splice a statement, tweak a constant, toggle
+/// a barrier or spawn, change a loop bound, add/drop an else branch).
+/// Mutated programs stay well-formed and always-terminating because
+/// loop-control structure is not mutable. Returns false when the rolled
+/// mutation had no applicable site (caller may simply retry).
+bool mutate_program(GenProgram& prog, Rng& rng);
 
 }  // namespace msc::workload
 

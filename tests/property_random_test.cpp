@@ -83,28 +83,36 @@ TEST_P(RandomProgramTest, AllModesMatchOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
                          testing::Range<std::uint64_t>(1, 41));
 
-// PE counts straddling the 64-bit word boundaries of the fast engine's
-// occupancy/free-pool bitsets, plus a large non-power-of-two count. Random
-// programs at each size must match the oracle on both engines, with
-// bit-identical stats between the engines.
-class BoundaryPeCountTest : public testing::TestWithParam<std::int64_t> {};
+// 32-seed sweep over PE counts straddling the 64-bit word boundaries of
+// the fast engine's occupancy/free-pool bitsets, plus a large
+// non-power-of-two count. Each seed's random program must match the oracle
+// on both engines at every size, with bit-identical stats between the
+// engines. The binary is registered as four `property`-labeled ctest
+// shards (GTEST_SHARD_INDEX — see tests/CMakeLists.txt) so the widened
+// sweep keeps tier-1 wall time flat.
+class BoundaryPeCountTest : public testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(BoundaryPeCountTest, BothEnginesMatchOracle) {
-  const std::int64_t nprocs = GetParam();
+TEST_P(BoundaryPeCountTest, BothEnginesMatchOracleAtWordBoundaries) {
+  const std::uint64_t seed = GetParam();
   ir::CostModel cost;
-  for (std::uint64_t seed : {3ull, 17ull}) {
-    workload::GenOptions gen;
-    gen.stmts = 5;
-    gen.max_depth = 2;
-    std::string source = workload::generate_program(seed, gen);
-    SCOPED_TRACE(source);
-    auto compiled = driver::compile(source);
-    core::ConvertResult conversion;
-    try {
-      conversion = core::meta_state_convert(compiled.graph, cost, {});
-    } catch (const core::ExplosionError&) {
-      continue;
-    }
+  workload::GenOptions gen;
+  gen.stmts = 5;
+  gen.max_depth = 2;
+  std::string source = workload::generate_program(seed, gen);
+  SCOPED_TRACE(source);
+  auto compiled = driver::compile(source);
+  core::ConvertResult conversion;
+  try {
+    conversion = core::meta_state_convert(compiled.graph, cost, {});
+  } catch (const core::ExplosionError&) {
+    GTEST_SKIP() << "base-mode explosion is a measured phenomenon, not a bug";
+  }
+  // Word-boundary sizes for every seed; the allocation-heavy 1000-PE case
+  // on every fourth seed (it checks scale, not boundaries, so a quarter of
+  // the sweep buys the same signal at a quarter of the wall time).
+  std::vector<std::int64_t> sizes{1, 63, 64, 65, 127};
+  if (seed % 4 == 1) sizes.push_back(1000);
+  for (std::int64_t nprocs : sizes) {
     mimd::RunConfig config;
     config.nprocs = nprocs;
     auto oracle = driver::run_oracle(compiled, config, seed + 1);
@@ -125,8 +133,7 @@ TEST_P(BoundaryPeCountTest, BothEnginesMatchOracle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(WordBoundaries, BoundaryPeCountTest,
-                         testing::Values<std::int64_t>(1, 63, 64, 65, 127,
-                                                       1000));
+INSTANTIATE_TEST_SUITE_P(SeedSweep, BoundaryPeCountTest,
+                         testing::Range<std::uint64_t>(1, 33));
 
 }  // namespace

@@ -87,6 +87,60 @@ TEST(Generator, AllProgramsCompileAndTerminate) {
   }
 }
 
+TEST(Generator, HaltsWithinDeclaredBlockBound) {
+  // The generator's termination contract: every program halts inside its
+  // structural block_bound() — loops are counted down from a bounded start,
+  // so no program relies on the interpreter's default block budget to stop.
+  workload::GenOptions gen;
+  gen.allow_spawn = true;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    workload::GenProgram prog = workload::generate_ast(seed, gen);
+    const std::string src = prog.render();
+    SCOPED_TRACE(src);
+    EXPECT_EQ(src, workload::generate_program(seed, gen));
+    auto compiled = driver::compile(src);
+    mimd::RunConfig cfg;
+    cfg.nprocs = 6;
+    cfg.initial_active = 2;  // headroom for spawn
+    cfg.max_blocks = cfg.nprocs * prog.block_bound();
+    try {
+      driver::run_oracle(compiled, cfg, seed);
+    } catch (const mimd::Timeout&) {
+      FAIL() << "program exceeded its declared bound of "
+             << prog.block_bound() << " blocks per PE";
+    } catch (const ir::MachineFault&) {
+      // spawn exhaustion is a legitimate way to halt
+    }
+  }
+}
+
+TEST(Generator, MutationsPreserveWellFormednessAndTermination) {
+  workload::GenOptions gen;
+  gen.allow_spawn = true;
+  Rng rng(99);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::GenProgram prog = workload::generate_ast(seed, gen);
+    for (int round = 0; round < 8; ++round) {
+      workload::mutate_program(prog, rng);
+      const std::string src = prog.render();
+      SCOPED_TRACE(src);
+      driver::Compiled compiled;
+      ASSERT_NO_THROW(compiled = driver::compile(src));
+      mimd::RunConfig cfg;
+      cfg.nprocs = 4;
+      cfg.initial_active = 2;
+      cfg.max_blocks = cfg.nprocs * prog.block_bound();
+      try {
+        driver::run_oracle(compiled, cfg, seed);
+      } catch (const mimd::Timeout&) {
+        FAIL() << "mutated program exceeded its declared bound of "
+               << prog.block_bound() << " blocks per PE";
+      } catch (const ir::MachineFault&) {
+      }
+    }
+  }
+}
+
 TEST(Generator, OptionKnobsAreRespected) {
   workload::GenOptions no_barrier;
   no_barrier.allow_barrier = false;

@@ -1,0 +1,174 @@
+// mscfuzz — coverage-guided differential fuzzer for the MSC pipeline.
+//
+//   mscfuzz [--time-budget SEC] [--seed N] [--out DIR] ...   fuzzing loop
+//   mscfuzz --replay manifest.json                           replay a repro
+//   mscfuzz --shrink-only manifest.json                      re-shrink one
+//
+// Exit codes: 0 = clean (or replay behaved as recorded), 2 = findings
+// (or a replayed finding no longer reproduces), 1 = usage/IO error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "msc/fuzz/fuzz.hpp"
+#include "msc/fuzz/manifest.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: mscfuzz [options]\n"
+        "  --time-budget SEC   fuzzing wall-clock budget (default 10)\n"
+        "  --iterations N      stop after N candidates (default: budget)\n"
+        "  --seed N            fuzzer seed (default 1)\n"
+        "  --nprocs N          PE count for every run (default 6)\n"
+        "  --max-findings N    stop after N findings (default 4)\n"
+        "  --out DIR           write repro_<n>.mimdc/.json pairs to DIR\n"
+        "  --no-shrink         keep findings unshrunk\n"
+        "  --no-spawn          generate spawn-free programs only\n"
+        "  --replay FILE       replay a manifest instead of fuzzing\n"
+        "  --shrink-only FILE  shrink a manifest's source and print it\n";
+}
+
+struct Cli {
+  msc::fuzz::FuzzOptions fuzz;
+  std::string replay_path;
+  std::string shrink_path;
+};
+
+bool parse_args(int argc, char** argv, Cli& cli) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "mscfuzz: " << argv[i] << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--time-budget") {
+      if (!(v = need(i))) return false;
+      cli.fuzz.time_budget_seconds = std::stod(v);
+    } else if (arg == "--iterations") {
+      if (!(v = need(i))) return false;
+      cli.fuzz.max_iterations = std::stoll(v);
+    } else if (arg == "--seed") {
+      if (!(v = need(i))) return false;
+      cli.fuzz.seed = std::stoull(v);
+    } else if (arg == "--nprocs") {
+      if (!(v = need(i))) return false;
+      cli.fuzz.eval.nprocs = std::stoll(v);
+    } else if (arg == "--max-findings") {
+      if (!(v = need(i))) return false;
+      cli.fuzz.max_findings = std::stoi(v);
+    } else if (arg == "--out") {
+      if (!(v = need(i))) return false;
+      cli.fuzz.out_dir = v;
+    } else if (arg == "--no-shrink") {
+      cli.fuzz.shrink = false;
+    } else if (arg == "--no-spawn") {
+      cli.fuzz.gen.allow_spawn = false;
+    } else if (arg == "--replay") {
+      if (!(v = need(i))) return false;
+      cli.replay_path = v;
+    } else if (arg == "--shrink-only") {
+      if (!(v = need(i))) return false;
+      cli.shrink_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "mscfuzz: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return false;
+    }
+  }
+  return true;
+}
+
+int replay(const std::string& path) {
+  using namespace msc::fuzz;
+  std::string source;
+  const Manifest m = load_manifest(path, &source);
+  const EvalConfig cfg = m.eval_config();
+  if (m.kind == "corpus") {
+    // A corpus entry must stay clean across the whole matrix.
+    EvalResult ev = evaluate(source, cfg, default_matrix());
+    if (ev.skipped) {
+      std::cerr << "replay: oracle could not run " << m.source_file << "\n";
+      return 2;
+    }
+    if (ev.finding) {
+      std::cerr << "replay: corpus entry " << m.source_file << " now fails: "
+                << to_string(ev.finding->kind) << " in "
+                << ev.finding->spec.label() << "\n"
+                << ev.finding->detail << "\n";
+      return 2;
+    }
+    std::cout << "replay: " << m.source_file << " matches across "
+              << default_matrix().size() << " matrix cells\n";
+    return 0;
+  }
+  // A finding manifest replays its recorded matrix cell.
+  const bool still = reproduces(source, cfg, m.spec(), m.finding_kind());
+  std::cout << "replay: " << m.kind << " in " << m.spec().label() << " "
+            << (still ? "still reproduces" : "no longer reproduces") << "\n";
+  return still ? 0 : 2;
+}
+
+int shrink_only(const std::string& path) {
+  using namespace msc::fuzz;
+  std::string source;
+  const Manifest m = load_manifest(path, &source);
+  if (m.kind == "corpus") {
+    std::cerr << "mscfuzz: --shrink-only needs a finding manifest, not a "
+                 "corpus entry\n";
+    return 1;
+  }
+  const EvalConfig cfg = m.eval_config();
+  const RunSpec spec = m.spec();
+  const FindingKind kind = m.finding_kind();
+  const std::string shrunk =
+      shrink_source(source, [&](const std::string& s) {
+        return reproduces(s, cfg, spec, kind);
+      });
+  std::cout << shrunk;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.fuzz.gen.allow_spawn = true;
+  // Leave idle PEs for spawn to claim (equivalence_test's configuration);
+  // spawn exhaustion still gets exercised once children multiply.
+  cli.fuzz.eval.initial_active = 2;
+  cli.fuzz.log = &std::cout;
+  if (!parse_args(argc, argv, cli)) return 1;
+
+  try {
+    if (!cli.replay_path.empty()) return replay(cli.replay_path);
+    if (!cli.shrink_path.empty()) return shrink_only(cli.shrink_path);
+
+    msc::fuzz::FuzzResult res = msc::fuzz::run_fuzzer(cli.fuzz);
+    std::cout << "[mscfuzz] done: " << res.iterations << " iterations, "
+              << res.skipped << " skipped, corpus " << res.corpus_size << ", "
+              << res.features << " coverage features, " << res.findings.size()
+              << " finding(s)\n";
+    for (const msc::fuzz::Finding& f : res.findings) {
+      std::cout << "--- " << to_string(f.kind) << " in " << f.spec.label()
+                << " ---\n"
+                << f.detail << "\n"
+                << f.source;
+    }
+    for (const std::string& p : res.written)
+      std::cout << "[mscfuzz] wrote " << p << "\n";
+    return res.findings.empty() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mscfuzz: " << e.what() << "\n";
+    return 1;
+  }
+}
