@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "msc/core/straighten.hpp"
+#include "msc/core/subsume.hpp"
 #include "msc/core/time_split.hpp"
 #include "msc/support/coverage.hpp"
 #include "msc/support/str.hpp"
@@ -157,7 +158,7 @@ class Converter {
 
     if (opts_.compress && opts_.subsume) {
       Clock::time_point t0 = Clock::now();
-      subsume();
+      subsume_automaton(aut_);
       stats_.subsume_seconds += since(t0);
     }
 
@@ -412,67 +413,6 @@ class Converter {
         }
         return;
     }
-  }
-
-  /// Fig. 5 reduction: a compressed meta state X strictly contained in
-  /// another state Y can be replaced by Y, because Y holds (guarded) code
-  /// for every member of X and its unconditional successor covers X's.
-  /// All-barrier release states are exempt — a superset would stall their
-  /// waiting PEs forever — as is the start state (kept for entry).
-  void subsume() {
-    const std::size_t n = aut_.states.size();
-    std::vector<MetaId> rep(n);
-    for (std::size_t i = 0; i < n; ++i) rep[i] = static_cast<MetaId>(i);
-
-    for (std::size_t x = 0; x < n; ++x) {
-      if (x == aut_.start) continue;
-      const DynBitset& xm = aut_.states[x].members;
-      if (!aut_.barriers.empty() && xm.is_subset_of(aut_.barriers)) continue;
-      MetaId best = kNoMeta;
-      std::size_t best_count = 0;
-      for (std::size_t y = 0; y < n; ++y) {
-        if (y == x) continue;
-        const DynBitset& ym = aut_.states[y].members;
-        if (!xm.is_subset_of(ym) || xm == ym) continue;
-        std::size_t c = ym.count();
-        if (best == kNoMeta || c < best_count ||
-            (c == best_count && y < best)) {
-          best = static_cast<MetaId>(y);
-          best_count = c;
-        }
-      }
-      if (best != kNoMeta) rep[x] = best;
-    }
-    // Resolve chains (strict ⊂ is acyclic, so this terminates).
-    auto resolve = [&](MetaId id) {
-      while (rep[id] != id) id = rep[id];
-      return id;
-    };
-    bool any = false;
-    for (std::size_t i = 0; i < n; ++i)
-      if (resolve(static_cast<MetaId>(i)) != static_cast<MetaId>(i)) any = true;
-    if (!any) return;
-
-    // Compact surviving states and remap every reference.
-    std::vector<MetaId> newid(n, kNoMeta);
-    std::vector<MetaState> kept;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (resolve(static_cast<MetaId>(i)) != static_cast<MetaId>(i)) continue;
-      newid[i] = static_cast<MetaId>(kept.size());
-      kept.push_back(std::move(aut_.states[i]));
-    }
-    auto remap = [&](MetaId id) {
-      return id == kNoMeta ? kNoMeta : newid[resolve(id)];
-    };
-    for (MetaState& s : kept) {
-      s.id = remap(s.id);
-      s.unconditional = remap(s.unconditional);
-      for (auto& [key, target] : s.arcs) target = remap(target);
-    }
-    aut_.start = remap(aut_.start);
-    aut_.states = std::move(kept);
-    aut_.index.clear();
-    for (const MetaState& s : aut_.states) aut_.index.emplace(s.members, s.id);
   }
 
   StateGraph& g_;

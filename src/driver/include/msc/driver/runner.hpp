@@ -54,6 +54,13 @@ void seed_machine(M& machine, const Compiled& compiled,
 void write_convert_trace(const core::ConvertStats& stats,
                          const std::string& path);
 
+/// Write a pipeline's per-pass telemetry (support/telemetry.hpp JSON,
+/// schema in DESIGN.md §9) to `path` ("-" = stdout). Throws
+/// std::runtime_error when the file cannot be written. Used by mscc
+/// --pass-timings and PipelineOptions::pass_timings_path.
+void write_pass_timings(const telemetry::PipelineTrace& trace,
+                        const std::string& path);
+
 /// Write a finished SIMD machine's execution trace (simd::to_json: engine
 /// name, cycle stats, utilization, per-meta-state visits) to `path`
 /// ("-" = stdout). Throws std::runtime_error when the file cannot be

@@ -3,41 +3,84 @@
 #include "msc/driver/runner.hpp"
 #include "msc/frontend/parser.hpp"
 #include "msc/ir/build.hpp"
-#include "msc/ir/passes.hpp"
-#include "msc/ir/peephole.hpp"
+#include "msc/pass/pass.hpp"
 
 namespace msc::driver {
 
-Compiled compile(const std::string& source) {
+Compiled front(const std::string& source) {
   Compiled out;
   out.program = frontend::parse_mimdc(source);
   out.layout = frontend::analyze(*out.program, out.diags);
   out.graph = ir::build_state_graph(*out.program, out.layout);
-  ir::simplify(out.graph);
-  ir::peephole(out.graph);
   return out;
 }
 
-Converted convert(const std::string& source, const ir::CostModel& cost,
-                  const core::ConvertOptions& options) {
-  Converted out;
-  out.compiled = compile(source);
-  out.conversion = core::meta_state_convert(out.compiled.graph, cost, options);
+Compiled compile(const std::string& source) {
+  Compiled out = front(source);
+  pass::ManagerOptions mo;
+  mo.pipeline = {"simplify", "peephole"};
+  pass::PassManager pm(std::move(mo));
+  pass::PipelineState st;
+  st.graph = std::move(out.graph);
+  pm.run(st);
+  out.graph = std::move(st.graph);
   return out;
+}
+
+std::vector<std::string> resolve_pipeline(const PipelineOptions& options) {
+  if (!options.pipeline.empty()) return options.pipeline;
+  const core::ConvertOptions& o = options.convert;
+  std::vector<std::string> names = {"simplify", "peephole"};
+  if (o.compress) names.push_back("compress");
+  if (o.time_split) names.push_back("time-split");
+  names.push_back("convert");
+  if (o.subsume) names.push_back("subsume");
+  if (o.straighten) names.push_back("straighten");
+  return names;
 }
 
 Converted convert(const std::string& source, const ir::CostModel& cost,
                   const PipelineOptions& options) {
   Converted out;
-  out.compiled = compile(source);
-  out.conversion =
-      options.adaptive
-          ? core::meta_state_convert_adaptive(out.compiled.graph, cost,
-                                              options.convert)
-          : core::meta_state_convert(out.compiled.graph, cost, options.convert);
+  out.compiled = front(source);
+
+  pass::ManagerOptions mo;
+  mo.pipeline = resolve_pipeline(options);
+  mo.disabled = options.disabled;
+  mo.verify_each = options.verify_each;
+  pass::PassManager pm(std::move(mo));
+
+  pass::PipelineState st;
+  st.graph = std::move(out.compiled.graph);
+  st.cost = cost;
+  st.options = options.convert;
+  // Stage selection lives in the pipeline; clear the flags so the convert
+  // pass sees only what config passes (compress, time-split) set.
+  st.options.compress = false;
+  st.options.time_split = false;
+  st.adaptive = options.adaptive;
+  st.cgopts = options.codegen;
+
+  out.trace = pm.run(st);
+  out.compiled.graph = std::move(st.graph);
+  if (!st.conversion)
+    throw pass::PipelineError("pipeline contains no convert pass");
+  out.conversion = std::move(*st.conversion);
+  out.prog = std::move(st.prog);
+  out.trace.sections.emplace_back("convert", core::to_json(out.conversion.stats));
+
   if (!options.trace_convert_path.empty())
     write_convert_trace(out.conversion.stats, options.trace_convert_path);
+  if (!options.pass_timings_path.empty())
+    write_pass_timings(out.trace, options.pass_timings_path);
   return out;
+}
+
+Converted convert(const std::string& source, const ir::CostModel& cost,
+                  const core::ConvertOptions& options) {
+  PipelineOptions po;
+  po.convert = options;
+  return convert(source, cost, po);
 }
 
 }  // namespace msc::driver

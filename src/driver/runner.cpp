@@ -107,6 +107,11 @@ void write_convert_trace(const core::ConvertStats& stats,
   write_trace_json(core::to_json(stats), "convert trace", path);
 }
 
+void write_pass_timings(const telemetry::PipelineTrace& trace,
+                        const std::string& path) {
+  write_trace_json(trace.to_json(), "pass timings", path);
+}
+
 void write_simd_trace(const simd::SimdMachine& machine,
                       const std::string& path) {
   write_trace_json(simd::to_json(machine), "simd trace", path);

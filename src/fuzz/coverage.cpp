@@ -22,10 +22,16 @@ const char* to_string(FindingKind kind) {
   return "unknown";
 }
 
+bool RunSpec::has(const std::string& pass) const {
+  for (const std::string& name : pipeline)
+    if (name == pass) return true;
+  return false;
+}
+
 std::string RunSpec::convert_key() const {
-  return cat(compress ? "compress" : "base", compress && !subsume ? "-nosub" : "",
+  return cat(join(pipeline, ","),
              barrier_mode == core::BarrierMode::PaperPrune ? "-prune" : "",
-             time_split ? "-split" : "", "-t", threads);
+             "-t", threads);
 }
 
 std::string RunSpec::label() const {
@@ -35,35 +41,43 @@ std::string RunSpec::label() const {
 
 std::vector<RunSpec> default_matrix() {
   std::vector<RunSpec> m;
-  auto add = [&](bool compress, bool subsume, core::BarrierMode mode,
-                 bool split, unsigned threads, mimd::SimdEngine engine) {
+  auto add = [&](std::vector<std::string> pipeline, core::BarrierMode mode,
+                 unsigned threads, mimd::SimdEngine engine) {
     RunSpec s;
-    s.compress = compress;
-    s.subsume = subsume;
+    s.pipeline = std::move(pipeline);
     s.barrier_mode = mode;
-    s.time_split = split;
     s.threads = threads;
     s.engine = engine;
     m.push_back(s);
   };
   using core::BarrierMode;
   using mimd::SimdEngine;
-  // Base mode on both engines, plus a threads=2 conversion whose automaton
-  // must be bit-identical to the serial one (checked inside evaluate()).
-  add(false, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Fast);
-  add(false, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Reference);
-  add(false, true, BarrierMode::TrackOccupancy, false, 2, SimdEngine::Fast);
+  const std::vector<std::string> base = {"convert", "subsume", "straighten"};
+  const std::vector<std::string> comp = {"compress", "convert", "subsume",
+                                         "straighten"};
+  // Base pipeline on both engines, plus a threads=2 conversion whose
+  // automaton must be bit-identical to the serial one (checked inside
+  // evaluate()).
+  add(base, BarrierMode::TrackOccupancy, 1, SimdEngine::Fast);
+  add(base, BarrierMode::TrackOccupancy, 1, SimdEngine::Reference);
+  add(base, BarrierMode::TrackOccupancy, 2, SimdEngine::Fast);
   // The paper's §2.6 pruning rule (skipped per-candidate when >1 barrier
   // state makes it unsound).
-  add(false, true, BarrierMode::PaperPrune, false, 1, SimdEngine::Fast);
-  add(false, true, BarrierMode::PaperPrune, false, 1, SimdEngine::Reference);
+  add(base, BarrierMode::PaperPrune, 1, SimdEngine::Fast);
+  add(base, BarrierMode::PaperPrune, 1, SimdEngine::Reference);
   // §2.5 compression, with and without Fig. 5 subsumption.
-  add(true, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Fast);
-  add(true, true, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Reference);
-  add(true, false, BarrierMode::TrackOccupancy, false, 1, SimdEngine::Fast);
+  add(comp, BarrierMode::TrackOccupancy, 1, SimdEngine::Fast);
+  add(comp, BarrierMode::TrackOccupancy, 1, SimdEngine::Reference);
+  add({"compress", "convert", "straighten"}, BarrierMode::TrackOccupancy, 1,
+      SimdEngine::Fast);
   // §2.4 time splitting (restart machinery + split graphs).
-  add(false, true, BarrierMode::TrackOccupancy, true, 1, SimdEngine::Fast);
-  add(false, true, BarrierMode::TrackOccupancy, true, 1, SimdEngine::Reference);
+  add({"time-split", "convert", "subsume", "straighten"},
+      BarrierMode::TrackOccupancy, 1, SimdEngine::Fast);
+  add({"time-split", "convert", "subsume", "straighten"},
+      BarrierMode::TrackOccupancy, 1, SimdEngine::Reference);
+  // Custom-order coverage: the dme cleanup pass, straighten-less layout.
+  add({"convert", "subsume", "dme"}, BarrierMode::TrackOccupancy, 1,
+      SimdEngine::Fast);
   return m;
 }
 

@@ -10,6 +10,7 @@
 #include "msc/driver/pipeline.hpp"
 #include "msc/driver/runner.hpp"
 #include "msc/fuzz/manifest.hpp"
+#include "msc/pass/pass.hpp"
 #include "msc/support/diag.hpp"
 #include "msc/support/rng.hpp"
 #include "msc/support/str.hpp"
@@ -37,11 +38,10 @@ Finding make_finding(FindingKind kind, const RunSpec& spec,
 
 core::ConvertOptions convert_options(const RunSpec& spec,
                                      const EvalConfig& cfg) {
+  // Stage selection (compress/time-split/subsume/straighten) lives in
+  // spec.pipeline; only the engine-level knobs are set here.
   core::ConvertOptions copts;
-  copts.compress = spec.compress;
-  copts.subsume = spec.subsume;
   copts.barrier_mode = spec.barrier_mode;
-  copts.time_split = spec.time_split;
   copts.threads = spec.threads;
   copts.max_meta_states = cfg.max_meta_states;
   return copts;
@@ -114,16 +114,15 @@ EvalResult evaluate(const std::string& source, const EvalConfig& cfg,
     // subset the pruned automaton has no arc for); compression ignores
     // the barrier mode entirely.
     if (spec.barrier_mode == core::BarrierMode::PaperPrune &&
-        (spec.compress || !single_barrier || unordered))
+        (spec.has("compress") || !single_barrier || unordered))
       continue;
 
     const std::string key = spec.convert_key();
     auto it = conversions.find(key);
     if (it == conversions.end()) {
       try {
-        core::ConvertResult conv =
-            core::meta_state_convert(compiled.graph, cost,
-                                     convert_options(spec, cfg));
+        core::ConvertResult conv = pass::run_conversion_pipeline(
+            compiled.graph, cost, spec.pipeline, convert_options(spec, cfg));
         if (cfg.corrupt_conversion) cfg.corrupt_conversion(conv);
         it = conversions.emplace(key, std::move(conv)).first;
       } catch (const core::ExplosionError&) {

@@ -60,24 +60,28 @@ class ScopedCoverage {
 
 // ------------------------------------------------------- option matrix
 
-/// One cell of the differential option matrix: how to convert and which
+/// One cell of the differential option matrix: the conversion-stage pass
+/// pipeline to run over the compiled graph, the engine-level conversion
+/// knobs that are not passes (barrier mode, thread width), and which SIMD
 /// engine executes the result.
 struct RunSpec {
-  bool compress = false;
-  bool subsume = true;
+  /// Pass names (pass registry) executed over the already-compiled state
+  /// graph — config passes, the convert pass, and automaton passes; the
+  /// IR passes run once during compilation, outside the matrix.
+  std::vector<std::string> pipeline = {"convert", "subsume", "straighten"};
   core::BarrierMode barrier_mode = core::BarrierMode::TrackOccupancy;
-  bool time_split = false;
   unsigned threads = 1;
   mimd::SimdEngine engine = mimd::SimdEngine::Fast;
 
+  bool has(const std::string& pass) const;
   /// Conversion-relevant part (engines sharing it reuse one conversion).
   std::string convert_key() const;
   std::string label() const;
 };
 
-/// The full matrix a candidate runs through: compress × subsume ×
-/// barrier_mode × time_split × threads × engine, minus combinations that
-/// are redundant (subsume only matters under compress) or unsound
+/// The full matrix a candidate runs through: pass pipelines (base,
+/// compressed, compressed-without-subsume, time-split) × barrier_mode ×
+/// threads × engine, minus combinations that are redundant or unsound
 /// (PaperPrune with >1 barrier state is skipped per-candidate inside
 /// evaluate()).
 std::vector<RunSpec> default_matrix();

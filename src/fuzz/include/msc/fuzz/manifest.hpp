@@ -28,10 +28,14 @@ struct Manifest {
   std::uint64_t input_seed = 1;
   bool reuse_halted_pes = false;
   // The matrix cell (for kind != "corpus" replays).
-  bool compress = false;
-  bool subsume = true;
+  /// Comma-separated conversion-stage pass pipeline (schema 1 with passes,
+  /// e.g. "compress,convert,subsume,straighten"). Empty = derive from the
+  /// legacy boolean fields below, so pre-pipeline manifests keep replaying.
+  std::string pipeline;
+  bool compress = false;    ///< legacy (parse-only fallback)
+  bool subsume = true;      ///< legacy (parse-only fallback)
   bool prune = false;
-  bool time_split = false;
+  bool time_split = false;  ///< legacy (parse-only fallback)
   unsigned threads = 1;
   std::string engine = "fast";
   std::string note;

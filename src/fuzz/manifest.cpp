@@ -144,11 +144,22 @@ std::string to_str(const std::map<std::string, std::string>& fields,
 
 RunSpec Manifest::spec() const {
   RunSpec s;
-  s.compress = compress;
-  s.subsume = subsume;
+  if (!pipeline.empty()) {
+    s.pipeline.clear();
+    for (const std::string& name : split(pipeline, ','))
+      if (!name.empty()) s.pipeline.push_back(name);
+  } else {
+    // Legacy manifests describe the cell as booleans; rebuild the pass
+    // pipeline they meant.
+    s.pipeline.clear();
+    if (compress) s.pipeline.push_back("compress");
+    if (time_split) s.pipeline.push_back("time-split");
+    s.pipeline.push_back("convert");
+    if (subsume) s.pipeline.push_back("subsume");
+    s.pipeline.push_back("straighten");
+  }
   s.barrier_mode = prune ? core::BarrierMode::PaperPrune
                          : core::BarrierMode::TrackOccupancy;
-  s.time_split = time_split;
   s.threads = threads;
   if (engine == "fast") {
     s.engine = mimd::SimdEngine::Fast;
@@ -190,10 +201,8 @@ std::string to_json(const Manifest& m) {
   os << "  \"input_seed\": " << m.input_seed << ",\n";
   os << "  \"reuse_halted_pes\": " << (m.reuse_halted_pes ? "true" : "false")
      << ",\n";
-  os << "  \"compress\": " << (m.compress ? "true" : "false") << ",\n";
-  os << "  \"subsume\": " << (m.subsume ? "true" : "false") << ",\n";
+  os << "  \"pipeline\": \"" << escape(m.pipeline) << "\",\n";
   os << "  \"prune\": " << (m.prune ? "true" : "false") << ",\n";
-  os << "  \"time_split\": " << (m.time_split ? "true" : "false") << ",\n";
   os << "  \"threads\": " << m.threads << ",\n";
   os << "  \"engine\": \"" << escape(m.engine) << "\",\n";
   os << "  \"note\": \"" << escape(m.note) << "\"\n";
@@ -217,6 +226,7 @@ Manifest parse_manifest(const std::string& json) {
       static_cast<std::uint64_t>(to_int(fields, "input_seed",
                                         static_cast<std::int64_t>(m.input_seed)));
   m.reuse_halted_pes = to_bool(fields, "reuse_halted_pes", m.reuse_halted_pes);
+  m.pipeline = to_str(fields, "pipeline", m.pipeline);
   m.compress = to_bool(fields, "compress", m.compress);
   m.subsume = to_bool(fields, "subsume", m.subsume);
   m.prune = to_bool(fields, "prune", m.prune);
@@ -259,10 +269,8 @@ Manifest manifest_for(const Finding& finding, const EvalConfig& cfg,
   m.input_seed = cfg.input_seed;
   m.reuse_halted_pes = cfg.reuse_halted_pes;
   const RunSpec& s = finding.spec;
-  m.compress = s.compress;
-  m.subsume = s.subsume;
+  m.pipeline = join(s.pipeline, ",");
   m.prune = s.barrier_mode == core::BarrierMode::PaperPrune;
-  m.time_split = s.time_split;
   m.threads = s.threads;
   m.engine = s.engine == mimd::SimdEngine::Fast ? "fast" : "reference";
   // First line of the detail is enough context for a human reader.

@@ -1,0 +1,167 @@
+// Pipeline resolution, invariant-order validation, and the instrumented
+// run loop.
+#include <algorithm>
+#include <chrono>
+
+#include "msc/pass/pass.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::pass {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string known_names() {
+  std::vector<std::string> names;
+  for (const Pass& p : registered_passes()) names.push_back(p.name);
+  return join(names, ", ");
+}
+
+telemetry::Metrics snapshot(const PipelineState& st) {
+  telemetry::Metrics m;
+  m.mimd_states = static_cast<std::int64_t>(
+      st.conversion ? st.conversion->graph.size() : st.graph.size());
+  if (st.conversion) {
+    m.meta_states =
+        static_cast<std::int64_t>(st.conversion->automaton.num_states());
+    m.meta_arcs =
+        static_cast<std::int64_t>(st.conversion->automaton.num_arcs());
+  }
+  return m;
+}
+
+}  // namespace
+
+PassManager::PassManager(ManagerOptions options) : options_(std::move(options)) {
+  std::vector<std::string> names =
+      options_.pipeline.empty() ? default_pipeline() : options_.pipeline;
+
+  // --disable-pass names must exist (catching typos beats silence) and are
+  // removed from the resolved list.
+  for (const std::string& off : options_.disabled) {
+    if (!find_pass(off))
+      throw PipelineError(cat("cannot disable unknown pass '", off,
+                              "' (registered: ", known_names(), ")"));
+    names.erase(std::remove(names.begin(), names.end(), off), names.end());
+  }
+  if (names.empty()) throw PipelineError("empty pass pipeline");
+
+  for (const std::string& name : names) {
+    const Pass* p = find_pass(name);
+    if (!p)
+      throw PipelineError(cat("unknown pass '", name,
+                              "' (registered: ", known_names(), ")"));
+    for (const Pass& seen : passes_)
+      if (seen.name == name)
+        throw PipelineError(cat("pass '", name, "' appears twice"));
+    passes_.push_back(*p);
+  }
+
+  // Declared stage invariants: IR and Config passes precede the (single)
+  // convert pass; Automaton/Codegen passes follow it.
+  bool converted = false;
+  bool has_convert = false;
+  for (const Pass& p : passes_) has_convert |= p.stage == Stage::Convert;
+  for (const Pass& p : passes_) {
+    switch (p.stage) {
+      case Stage::IR:
+        if (converted)
+          throw PipelineError(cat("IR pass '", p.name,
+                                  "' after the conversion stage: it could no "
+                                  "longer affect the automaton"));
+        break;
+      case Stage::Config:
+        if (converted)
+          throw PipelineError(cat("config pass '", p.name,
+                                  "' after the conversion stage it is meant "
+                                  "to parameterize"));
+        if (!has_convert)
+          throw PipelineError(cat("config pass '", p.name,
+                                  "' without a convert pass to configure"));
+        break;
+      case Stage::Convert:
+        if (converted)
+          throw PipelineError("pipeline contains more than one convert pass");
+        converted = true;
+        break;
+      case Stage::Automaton:
+      case Stage::Codegen:
+        if (!converted)
+          throw PipelineError(cat(to_string(p.stage), " pass '", p.name,
+                                  "' before any convert pass: there is no "
+                                  "automaton to transform"));
+        break;
+    }
+  }
+}
+
+std::vector<std::string> PassManager::names() const {
+  std::vector<std::string> out;
+  for (const Pass& p : passes_) out.push_back(p.name);
+  return out;
+}
+
+bool PassManager::contains(const std::string& name) const {
+  for (const Pass& p : passes_)
+    if (p.name == name) return true;
+  return false;
+}
+
+void PassManager::verify(const std::string& pass_name,
+                         const PipelineState& state) const {
+  std::vector<std::string> problems = state.graph.validate();
+  if (state.conversion) {
+    std::vector<std::string> aut =
+        state.conversion->automaton.validate(state.conversion->graph);
+    problems.insert(problems.end(), aut.begin(), aut.end());
+  }
+  if (!problems.empty())
+    throw PipelineError(cat("invariant violation after pass '", pass_name,
+                            "': ", join(problems, "; ")));
+}
+
+telemetry::PipelineTrace PassManager::run(PipelineState& state) const {
+  telemetry::PipelineTrace trace;
+  const Clock::time_point t_total = Clock::now();
+  for (const Pass& pass : passes_) {
+    telemetry::PassRecord rec;
+    rec.name = pass.name;
+    rec.before = snapshot(state);
+    const Clock::time_point t0 = Clock::now();
+    pass.run(state, rec.counters);
+    rec.seconds = since(t0);
+    rec.after = snapshot(state);
+    trace.passes.push_back(std::move(rec));
+    if (options_.verify_each) verify(pass.name, state);
+  }
+  trace.total_seconds = since(t_total);
+  return trace;
+}
+
+core::ConvertResult run_conversion_pipeline(
+    const ir::StateGraph& graph, const ir::CostModel& cost,
+    const std::vector<std::string>& pipeline, const core::ConvertOptions& base,
+    bool adaptive, telemetry::PipelineTrace* trace_out) {
+  ManagerOptions mo;
+  mo.pipeline = pipeline;
+  PassManager pm(std::move(mo));
+  PipelineState st;
+  st.graph = graph;
+  st.cost = cost;
+  st.options = base;
+  st.options.compress = false;  // the pipeline is the source of truth
+  st.options.time_split = false;
+  st.adaptive = adaptive;
+  telemetry::PipelineTrace trace = pm.run(st);
+  if (trace_out) *trace_out = std::move(trace);
+  if (!st.conversion)
+    throw PipelineError("pipeline contains no convert pass");
+  return std::move(*st.conversion);
+}
+
+}  // namespace msc::pass

@@ -1,0 +1,49 @@
+#ifndef MSC_SUPPORT_TELEMETRY_HPP
+#define MSC_SUPPORT_TELEMETRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msc::telemetry {
+
+/// Sizes of the intermediate program sampled at a pass boundary. -1 means
+/// "not applicable at this point in the pipeline" (rendered as JSON null):
+/// meta_states/meta_arcs are -1 before the conversion stage has run.
+struct Metrics {
+  std::int64_t mimd_states = -1;  ///< blocks in the MIMD state graph
+  std::int64_t meta_states = -1;  ///< states in the meta-state automaton
+  std::int64_t meta_arcs = -1;    ///< keyed arcs in the automaton
+
+  bool operator==(const Metrics&) const = default;
+};
+
+/// One instrumented pass execution: wall time plus the metrics snapshot
+/// immediately before and after, and pass-specific counters (cache hits,
+/// blocks removed, fall-throughs created, ...).
+struct PassRecord {
+  std::string name;
+  double seconds = 0.0;
+  Metrics before;
+  Metrics after;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+};
+
+/// The whole pipeline's instrumentation, rendered by to_json() as the
+/// `--pass-timings` payload (schema: DESIGN.md §9). `sections` carries
+/// extra top-level members spliced in verbatim — the driver appends the
+/// conversion's ConvertStats object under "convert", extending the
+/// `--trace-convert` schema rather than duplicating it.
+struct PipelineTrace {
+  std::vector<PassRecord> passes;
+  double total_seconds = 0.0;
+  /// (key, pre-rendered JSON value) pairs appended as top-level members.
+  std::vector<std::pair<std::string, std::string>> sections;
+
+  std::string to_json() const;
+};
+
+}  // namespace msc::telemetry
+
+#endif  // MSC_SUPPORT_TELEMETRY_HPP

@@ -1,0 +1,78 @@
+#include "msc/support/telemetry.hpp"
+
+#include <sstream>
+
+#include "msc/support/str.hpp"
+
+namespace msc::telemetry {
+
+namespace {
+
+void emit_metric(std::ostringstream& os, const char* key, std::int64_t v,
+                 bool last = false) {
+  os << "\"" << key << "\": ";
+  if (v < 0)
+    os << "null";
+  else
+    os << v;
+  if (!last) os << ", ";
+}
+
+void emit_metrics(std::ostringstream& os, const Metrics& m) {
+  os << "{";
+  emit_metric(os, "mimd_states", m.mimd_states);
+  emit_metric(os, "meta_states", m.meta_states);
+  emit_metric(os, "meta_arcs", m.meta_arcs, /*last=*/true);
+  os << "}";
+}
+
+/// Indent every line of a pre-rendered JSON value by two spaces so spliced
+/// sections line up with the hand-written members.
+std::string indent_value(const std::string& json) {
+  std::string out;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    out += json[i];
+    if (json[i] == '\n' && i + 1 < json.size()) out += "  ";
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+    out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+std::string PipelineTrace::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": 1,\n";
+  os << "  \"pipeline\": [";
+  for (std::size_t i = 0; i < passes.size(); ++i)
+    os << (i ? ", " : "") << "\"" << passes[i].name << "\"";
+  os << "],\n";
+  os << "  \"passes\": [\n";
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const PassRecord& p = passes[i];
+    os << "    {\"name\": \"" << p.name << "\", \"seconds\": "
+       << fmt_double(p.seconds, 6) << ",\n";
+    os << "     \"before\": ";
+    emit_metrics(os, p.before);
+    os << ", \"after\": ";
+    emit_metrics(os, p.after);
+    if (!p.counters.empty()) {
+      os << ",\n     \"counters\": {";
+      for (std::size_t c = 0; c < p.counters.size(); ++c)
+        os << (c ? ", " : "") << "\"" << p.counters[c].first
+           << "\": " << p.counters[c].second;
+      os << "}";
+    }
+    os << "}" << (i + 1 < passes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"total_seconds\": " << fmt_double(total_seconds, 6);
+  for (const auto& [key, value] : sections)
+    os << ",\n  \"" << key << "\": " << indent_value(value);
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace msc::telemetry

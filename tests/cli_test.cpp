@@ -81,16 +81,22 @@ TEST(Cli, CompilesFromFile) {
   EXPECT_NE(r.output.find("results: 42 42"), std::string::npos) << r.output;
 }
 
-TEST(Cli, ReportsCompileErrors) {
+TEST(Cli, ReportsCompileErrorsWithCaretAndExit3) {
   std::string path = std::string(MSCC_TMPDIR) + "/cli_test_bad.mimdc";
   {
     std::ofstream out(path);
     out << "int main() { return zz; }\n";
   }
   auto r = run_cli(path);
-  EXPECT_EQ(r.exit_code, 1);
-  EXPECT_NE(r.output.find("compile error"), std::string::npos);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  // file:line:col: error: message, the source line, a caret under col 21.
+  EXPECT_NE(r.output.find(path + ":1:21: error:"), std::string::npos)
+      << r.output;
   EXPECT_NE(r.output.find("undeclared"), std::string::npos);
+  EXPECT_NE(r.output.find("  int main() { return zz; }"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\n                      ^"), std::string::npos)
+      << r.output;
 }
 
 TEST(Cli, UsageOnBadArguments) {
@@ -173,4 +179,110 @@ TEST(Cli, TraceSimdWritesJsonForBothEngines) {
 TEST(Cli, BadSimdEngineIsUsageError) {
   auto r = run_cli("--kernel listing1 --simd-engine warp");
   EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(Cli, PrintPipelineListsEveryRegisteredPass) {
+  auto r = run_cli("--print-pipeline");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find(
+                "pipeline: simplify -> peephole -> convert -> subsume -> "
+                "straighten"),
+            std::string::npos)
+      << r.output;
+  for (const char* pass : {"simplify", "peephole", "compress", "time-split",
+                           "convert", "subsume", "dme", "straighten", "codegen"})
+    EXPECT_NE(r.output.find(pass), std::string::npos) << pass;
+
+  // Stage flags and --disable-pass reshape the printed pipeline.
+  auto c = run_cli("--print-pipeline --compress --split --disable-pass subsume");
+  EXPECT_NE(c.output.find("pipeline: simplify -> peephole -> compress -> "
+                          "time-split -> convert -> straighten"),
+            std::string::npos)
+      << c.output;
+}
+
+TEST(Cli, DisablePassChangesEmittedAutomaton) {
+  auto with = run_cli("--kernel listing4 --compress --emit meta");
+  auto without =
+      run_cli("--kernel listing4 --compress --disable-pass subsume --emit meta");
+  EXPECT_EQ(with.exit_code, 0);
+  EXPECT_EQ(without.exit_code, 0);
+  EXPECT_NE(with.output, without.output)
+      << "disabling subsume should keep subset meta states";
+}
+
+TEST(Cli, PassPipelineSelectsExactPasses) {
+  // Same passes as the default, spelled explicitly: identical output.
+  auto dflt = run_cli("--kernel listing1 --emit meta");
+  auto expl = run_cli(
+      "--kernel listing1 "
+      "--pass-pipeline simplify,peephole,convert,subsume,straighten "
+      "--emit meta");
+  EXPECT_EQ(expl.exit_code, 0) << expl.output;
+  EXPECT_EQ(dflt.output, expl.output);
+
+  // Unknown names and invariant-violating orders are usage errors (2).
+  auto unknown = run_cli("--kernel listing1 --pass-pipeline convert,frobnicate");
+  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_NE(unknown.output.find("unknown pass 'frobnicate'"), std::string::npos)
+      << unknown.output;
+  auto disorder = run_cli("--kernel listing1 --pass-pipeline straighten,convert");
+  EXPECT_EQ(disorder.exit_code, 2);
+  EXPECT_NE(disorder.output.find("before any convert pass"), std::string::npos)
+      << disorder.output;
+}
+
+TEST(Cli, PassTimingsWritesSchemaJson) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_pass_timings.json";
+  auto r = run_cli("--kernel listing1 --compress --verify-each --pass-timings " +
+                   path + " --emit meta");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pipeline\": [\"simplify\", \"peephole\", "
+                      "\"compress\", \"convert\", \"subsume\", "
+                      "\"straighten\"]"),
+            std::string::npos)
+      << json;
+  for (const char* key : {"\"passes\"", "\"seconds\"", "\"before\"", "\"after\"",
+                          "\"meta_states\"", "\"counters\"", "\"total_seconds\"",
+                          "\"convert\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+}
+
+TEST(Cli, ExplosionExitsWithCode4) {
+  auto r = run_cli("--kernel oddeven_sort --max-meta-states 3 --emit meta");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("state explosion"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--adaptive"), std::string::npos) << r.output;
+}
+
+TEST(Cli, MachineFaultExitsWithCode5) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_test_fault.mimdc";
+  {
+    std::ofstream out(path);
+    // Spawn exhaustion: every PE is busy, so spawn faults at runtime on
+    // both machines (the oracle faults first).
+    out << "int main() { spawn { halt; } return 1; }\n";
+  }
+  auto r = run_cli(path + " --run --nprocs 2 --active 2 --emit meta");
+  EXPECT_EQ(r.exit_code, 5) << r.output;
+  EXPECT_NE(r.output.find("machine fault"), std::string::npos) << r.output;
+}
+
+TEST(Cli, VerifyEachPassesOnDefaultPipeline) {
+  // listing3 terminates under the default run config (listing4's MIMD
+  // oracle exhausts the block budget regardless of PE count).
+  auto r = run_cli("--kernel listing3 --split --verify-each --run --emit meta");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("match : yes"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FlagEqualsValueFormAccepted) {
+  auto r = run_cli("--kernel=listing1 --emit=meta --threads=2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("meta-state automaton"), std::string::npos);
 }

@@ -180,22 +180,46 @@ TEST(FuzzSelftest, DefaultMatrixCoversEveryMode) {
   const std::vector<RunSpec> matrix = default_matrix();
   std::vector<std::string> labels;
   bool fast = false, reference = false, prune = false, compress = false;
-  bool nosub = false, split = false, threaded = false;
+  bool nosub = false, split = false, threaded = false, dme = false;
   for (const RunSpec& s : matrix) {
     labels.push_back(s.label());
     fast |= s.engine == mimd::SimdEngine::Fast;
     reference |= s.engine == mimd::SimdEngine::Reference;
     prune |= s.barrier_mode == core::BarrierMode::PaperPrune;
-    compress |= s.compress;
-    nosub |= s.compress && !s.subsume;
-    split |= s.time_split;
+    compress |= s.has("compress");
+    nosub |= s.has("compress") && !s.has("subsume");
+    split |= s.has("time-split");
+    dme |= s.has("dme");
     threaded |= s.threads > 1;
+    EXPECT_TRUE(s.has("convert")) << s.label();
   }
   EXPECT_TRUE(fast && reference && prune && compress && nosub && split &&
-              threaded);
+              threaded && dme);
   std::sort(labels.begin(), labels.end());
   EXPECT_EQ(std::adjacent_find(labels.begin(), labels.end()), labels.end())
       << "duplicate matrix cells";
+}
+
+TEST(FuzzSelftest, ManifestPipelineRoundTripAndLegacyFallback) {
+  // Schema-1-with-pipeline manifests replay the pass list verbatim.
+  Manifest m = parse_manifest(
+      R"({"schema": 1, "source_file": "a.mimdc",
+          "pipeline": "compress,convert,straighten", "threads": 2})");
+  EXPECT_EQ(m.spec().pipeline,
+            (std::vector<std::string>{"compress", "convert", "straighten"}));
+  EXPECT_EQ(m.spec().threads, 2u);
+
+  // Pre-pipeline manifests carry booleans; the spec they meant must be
+  // reconstructed so every checked-in corpus manifest keeps replaying.
+  Manifest legacy = parse_manifest(
+      R"({"schema": 1, "source_file": "a.mimdc",
+          "compress": true, "subsume": false, "time_split": true})");
+  EXPECT_EQ(legacy.spec().pipeline,
+            (std::vector<std::string>{"compress", "time-split", "convert",
+                                      "straighten"}));
+  Manifest plain = parse_manifest(R"({"schema": 1, "source_file": "a.mimdc"})");
+  EXPECT_EQ(plain.spec().pipeline,
+            (std::vector<std::string>{"convert", "subsume", "straighten"}));
 }
 
 }  // namespace

@@ -2,8 +2,8 @@
 // byte-identical to tests/golden/listing4.mpl. This pins the emitter,
 // hash-function selection, CSI schedule, and automaton numbering all at
 // once. If an intentional pipeline change alters the output, regenerate
-// with:  ./build/examples/mscc --kernel listing4 --emit mpl \
-//           > tests/golden/listing4.mpl
+// with:
+//   ./build/tools/mscc --kernel listing4 --emit mpl > tests/golden/listing4.mpl
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -39,8 +39,9 @@ TEST(Golden, Listing4MplSnapshot) {
 // execution-stats schema (engine name, every cycle counter, utilization
 // formatting, per-meta-state visits) and — because the counters themselves
 // are part of the snapshot — the engine's cost accounting. Regenerate with:
-//   ./build/examples/mscc --kernel listing1 --emit meta --nprocs 4 --seed 1 \
+//   ./build/tools/mscc --kernel listing1 --emit meta --nprocs 4 --seed 1
 //       --trace-simd tests/golden/listing1_trace.json > /dev/null
+// (single command line; wrapped here for width)
 TEST(Golden, TraceSimdJsonSnapshot) {
   std::ifstream in(MSC_GOLDEN_DIR "/listing1_trace.json");
   ASSERT_TRUE(in) << "missing golden file";

@@ -1,0 +1,358 @@
+// mscc — the meta-state converter driver, a command-line equivalent of the
+// paper's prototype (§4): MIMDC in, meta-state automaton / MPL-style SIMD
+// code / DOT graphs out, with optional execution on the simulated machines.
+//
+// The toolchain is a named pass pipeline (DESIGN.md §9): --print-pipeline
+// shows it, --pass-pipeline / --disable-pass reshape it, --pass-timings
+// exports per-pass telemetry, --verify-each checks invariants at every
+// pass boundary.
+//
+// Usage:
+//   mscc [options] file.mimdc
+//   mscc [options] --kernel listing1
+//
+// Exit codes (one per failing stage, so scripts can tell them apart):
+//   0  success
+//   1  I/O or internal error
+//   2  bad usage or pipeline-construction error (unknown pass, bad order)
+//   3  compile error in the MIMDC input
+//   4  meta-state explosion (conversion exceeded --max-meta-states)
+//   5  machine fault while executing (--run)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "msc/codegen/program.hpp"
+#include "msc/core/profile.hpp"
+#include "msc/core/serialize.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/ir/exec.hpp"
+#include "msc/pass/pass.hpp"
+#include "msc/simd/machine.hpp"
+#include "msc/support/str.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+
+namespace {
+
+enum ExitCode {
+  kOk = 0,
+  kInternal = 1,
+  kUsage = 2,
+  kCompile = 3,
+  kExplosion = 4,
+  kFault = 5,
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mscc [options] (file.mimdc | --kernel <name>)\n"
+      "\n"
+      "conversion stages (shorthands for pipeline edits):\n"
+      "  --compress          §2.5 meta-state compression\n"
+      "  --adaptive          base conversion, compress only on state explosion\n"
+      "  --no-subsume        keep subset meta states when compressing\n"
+      "  --prune             §2.6 barrier handling exactly as in the paper\n"
+      "  --split             §2.4 MIMD-state time splitting\n"
+      "\n"
+      "pass pipeline:\n"
+      "  --print-pipeline    print the resolved pipeline and the full pass\n"
+      "                      registry, then exit\n"
+      "  --pass-pipeline L   run exactly the comma-separated pass list L\n"
+      "                      (overrides the stage shorthands above)\n"
+      "  --disable-pass P    drop pass P from the pipeline (repeatable)\n"
+      "  --verify-each       run the structural invariant checkers after\n"
+      "                      every pass; a failure names the offending pass\n"
+      "  --pass-timings F    write per-pass telemetry JSON (wall time,\n"
+      "                      state/arc counts, counters; DESIGN.md §9) to\n"
+      "                      F; '-' writes to stdout\n"
+      "\n"
+      "conversion engine:\n"
+      "  --no-cache          disable the successor-set memo cache (it\n"
+      "                      otherwise survives --split restarts)\n"
+      "  --threads N         frontier-expansion workers; 1 = serial,\n"
+      "                      0 = all cores; output is bit-identical for\n"
+      "                      every N\n"
+      "  --max-meta-states N abort conversion (exit 4) past N meta states\n"
+      "  --trace-convert F   write conversion stats JSON (cache hits/misses,\n"
+      "                      restarts, per-phase wall time) to F; '-' = stdout\n"
+      "\n"
+      "output and execution:\n"
+      "  --no-csi            serialize meta-state bodies instead of CSI (§3.1)\n"
+      "  --emit K            mpl|meta|mimd|dot|dot-mimd|profile|module\n"
+      "                      (default meta)\n"
+      "  --run               also execute on SIMD machine + MIMD oracle\n"
+      "  --trace             like --run, plus a per-meta-state occupancy trace\n"
+      "  --simd-engine E     fast = occupancy-indexed engine (default),\n"
+      "                      reference = the scalar oracle; results and\n"
+      "                      stats are bit-identical either way\n"
+      "  --trace-simd F      implies --run; write SIMD execution stats JSON\n"
+      "                      to F; '-' = stdout\n"
+      "  --nprocs N          PEs (default 8)\n"
+      "  --active N          initially active PEs (default all)\n"
+      "  --seed S            per-PE input seed (default 1)\n"
+      "\n"
+      "exit codes: 0 ok, 1 I/O or internal error, 2 usage/pipeline error,\n"
+      "            3 compile error, 4 state explosion, 5 machine fault\n");
+  return kUsage;
+}
+
+/// file:line:col: error: message, plus the offending source line with a
+/// caret under the column — the same rendering for every stage that can
+/// point at source.
+void render_compile_error(const std::string& file, const std::string& source,
+                          const CompileError& e) {
+  const SourceLoc loc = e.loc();
+  std::string message = e.what();
+  // CompileError::what() is pre-formatted as "line:col: message"; strip
+  // the prefix so the location appears exactly once.
+  const std::string prefix = cat(loc.line, ":", loc.col, ": ");
+  if (starts_with(message, prefix)) message = message.substr(prefix.size());
+  if (loc.valid())
+    std::fprintf(stderr, "%s:%u:%u: error: %s\n", file.c_str(), loc.line,
+                 loc.col, message.c_str());
+  else
+    std::fprintf(stderr, "%s: error: %s\n", file.c_str(), message.c_str());
+
+  if (!loc.valid()) return;
+  const std::vector<std::string> lines = split(source, '\n');
+  if (loc.line > lines.size()) return;
+  const std::string& text = lines[loc.line - 1];
+  std::fprintf(stderr, "  %s\n", text.c_str());
+  std::string caret;
+  for (std::uint32_t c = 1; c < loc.col && c <= text.size(); ++c)
+    caret += text[c - 1] == '\t' ? '\t' : ' ';
+  std::fprintf(stderr, "  %s^\n", caret.c_str());
+}
+
+int print_pipeline(const driver::PipelineOptions& popts) {
+  pass::ManagerOptions mo;
+  mo.pipeline = driver::resolve_pipeline(popts);
+  mo.disabled = popts.disabled;
+  pass::PassManager pm(std::move(mo));
+  std::printf("pipeline: %s\n\n", join(pm.names(), " -> ").c_str());
+  std::printf("registered passes:\n");
+  std::printf("  %-12s %-10s %-8s %s\n", "name", "stage", "default",
+              "description");
+  for (const pass::Pass& p : pass::registered_passes())
+    std::printf("  %-12s %-10s %-8s %s\n", p.name.c_str(),
+                pass::to_string(p.stage), p.default_on ? "on" : "off",
+                p.description.c_str());
+  return kOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source, input_name = "<stdin>", emit = "meta";
+  driver::PipelineOptions popts;
+  core::ConvertOptions& copts = popts.convert;
+  codegen::CodegenOptions& gopts = popts.codegen;
+  mimd::RunConfig config;
+  config.nprocs = 8;
+  bool run = false;
+  bool trace = false;
+  bool show_pipeline = false;
+  std::string trace_simd_path;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (starts_with(arg, "--")) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) std::exit(usage());
+      return argv[++i];
+    };
+    if (arg == "--compress") copts.compress = true;
+    else if (arg == "--adaptive") popts.adaptive = true;
+    else if (arg == "--no-subsume") copts.subsume = false;
+    else if (arg == "--prune") copts.barrier_mode = core::BarrierMode::PaperPrune;
+    else if (arg == "--split") copts.time_split = true;
+    else if (arg == "--no-cache") copts.memoize = false;
+    else if (arg == "--threads")
+      copts.threads = static_cast<unsigned>(std::atoll(next().c_str()));
+    else if (arg == "--max-meta-states")
+      copts.max_meta_states =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (arg == "--trace-convert") popts.trace_convert_path = next();
+    else if (arg == "--print-pipeline") show_pipeline = true;
+    else if (arg == "--pass-pipeline") {
+      popts.pipeline.clear();
+      for (const std::string& name : split(next(), ','))
+        if (!name.empty()) popts.pipeline.push_back(name);
+    }
+    else if (arg == "--disable-pass") popts.disabled.push_back(next());
+    else if (arg == "--verify-each") popts.verify_each = true;
+    else if (arg == "--pass-timings") popts.pass_timings_path = next();
+    else if (arg == "--no-csi") gopts.use_csi = false;
+    else if (arg == "--emit") emit = next();
+    else if (arg == "--run") run = true;
+    else if (arg == "--trace") { run = true; trace = true; }
+    else if (arg == "--simd-engine") {
+      try {
+        config.engine = simd::parse_engine(next());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "mscc: %s\n", e.what());
+        return usage();
+      }
+    }
+    else if (arg == "--trace-simd") { run = true; trace_simd_path = next(); }
+    else if (arg == "--nprocs") config.nprocs = std::atoll(next().c_str());
+    else if (arg == "--active")
+      config.initial_active = std::atoll(next().c_str());
+    else if (arg == "--seed")
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    else if (arg == "--kernel") {
+      const std::string name = next();
+      source = workload::kernel(name).source;
+      input_name = cat("<kernel:", name, ">");
+    }
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "mscc: cannot open '%s'\n", arg.c_str());
+        return kInternal;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      source = ss.str();
+      input_name = arg;
+    }
+  }
+
+  if (show_pipeline) {
+    try {
+      return print_pipeline(popts);
+    } catch (const pass::PipelineError& e) {
+      std::fprintf(stderr, "mscc: %s\n", e.what());
+      return kUsage;
+    }
+  }
+  if (source.empty()) return usage();
+
+  const bool need_codegen = emit == "mpl" || run;
+  if (need_codegen) {
+    if (popts.pipeline.empty()) popts.pipeline = driver::resolve_pipeline(popts);
+    popts.pipeline.push_back("codegen");
+  }
+
+  try {
+    ir::CostModel cost;
+    driver::Converted converted = driver::convert(source, cost, popts);
+    driver::Compiled& compiled = converted.compiled;
+    for (const std::string& msg : compiled.diags.messages())
+      std::fprintf(stderr, "%s\n", msg.c_str());
+    core::ConvertResult& conv = converted.conversion;
+    if (need_codegen && !converted.prog)
+      throw pass::PipelineError(
+          "--emit mpl / --run need the 'codegen' pass, but the pipeline "
+          "omits it");
+
+    if (emit == "mimd") {
+      std::printf("%s", conv.graph.dump().c_str());
+    } else if (emit == "meta") {
+      std::printf("%s", conv.automaton.dump().c_str());
+    } else if (emit == "dot") {
+      std::printf("%s", conv.automaton.to_dot().c_str());
+    } else if (emit == "dot-mimd") {
+      std::printf("%s", conv.graph.to_dot().c_str());
+    } else if (emit == "profile") {
+      std::printf("%s", core::profile(conv.automaton).to_string().c_str());
+    } else if (emit == "module") {
+      std::printf("%s", core::serialize(
+                            core::Module{conv.graph, conv.automaton, conv.stats})
+                            .c_str());
+    } else if (emit == "mpl") {
+      std::printf("%s", codegen::to_mpl(*converted.prog, conv.graph).c_str());
+    } else {
+      return usage();
+    }
+
+    if (run) {
+      simd::SimdStats stats;
+      auto oracle = driver::run_oracle(compiled, config, seed);
+      if (trace || !trace_simd_path.empty()) {
+        // Step the SIMD machine manually, printing occupancy per state
+        // and/or dumping the execution-stats JSON.
+        class Printer final : public simd::SimdTracer {
+         public:
+          void on_state(core::MetaId id, const DynBitset& occ,
+                        std::int64_t alive) override {
+            std::printf("%5d  ms%-4u occ=%-18s alive=%lld\n", step_++, id,
+                        occ.to_string().c_str(), static_cast<long long>(alive));
+          }
+          void on_transition(core::MetaId, core::MetaId to,
+                             const DynBitset& apc) override {
+            if (to == core::kNoMeta)
+              std::printf("       exit on apc=%s\n", apc.to_string().c_str());
+          }
+
+         private:
+          int step_ = 0;
+        } printer;
+        auto machine = simd::make_machine(*converted.prog, cost, config);
+        driver::seed_machine(*machine, compiled, config, seed);
+        if (trace) {
+          machine->set_tracer(&printer);
+          std::printf("\n%5s  %-6s %-22s %s\n", "step", "state", "occupancy",
+                      "alive");
+        }
+        machine->run();
+        if (!trace_simd_path.empty())
+          driver::write_simd_trace(*machine, trace_simd_path);
+      }
+      auto simd = driver::run_simd(compiled, conv, config, seed, cost, gopts,
+                                   &stats);
+      std::printf("\noracle: %s\n", oracle.to_string().c_str());
+      std::printf("simd  : %s\n", simd.to_string().c_str());
+      std::printf("match : %s\n", oracle == simd ? "yes" : "NO");
+      std::printf("engine=%s meta states=%zu cycles=%lld utilization=%.1f%% "
+                  "global-ors=%lld\n",
+                  config.engine == mimd::SimdEngine::Fast ? "fast" : "reference",
+                  conv.automaton.num_states(),
+                  static_cast<long long>(stats.control_cycles),
+                  100.0 * stats.utilization(),
+                  static_cast<long long>(stats.global_ors));
+    }
+  } catch (const CompileError& e) {
+    render_compile_error(input_name, source, e);
+    return kCompile;
+  } catch (const core::ExplosionError& e) {
+    std::fprintf(stderr,
+                 "mscc: state explosion: %s\n"
+                 "mscc: note: retry with --compress or --adaptive, or raise "
+                 "--max-meta-states\n",
+                 e.what());
+    return kExplosion;
+  } catch (const ir::MachineFault& e) {
+    std::fprintf(stderr, "mscc: machine fault: %s\n", e.what());
+    return kFault;
+  } catch (const pass::PipelineError& e) {
+    std::fprintf(stderr, "mscc: %s\n", e.what());
+    return kUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mscc: %s\n", e.what());
+    return kInternal;
+  }
+  return kOk;
+}
