@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 
 #include "msc/driver/pipeline.hpp"
 #include "msc/driver/runner.hpp"
 #include "msc/interp/machine.hpp"
+#include "msc/support/trace.hpp"
 #include "msc/workload/kernels.hpp"
 
 using namespace msc;
@@ -82,6 +84,94 @@ void report_engines() {
   }
 }
 
+void report_observability() {
+  // T-OBS — the zero-cost-when-off contract (ISSUE: with no sink attached
+  // FastSimdMachine throughput must not regress). The structural argument
+  // is that the step() observability hook is a single bool test when
+  // nothing is attached (DESIGN.md §10); this bench pins the residual cost
+  // empirically by comparing a machine that never saw a sink against one
+  // that had a sink attached and then detached — any state left behind by
+  // attachment would show up as a wall-clock gap between the two. Tracing
+  // and profiling overheads are reported alongside for the record.
+  std::printf("\n== T-OBS: observability overhead on the fast engine ==\n");
+  auto compiled = driver::compile(workload::kernel("branchy4").source);
+  auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+  mimd::RunConfig cfg;
+  cfg.nprocs = 1024;
+  cfg.local_mem_cells = 256;  // see report_engines()
+
+  simd::SimdStats stats;
+  // All four modes are timed inside each rep (interleaved, rotating start
+  // order, best-of minima): pairing the conditions under the same machine
+  // state cancels slow thermal/scheduler drift, the rotation cancels
+  // within-rep ordering effects, and a short rep (~1 ms) gives the minima
+  // many chances to land in a quiet scheduling window.
+  using Setup = std::function<void(simd::SimdMachine&, telemetry::TraceSink&)>;
+  const Setup setups[4] = {
+      [](simd::SimdMachine&, telemetry::TraceSink&) {},
+      [](simd::SimdMachine& m, telemetry::TraceSink& sink) {
+        m.set_trace_sink(&sink);    // attach...
+        m.set_trace_sink(nullptr);  // ...and detach: must leave no residue
+      },
+      [](simd::SimdMachine& m, telemetry::TraceSink& sink) {
+        m.set_trace_sink(&sink);
+      },
+      [](simd::SimdMachine& m, telemetry::TraceSink&) {
+        m.enable_profiling();
+      }};
+  double best[4] = {1e100, 1e100, 1e100, 1e100};
+  for (int rep = 0; rep < 80; ++rep) {
+    for (int slot = 0; slot < 4; ++slot) {
+      const int mode = (slot + rep) % 4;
+      telemetry::TraceSink sink;
+      auto m = simd::make_machine(prog, kCost, cfg);
+      driver::seed_machine(*m, compiled, cfg, kSeed);
+      setups[mode](*m, sink);
+      auto t0 = std::chrono::steady_clock::now();
+      m->run();
+      auto t1 = std::chrono::steady_clock::now();
+      best[mode] = std::min(
+          best[mode], std::chrono::duration<double>(t1 - t0).count());
+      stats = m->stats();
+    }
+  }
+  const double baseline = best[0], detached = best[1], traced = best[2],
+               profiled = best[3];
+
+  const double per_transition =
+      baseline / static_cast<double>(stats.meta_transitions) * 1e9;
+  Table t({"mode", "best us", "vs baseline"}, {22, 10, 12});
+  const auto row = [&](const char* mode, double s) {
+    t.row({mode, bench::num(static_cast<std::int64_t>(s * 1e6)),
+           bench::ratio(s / baseline)});
+  };
+  row("no sink (baseline)", baseline);
+  row("attach+detach", detached);
+  row("chrome trace on", traced);
+  row("profiling on", profiled);
+  t.print(cat("branchy4, nprocs=", cfg.nprocs, ", ", stats.meta_transitions,
+              " meta transitions (best of 80); baseline ",
+              fmt_double(per_transition, 1), " ns/transition"));
+
+  bench::JsonReport& report = bench::JsonReport::instance();
+  report.metric("obs.baseline_us", baseline * 1e6);
+  report.metric("obs.detached_us", detached * 1e6);
+  report.metric("obs.traced_us", traced * 1e6);
+  report.metric("obs.profiled_us", profiled * 1e6);
+  report.metric("obs.ns_per_meta_transition", per_transition);
+  report.metric("obs.meta_transitions", stats.meta_transitions);
+
+  // The gate: detaching must restore the exact no-sink cost, within noise.
+  // Tolerance is max(1% relative, 30µs absolute) on best-of-80 minima —
+  // the absolute floor keeps short runs from gating on scheduler jitter.
+  const double tolerance = std::max(0.01 * baseline, 30e-6);
+  report.gate("T-OBS.no-sink-overhead", detached <= baseline + tolerance,
+              cat("baseline ", fmt_double(baseline * 1e6, 1),
+                  " us, after attach+detach ", fmt_double(detached * 1e6, 1),
+                  " us, tolerance ", fmt_double(tolerance * 1e6, 1), " us"));
+}
+
 void report() {
   std::printf("== T-SCALE: cycles vs. machine size ==\n");
 
@@ -112,6 +202,7 @@ void report() {
             "makespan is the per-PE critical path");
   }
   report_engines();
+  report_observability();
 }
 
 void BM_SimdAtScale(benchmark::State& state) {

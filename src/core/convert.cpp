@@ -13,6 +13,7 @@
 #include "msc/core/subsume.hpp"
 #include "msc/core/time_split.hpp"
 #include "msc/support/coverage.hpp"
+#include "msc/support/metrics.hpp"
 #include "msc/support/str.hpp"
 
 namespace msc::core {
@@ -488,6 +489,32 @@ ConvertResult meta_state_convert(const StateGraph& graph, const ir::CostModel& c
                      (std::uint64_t{std::min(res.stats.restarts, 15)} << 8) |
                          coverage_bucket(
                              static_cast<std::uint64_t>(res.stats.splits_performed)));
+      }
+      // Publish conversion aggregates into the process-global metrics
+      // registry (mscc --metrics). References resolve once; the adds are
+      // relaxed atomics, well off any hot path.
+      {
+        using telemetry::Counter;
+        using telemetry::Histogram;
+        telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+        static Counter& conversions = reg.counter("convert.runs");
+        static Counter& reach_calls = reg.counter("convert.reach_calls");
+        static Counter& restarts = reg.counter("convert.restarts");
+        static Counter& splits = reg.counter("convert.splits_performed");
+        static Counter& cache_hits = reg.counter("convert.cache_hits");
+        static Counter& cache_misses = reg.counter("convert.cache_misses");
+        static Histogram& meta_states = reg.histogram(
+            "convert.meta_states", Histogram::pow2_bounds(20));
+        static Histogram& arcs =
+            reg.histogram("convert.arcs", Histogram::pow2_bounds(20));
+        conversions.add();
+        reach_calls.add(static_cast<std::int64_t>(res.stats.reach_calls));
+        restarts.add(res.stats.restarts);
+        splits.add(res.stats.splits_performed);
+        cache_hits.add(static_cast<std::int64_t>(res.stats.cache_hits));
+        cache_misses.add(static_cast<std::int64_t>(res.stats.cache_misses));
+        meta_states.record(static_cast<std::int64_t>(res.stats.meta_states));
+        arcs.record(static_cast<std::int64_t>(res.stats.arcs));
       }
       return res;
     } catch (const ExplosionError&) {

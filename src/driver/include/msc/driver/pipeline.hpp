@@ -15,6 +15,10 @@
 #include "msc/support/diag.hpp"
 #include "msc/support/telemetry.hpp"
 
+namespace msc::telemetry {
+class TraceSink;
+}
+
 namespace msc::driver {
 
 /// Output of the MIMDC front half: analyzed AST, memory layout, and the
@@ -72,6 +76,10 @@ struct PipelineOptions {
   /// When non-empty, write the pipeline's telemetry JSON here
   /// ("-" = stdout); schema in DESIGN.md §9 (--pass-timings in mscc).
   std::string pass_timings_path;
+  /// Chrome-trace sink for the pipeline run (null = tracing off). The
+  /// PassManager emits one wall-clock span per pass and the convert pass
+  /// adds its phase breakdown (--trace-chrome in mscc; DESIGN.md §10).
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 /// Resolve the pass list `options` describes: `options.pipeline` when

@@ -48,6 +48,13 @@ void seed_machine(M& machine, const Compiled& compiled,
     machine.poke(p, slot->addr, Value::of_int(seed_input(seed, p)));
 }
 
+/// Write a pre-rendered JSON document to `path` ("-" = stdout); `what`
+/// names the payload in error messages. Throws std::runtime_error when the
+/// file cannot be written. Shared by every --trace-*/--profile-*/--metrics
+/// sink in mscc and by mscprof's --write.
+void write_json_file(const std::string& json, const std::string& what,
+                     const std::string& path);
+
 /// Write `stats` as JSON to `path` ("-" = stdout). Throws
 /// std::runtime_error when the file cannot be written. Used by
 /// --trace-convert and PipelineOptions::trace_convert_path.

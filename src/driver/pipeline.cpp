@@ -60,6 +60,7 @@ Converted convert(const std::string& source, const ir::CostModel& cost,
   st.options.time_split = false;
   st.adaptive = options.adaptive;
   st.cgopts = options.codegen;
+  st.trace_sink = options.trace_sink;
 
   out.trace = pm.run(st);
   out.compiled.graph = std::move(st.graph);

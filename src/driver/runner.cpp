@@ -84,10 +84,8 @@ std::string Observed::to_string() const {
   return os.str();
 }
 
-namespace {
-
-void write_trace_json(const std::string& json, const std::string& what,
-                      const std::string& path) {
+void write_json_file(const std::string& json, const std::string& what,
+                     const std::string& path) {
   if (path == "-") {
     std::fputs(json.c_str(), stdout);
     return;
@@ -100,21 +98,19 @@ void write_trace_json(const std::string& json, const std::string& what,
     throw std::runtime_error(cat("failed writing ", what, " to '", path, "'"));
 }
 
-}  // namespace
-
 void write_convert_trace(const core::ConvertStats& stats,
                          const std::string& path) {
-  write_trace_json(core::to_json(stats), "convert trace", path);
+  write_json_file(core::to_json(stats), "convert trace", path);
 }
 
 void write_pass_timings(const telemetry::PipelineTrace& trace,
                         const std::string& path) {
-  write_trace_json(trace.to_json(), "pass timings", path);
+  write_json_file(trace.to_json(), "pass timings", path);
 }
 
 void write_simd_trace(const simd::SimdMachine& machine,
                       const std::string& path) {
-  write_trace_json(simd::to_json(machine), "simd trace", path);
+  write_json_file(simd::to_json(machine), "simd trace", path);
 }
 
 std::int64_t seed_input(std::uint64_t seed, std::int64_t pe) {

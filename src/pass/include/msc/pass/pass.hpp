@@ -15,6 +15,10 @@
 #include "msc/ir/graph.hpp"
 #include "msc/support/telemetry.hpp"
 
+namespace msc::telemetry {
+class TraceSink;
+}
+
 namespace msc::pass {
 
 /// Thrown on pipeline-construction errors (unknown pass name, duplicate
@@ -42,6 +46,11 @@ struct PipelineState {
   /// driver-level adaptive behavior; DESIGN.md §4).
   bool adaptive = false;
   codegen::CodegenOptions cgopts;
+  /// Chrome-trace sink shared by the whole pipeline run (null = tracing
+  /// off). The PassManager opens one wall-clock span per pass; passes may
+  /// additionally emit child spans (the convert pass emits its per-phase
+  /// breakdown). Never changes pass behaviour.
+  telemetry::TraceSink* trace_sink = nullptr;
   std::optional<core::ConvertResult> conversion;   ///< set by `convert`
   std::optional<codegen::SimdProgram> prog;        ///< set by `codegen`
 };

@@ -4,7 +4,9 @@
 #include <chrono>
 
 #include "msc/pass/pass.hpp"
+#include "msc/support/metrics.hpp"
 #include "msc/support/str.hpp"
+#include "msc/support/trace.hpp"
 
 namespace msc::pass {
 
@@ -127,19 +129,35 @@ void PassManager::verify(const std::string& pass_name,
 
 telemetry::PipelineTrace PassManager::run(PipelineState& state) const {
   telemetry::PipelineTrace trace;
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  static telemetry::Counter& pass_runs = reg.counter("pass.runs");
+  static telemetry::Counter& pipeline_runs = reg.counter("pass.pipelines");
+  static telemetry::Histogram& pass_us = reg.histogram(
+      "pass.seconds_us", telemetry::Histogram::pow2_bounds(24));
   const Clock::time_point t_total = Clock::now();
   for (const Pass& pass : passes_) {
     telemetry::PassRecord rec;
     rec.name = pass.name;
     rec.before = snapshot(state);
+    telemetry::ScopedSpan span(state.trace_sink, pass.name, "pass");
     const Clock::time_point t0 = Clock::now();
     pass.run(state, rec.counters);
     rec.seconds = since(t0);
     rec.after = snapshot(state);
+    span.arg("meta_states_after", rec.after.meta_states);
+    span.arg("mimd_states_after", rec.after.mimd_states);
+    pass_runs.add();
+    pass_us.record(static_cast<std::int64_t>(rec.seconds * 1e6));
+    // Per-pass cumulative wall time; names come from a closed registry, so
+    // the lookup cost (a map find under an uncontended mutex, per pass
+    // execution) is negligible next to the pass itself.
+    reg.counter(cat("pass.", pass.name, ".us"))
+        .add(static_cast<std::int64_t>(rec.seconds * 1e6));
     trace.passes.push_back(std::move(rec));
     if (options_.verify_each) verify(pass.name, state);
   }
   trace.total_seconds = since(t_total);
+  pipeline_runs.add();
   return trace;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MSC_SIMD_MACHINE_HPP
 #define MSC_SIMD_MACHINE_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,6 +11,10 @@
 #include "msc/ir/cost.hpp"
 #include "msc/ir/exec.hpp"
 #include "msc/mimd/machine.hpp"  // RunConfig, SimdEngine, Timeout
+
+namespace msc::telemetry {
+class TraceSink;
+}
 
 namespace msc::simd {
 
@@ -29,6 +34,10 @@ struct SimdStats {
   /// PaperPrune/fold-collision transitions resolved via the member index
   /// instead of the hashed switch (see DESIGN.md §2.6 discussion).
   std::int64_t rescue_transitions = 0;
+  /// Router traversals (parallel-subscript loads/stores through the
+  /// inter-PE network). Counted in the shared MemoryBus layer, so both
+  /// engines agree by construction.
+  std::int64_t router_ops = 0;
 
   /// PE utilization while executing meta-state bodies (§2.4 motivates
   /// time splitting with "up to 95% of its processor cycles ... waiting").
@@ -40,6 +49,40 @@ struct SimdStats {
   }
 
   bool operator==(const SimdStats& o) const = default;
+};
+
+/// Per-meta-state execution profile (§2.4's utilization lens applied per
+/// state rather than per run). Accumulated in the engine-independent
+/// step() skeleton from SimdStats deltas, so (a) both engines produce
+/// bit-identical profiles and (b) summing any cycle field over all states
+/// reproduces the run's SimdStats total exactly — `mscprof` and the
+/// observability tests rely on both properties.
+struct StateProfile {
+  /// Power-of-two buckets over the enabled-PE count at state entry:
+  /// bucket 0 ↔ 0 PEs, bucket k ↔ [2^(k-1), 2^k), last bucket open.
+  static constexpr int kEnabledBuckets = 16;
+
+  std::int64_t visits = 0;
+  std::int64_t enabled_min = 0;  ///< fewest PEs alive at any entry
+  std::int64_t enabled_max = 0;
+  std::int64_t enabled_sum = 0;  ///< Σ over visits (mean = sum / visits)
+  std::int64_t control_cycles = 0;   ///< broadcast + transition cost here
+  std::int64_t busy_pe_cycles = 0;
+  std::int64_t offered_pe_cycles = 0;
+  std::int64_t global_ors = 0;
+  std::int64_t guard_switches = 0;
+  std::int64_t router_ops = 0;
+  std::int64_t spawns = 0;
+  std::array<std::int64_t, kEnabledBuckets> enabled_hist{};
+
+  double utilization() const {
+    return offered_pe_cycles == 0
+               ? 1.0
+               : static_cast<double>(busy_pe_cycles) /
+                     static_cast<double>(offered_pe_cycles);
+  }
+
+  bool operator==(const StateProfile&) const = default;
 };
 
 /// Observer for meta-state execution (tracing/visualization). Callbacks
@@ -82,8 +125,33 @@ class SimdMachine : public ir::MemoryBus {
 
   void run();
 
+  /// Publish run aggregates into MetricsRegistry::global() (mscc
+  /// --metrics). run() calls this on clean completion; callers driving
+  /// step() manually may call it themselves. Idempotent per machine.
+  void publish_metrics();
+
   /// Attach an execution observer (nullptr to detach).
   void set_tracer(SimdTracer* tracer) { tracer_ = tracer; }
+
+  /// Attach a Chrome-trace sink (nullptr to detach): every step() emits
+  /// one complete event on the deterministic cycle timeline
+  /// (telemetry::TraceSink::kSimdPid) carrying enabled-PE count, occupied
+  /// meta-state members, and the step's global-or/router/cycle deltas.
+  /// With no sink attached the per-step cost is one pointer test; stats,
+  /// memories, and visits are unchanged either way (pinned by
+  /// simd_differential_test and bench_scaling's T-OBS gate).
+  void set_trace_sink(telemetry::TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Start accumulating per-meta-state profiles (mscc --profile-simd).
+  /// Call before run(); idempotent. Profiling never changes observable
+  /// execution — it only reads SimdStats deltas at step boundaries.
+  void enable_profiling() {
+    profile_.assign(prog_.states.size(), StateProfile{});
+    profiling_ = true;
+  }
+  bool profiling() const { return profiling_; }
+  /// Per-meta-state profiles (empty unless enable_profiling() was called).
+  const std::vector<StateProfile>& profile() const { return profile_; }
 
   /// Execute one meta state and take its transition. Returns false once
   /// the automaton exits (nothing executed then). Lets examples/benches
@@ -147,9 +215,18 @@ class SimdMachine : public ir::MemoryBus {
   std::vector<Value> mono_;
   SimdStats stats_;
   std::vector<std::int64_t> visits_;
+  /// Attribute the stats delta of one executed step (state entry through
+  /// transition) to `state`: profile accumulation and/or one trace event.
+  void record_step(core::MetaId state, const SimdStats& pre,
+                   std::int64_t pre_alive);
+
   core::MetaId cur_ = core::kNoMeta;  ///< next meta state step() will run
   bool finished_ = false;
+  bool metrics_published_ = false;
   SimdTracer* tracer_ = nullptr;
+  telemetry::TraceSink* trace_sink_ = nullptr;
+  std::vector<StateProfile> profile_;
+  bool profiling_ = false;
 };
 
 /// The original scalar implementation, kept compiled in forever as the
@@ -229,8 +306,10 @@ std::unique_ptr<SimdMachine> make_machine(const codegen::SimdProgram& program,
 /// std::invalid_argument on anything else.
 mimd::SimdEngine parse_engine(const std::string& name);
 
-/// JSON for --trace-simd: engine name, cycle/utilization stats, and
-/// per-meta-state visit counts. Schema documented in DESIGN.md §7.
+/// JSON for --trace-simd / --profile-simd: engine name, cycle/utilization
+/// stats, per-meta-state visit counts, and — when profiling was enabled —
+/// a "profile" array with one StateProfile object per meta state. Schema
+/// documented in DESIGN.md §7 and §10.
 std::string to_json(const SimdMachine& machine);
 
 }  // namespace msc::simd

@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "msc/support/coverage.hpp"
+#include "msc/support/metrics.hpp"
 #include "msc/support/str.hpp"
+#include "msc/support/trace.hpp"
 
 namespace msc::simd {
 
@@ -72,9 +74,11 @@ Value SimdMachine::peek_mono(std::int64_t addr) const {
 Value SimdMachine::mono_load(std::int64_t addr) { return peek_mono(addr); }
 void SimdMachine::mono_store(std::int64_t addr, Value v) { poke_mono(addr, v); }
 Value SimdMachine::route_load(std::int64_t proc, std::int64_t addr) {
+  ++stats_.router_ops;
   return peek(proc, addr);
 }
 void SimdMachine::route_store(std::int64_t proc, std::int64_t addr, Value v) {
+  ++stats_.router_ops;
   poke(proc, addr, v);
 }
 
@@ -149,6 +153,16 @@ bool SimdMachine::step() {
   // Tracer inputs are computed lazily: an untraced run pays no occupancy
   // or alive-count work here in either engine.
   if (tracer_) tracer_->on_state(cur_, occupancy(), alive_count());
+  // Observability snapshot: deltas against `pre` are attributed to this
+  // state after the transition resolves. One bool test when detached.
+  const bool observe = profiling_ || trace_sink_ != nullptr;
+  SimdStats pre;
+  std::int64_t pre_alive = 0;
+  if (observe) {
+    pre = stats_;
+    pre_alive = alive_count();
+  }
+  const MetaId executing = cur_;
   exec_state(mc);
   ++stats_.meta_transitions;
   if (stats_.meta_transitions > config_.max_blocks) throw mimd::Timeout();
@@ -157,6 +171,7 @@ bool SimdMachine::step() {
   DynBitset apc;
   MetaId next = next_state(mc, &apc);
   if (tracer_) tracer_->on_transition(cur_, next, apc);
+  if (observe) record_step(executing, pre, pre_alive);
   if (coverage_sink())
     coverage_hit(cov::kSimdTransitionKind, static_cast<std::uint64_t>(mc.trans));
   if (next == kNoMeta) {
@@ -182,9 +197,87 @@ bool SimdMachine::step() {
   return true;
 }
 
+void SimdMachine::record_step(MetaId state, const SimdStats& pre,
+                              std::int64_t pre_alive) {
+  const std::int64_t d_control = stats_.control_cycles - pre.control_cycles;
+  const std::int64_t d_busy = stats_.busy_pe_cycles - pre.busy_pe_cycles;
+  const std::int64_t d_offered =
+      stats_.offered_pe_cycles - pre.offered_pe_cycles;
+  const std::int64_t d_gor = stats_.global_ors - pre.global_ors;
+  const std::int64_t d_guard = stats_.guard_switches - pre.guard_switches;
+  const std::int64_t d_router = stats_.router_ops - pre.router_ops;
+  const std::int64_t d_spawns = stats_.spawns - pre.spawns;
+  if (profiling_) {
+    StateProfile& p = profile_[static_cast<std::size_t>(state)];
+    if (p.visits == 0 || pre_alive < p.enabled_min) p.enabled_min = pre_alive;
+    if (pre_alive > p.enabled_max) p.enabled_max = pre_alive;
+    ++p.visits;
+    p.enabled_sum += pre_alive;
+    std::uint32_t bucket =
+        coverage_bucket(static_cast<std::uint64_t>(pre_alive));
+    if (bucket >= StateProfile::kEnabledBuckets)
+      bucket = StateProfile::kEnabledBuckets - 1;
+    ++p.enabled_hist[bucket];
+    p.control_cycles += d_control;
+    p.busy_pe_cycles += d_busy;
+    p.offered_pe_cycles += d_offered;
+    p.global_ors += d_gor;
+    p.guard_switches += d_guard;
+    p.router_ops += d_router;
+    p.spawns += d_spawns;
+  }
+  if (trace_sink_) {
+    // Deterministic simulated timeline: ts/dur are control cycles, so the
+    // file is byte-stable across hosts (golden-pinned in mscprof_test).
+    trace_sink_->complete(
+        cat("ms", state), "meta-state", telemetry::TraceSink::kSimdPid,
+        /*tid=*/0, /*ts_us=*/pre.control_cycles, /*dur_us=*/d_control,
+        {{"state", state},
+         {"enabled_pes", pre_alive},
+         {"occupied_states", static_cast<std::int64_t>(occupancy().count())},
+         {"busy_pe_cycles", d_busy},
+         {"offered_pe_cycles", d_offered},
+         {"global_ors", d_gor},
+         {"router_ops", d_router},
+         {"guard_switches", d_guard},
+         {"spawns", d_spawns}});
+  }
+}
+
 void SimdMachine::run() {
   while (step()) {
   }
+  publish_metrics();
+}
+
+void SimdMachine::publish_metrics() {
+  if (metrics_published_) return;
+  metrics_published_ = true;
+  // Resolve each metric once per process (the registry hands back stable
+  // references), then publish with relaxed atomic adds.
+  using telemetry::Counter;
+  using telemetry::Histogram;
+  using telemetry::MetricsRegistry;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  static Counter& runs = reg.counter("simd.runs");
+  static Counter& transitions = reg.counter("simd.meta_transitions");
+  static Counter& control = reg.counter("simd.control_cycles");
+  static Counter& busy = reg.counter("simd.busy_pe_cycles");
+  static Counter& offered = reg.counter("simd.offered_pe_cycles");
+  static Counter& gors = reg.counter("simd.global_ors");
+  static Counter& routers = reg.counter("simd.router_ops");
+  static Counter& rescues = reg.counter("simd.rescue_transitions");
+  static Histogram& util = reg.histogram(
+      "simd.utilization_pct", {10, 20, 30, 40, 50, 60, 70, 80, 90});
+  runs.add();
+  transitions.add(stats_.meta_transitions);
+  control.add(stats_.control_cycles);
+  busy.add(stats_.busy_pe_cycles);
+  offered.add(stats_.offered_pe_cycles);
+  gors.add(stats_.global_ors);
+  routers.add(stats_.router_ops);
+  rescues.add(stats_.rescue_transitions);
+  util.record(static_cast<std::int64_t>(stats_.utilization() * 100.0));
 }
 
 std::unique_ptr<SimdMachine> make_machine(const codegen::SimdProgram& program,
@@ -218,12 +311,41 @@ std::string to_json(const SimdMachine& machine) {
       "  \"guard_switches\": ", s.guard_switches, ",\n"
       "  \"global_ors\": ", s.global_ors, ",\n"
       "  \"rescue_transitions\": ", s.rescue_transitions, ",\n"
+      "  \"router_ops\": ", s.router_ops, ",\n"
       "  \"spawns\": ", s.spawns, ",\n"
       "  \"visits\": [");
   const std::vector<std::int64_t>& visits = machine.state_visits();
   for (std::size_t i = 0; i < visits.size(); ++i)
     json += cat(i ? ", " : "", visits[i]);
-  json += "]\n}\n";
+  json += "]";
+  if (machine.profiling()) {
+    const std::vector<StateProfile>& prof = machine.profile();
+    json += ",\n  \"profile\": [\n";
+    for (std::size_t i = 0; i < prof.size(); ++i) {
+      const StateProfile& p = prof[i];
+      std::snprintf(util, sizeof util, "%.6f", p.utilization());
+      json += cat(
+          "    {\"state\": ", i,
+          ", \"visits\": ", p.visits,
+          ", \"enabled_min\": ", p.visits ? p.enabled_min : 0,
+          ", \"enabled_max\": ", p.enabled_max,
+          ", \"enabled_sum\": ", p.enabled_sum,
+          ",\n     \"control_cycles\": ", p.control_cycles,
+          ", \"busy_pe_cycles\": ", p.busy_pe_cycles,
+          ", \"offered_pe_cycles\": ", p.offered_pe_cycles,
+          ", \"utilization\": ", util,
+          ",\n     \"global_ors\": ", p.global_ors,
+          ", \"guard_switches\": ", p.guard_switches,
+          ", \"router_ops\": ", p.router_ops,
+          ", \"spawns\": ", p.spawns,
+          ",\n     \"enabled_hist\": [");
+      for (int b = 0; b < StateProfile::kEnabledBuckets; ++b)
+        json += cat(b ? ", " : "", p.enabled_hist[static_cast<std::size_t>(b)]);
+      json += cat("]}", i + 1 < prof.size() ? "," : "", "\n");
+    }
+    json += "  ]";
+  }
+  json += "\n}\n";
   return json;
 }
 

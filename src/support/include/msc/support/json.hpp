@@ -1,0 +1,60 @@
+#ifndef MSC_SUPPORT_JSON_HPP
+#define MSC_SUPPORT_JSON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msc::json {
+
+/// Thrown by parse() with a byte offset and a short description.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON document node. Small recursive DOM — enough for the
+/// toolchain's own emitters (trace/profile/metrics payloads, bench JSON),
+/// used by mscprof and by tests that assert emitted JSON is well-formed.
+/// Numbers are kept as doubles plus an exact-int64 flag so cycle counters
+/// round-trip bit-exactly.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::int64_t inum = 0;
+  bool is_exact_int = false;
+  std::string str;
+  std::vector<Value> elems;                            ///< Kind::Array
+  std::vector<std::pair<std::string, Value>> members;  ///< Kind::Object
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  /// Object member lookup (first occurrence); nullptr when absent or when
+  /// this node is not an object.
+  const Value* find(const std::string& key) const;
+  /// find() that throws ParseError naming the missing key.
+  const Value& at(const std::string& key) const;
+
+  /// Number accessors; throw ParseError on kind mismatch.
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). Throws ParseError.
+Value parse(const std::string& text);
+
+}  // namespace msc::json
+
+#endif  // MSC_SUPPORT_JSON_HPP

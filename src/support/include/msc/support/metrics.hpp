@@ -1,0 +1,98 @@
+#ifndef MSC_SUPPORT_METRICS_HPP
+#define MSC_SUPPORT_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msc::telemetry {
+
+/// Monotonic event count. Updates are relaxed atomics: publishing from the
+/// hot paths costs one uncontended RMW, no lock.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-written point-in-time value (queue depths, sizes, config echoes).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over int64 samples. `bounds` are inclusive upper
+/// bucket edges; one implicit overflow bucket catches everything past the
+/// last edge, so counts() has bounds.size() + 1 entries. Bucket layout is
+/// fixed at registration — record() is bounds.size() compares plus one
+/// relaxed RMW, allocation-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void record(std::int64_t v);
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  std::vector<std::int64_t> counts() const;
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+  /// {1, 2, 4, ..., 2^(n-1)}: the standard power-of-two layout used for
+  /// cycle counts and PE occupancies.
+  static std::vector<std::int64_t> pow2_bounds(int n);
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Process-wide named-metric registry. Registration (the name lookup)
+/// takes a mutex; the returned references are stable for the process
+/// lifetime, so hot paths resolve a metric once (function-local static)
+/// and then touch only its atomics. Names are typed: re-registering a
+/// name as a different kind, or a histogram with different bounds, throws
+/// std::logic_error. to_json() renders every metric, keys escaped, sorted
+/// by name (schema: DESIGN.md §10).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::int64_t> bounds);
+
+  /// Zero every value; entries (and references to them) stay valid.
+  void reset();
+
+  std::string to_json() const;
+
+  /// The process-global instance every subsystem publishes into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace msc::telemetry
+
+#endif  // MSC_SUPPORT_METRICS_HPP

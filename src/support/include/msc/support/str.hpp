@@ -32,6 +32,14 @@ std::string pad_right(const std::string& s, std::size_t width);
 /// Fixed-point rendering with `digits` decimals (locale-independent).
 std::string fmt_double(double v, int digits);
 
+/// Escape `s` for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \uXXXX
+/// (with \n/\t/\r/\b/\f short forms), and non-ASCII bytes are emitted as
+/// \u00XX escapes so the output is plain-ASCII valid JSON regardless of
+/// the input encoding. Every JSON emitter in the tree must route free-form
+/// keys/values (pass names, counter keys, file paths) through this.
+std::string json_escape(const std::string& s);
+
 }  // namespace msc
 
 #endif  // MSC_SUPPORT_STR_HPP

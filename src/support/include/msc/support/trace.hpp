@@ -1,0 +1,102 @@
+#ifndef MSC_SUPPORT_TRACE_HPP
+#define MSC_SUPPORT_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msc::telemetry {
+
+/// Event sink emitting Chrome trace-event JSON (the "trace event format"
+/// Perfetto / chrome://tracing / catapult load directly). Two timeline
+/// conventions share one file, separated by pid:
+///
+///   pid kToolchainPid — wall-clock spans (microseconds since the sink was
+///     created): pass executions, conversion phases.
+///   pid kSimdPid — the simulated machines' deterministic timeline, one
+///     "microsecond" per control-unit cycle, so per-meta-state events are
+///     byte-stable across hosts and reruns.
+///
+/// Appends take a mutex; nothing in the toolchain emits from more than one
+/// thread at a time, so the lock is uncontended — it exists so a sink can
+/// be shared by future parallel stages without a rewrite. The zero-cost
+/// contract when tracing is off lives at the call sites: every producer
+/// holds a `TraceSink*` that is null by default and skips all argument
+/// computation when unset (pinned by bench_scaling's T-OBS gate).
+class TraceSink {
+ public:
+  static constexpr std::int64_t kToolchainPid = 1;
+  static constexpr std::int64_t kSimdPid = 2;
+
+  using Args = std::vector<std::pair<std::string, std::int64_t>>;
+  using StrArgs = std::vector<std::pair<std::string, std::string>>;
+
+  TraceSink();
+
+  /// Microseconds of wall clock since construction (ts for kToolchainPid).
+  std::int64_t now_us() const;
+
+  /// A complete ("ph":"X") event: a span with explicit start + duration.
+  void complete(const std::string& name, const std::string& cat,
+                std::int64_t pid, std::int64_t tid, std::int64_t ts_us,
+                std::int64_t dur_us, Args args = {}, StrArgs sargs = {});
+
+  /// An instant ("ph":"i") event.
+  void instant(const std::string& name, const std::string& cat,
+               std::int64_t pid, std::int64_t tid, std::int64_t ts_us,
+               Args args = {}, StrArgs sargs = {});
+
+  /// Label a pid / a (pid, tid) lane in the viewer ("ph":"M" metadata).
+  void name_process(std::int64_t pid, const std::string& name);
+  void name_thread(std::int64_t pid, std::int64_t tid,
+                   const std::string& name);
+
+  std::size_t size() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — valid JSON by
+  /// construction (all free-form strings escaped).
+  std::string to_json() const;
+
+ private:
+  struct Event {
+    std::string name, cat;
+    char ph;
+    std::int64_t pid, tid, ts, dur;  // dur used by "X" only
+    Args args;
+    StrArgs sargs;
+  };
+
+  void push(Event e);
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Event> events_;
+};
+
+/// RAII wall-clock span on the toolchain timeline: opens at construction,
+/// emits one complete event at destruction. Null `sink` makes the whole
+/// object a no-op, so call sites need no branches.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSink* sink, std::string name, std::string cat,
+             std::int64_t tid = 0);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a numeric arg to the event emitted at close.
+  void arg(const std::string& key, std::int64_t value);
+
+ private:
+  TraceSink* sink_;
+  std::string name_, cat_;
+  std::int64_t tid_, ts_;
+  TraceSink::Args args_;
+};
+
+}  // namespace msc::telemetry
+
+#endif  // MSC_SUPPORT_TRACE_HPP

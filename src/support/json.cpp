@@ -1,0 +1,286 @@
+// Recursive-descent JSON parser for the toolchain's own payloads. Strict
+// where it matters (no trailing commas, full string-escape handling,
+// errors carry byte offsets); no streaming, no SAX — the documents are
+// trace files and profiles, megabytes at most.
+#include "msc/support/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "msc/support/str.hpp"
+
+namespace msc::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError(cat("JSON parse error at offset ", pos_, ": ", why));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(cat("expected '", std::string(1, c), "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default: return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.b = b;
+    return v;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.elems.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          // Surrogate pairs → one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned lo = parse_hex4();
+              if (lo >= 0xDC00 && lo <= 0xDFFF)
+                code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+              else
+                fail("invalid low surrogate");
+            } else {
+              fail("lone high surrogate");
+            }
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    Value v;
+    v.kind = Value::Kind::Number;
+    char* end = nullptr;
+    v.num = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    if (tok.find('.') == std::string::npos &&
+        tok.find('e') == std::string::npos &&
+        tok.find('E') == std::string::npos) {
+      errno = 0;
+      const long long exact = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) {
+        v.inum = exact;
+        v.is_exact_int = true;
+      }
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw ParseError(cat("missing JSON member '", key, "'"));
+  return *v;
+}
+
+std::int64_t Value::as_int() const {
+  if (kind != Kind::Number) throw ParseError("JSON value is not a number");
+  if (is_exact_int) return inum;
+  return static_cast<std::int64_t>(num);
+}
+
+double Value::as_double() const {
+  if (kind != Kind::Number) throw ParseError("JSON value is not a number");
+  return is_exact_int ? static_cast<double>(inum) : num;
+}
+
+const std::string& Value::as_string() const {
+  if (kind != Kind::String) throw ParseError("JSON value is not a string");
+  return str;
+}
+
+Value parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace msc::json

@@ -1,0 +1,147 @@
+#include "msc/support/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "msc/support/str.hpp"
+
+namespace msc::telemetry {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::logic_error("histogram bucket bounds must be sorted");
+}
+
+void Histogram::record(std::int64_t v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::counts() const {
+  std::vector<std::int64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::pow2_bounds(int n) {
+  std::vector<std::int64_t> b;
+  for (int i = 0; i < n; ++i) b.push_back(std::int64_t{1} << i);
+  return b;
+}
+
+namespace {
+
+template <typename Map>
+void check_untyped(const Map& map, const std::string& name,
+                   const char* wanted) {
+  if (map.count(name))
+    throw std::logic_error(
+        cat("metric '", name, "' already registered with a different type "
+            "(requested ", wanted, ")"));
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_untyped(gauges_, name, "counter");
+    check_untyped(histograms_, name, "counter");
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_untyped(counters_, name, "gauge");
+    check_untyped(histograms_, name, "gauge");
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_untyped(counters_, name, "histogram");
+    check_untyped(gauges_, name, "histogram");
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  } else if (it->second->bounds() != bounds) {
+    throw std::logic_error(cat("histogram '", name,
+                               "' re-registered with different bounds"));
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"schema\": 1,\n";
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << g->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {";
+    os << "\"bounds\": [";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i)
+      os << (i ? ", " : "") << bounds[i];
+    os << "], \"counts\": [";
+    const std::vector<std::int64_t> counts = h->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "") << counts[i];
+    os << "], \"count\": " << h->count() << ", \"sum\": " << h->sum() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace msc::telemetry

@@ -47,12 +47,12 @@ std::string PipelineTrace::to_json() const {
   os << "  \"schema\": 1,\n";
   os << "  \"pipeline\": [";
   for (std::size_t i = 0; i < passes.size(); ++i)
-    os << (i ? ", " : "") << "\"" << passes[i].name << "\"";
+    os << (i ? ", " : "") << "\"" << json_escape(passes[i].name) << "\"";
   os << "],\n";
   os << "  \"passes\": [\n";
   for (std::size_t i = 0; i < passes.size(); ++i) {
     const PassRecord& p = passes[i];
-    os << "    {\"name\": \"" << p.name << "\", \"seconds\": "
+    os << "    {\"name\": \"" << json_escape(p.name) << "\", \"seconds\": "
        << fmt_double(p.seconds, 6) << ",\n";
     os << "     \"before\": ";
     emit_metrics(os, p.before);
@@ -61,7 +61,7 @@ std::string PipelineTrace::to_json() const {
     if (!p.counters.empty()) {
       os << ",\n     \"counters\": {";
       for (std::size_t c = 0; c < p.counters.size(); ++c)
-        os << (c ? ", " : "") << "\"" << p.counters[c].first
+        os << (c ? ", " : "") << "\"" << json_escape(p.counters[c].first)
            << "\": " << p.counters[c].second;
       os << "}";
     }
@@ -70,7 +70,7 @@ std::string PipelineTrace::to_json() const {
   os << "  ],\n";
   os << "  \"total_seconds\": " << fmt_double(total_seconds, 6);
   for (const auto& [key, value] : sections)
-    os << ",\n  \"" << key << "\": " << indent_value(value);
+    os << ",\n  \"" << json_escape(key) << "\": " << indent_value(value);
   os << "\n}\n";
   return os.str();
 }

@@ -1,0 +1,106 @@
+#include "msc/support/trace.hpp"
+
+#include <sstream>
+
+#include "msc/support/str.hpp"
+
+namespace msc::telemetry {
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t TraceSink::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSink::push(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::complete(const std::string& name, const std::string& cat,
+                         std::int64_t pid, std::int64_t tid,
+                         std::int64_t ts_us, std::int64_t dur_us, Args args,
+                         StrArgs sargs) {
+  push({name, cat, 'X', pid, tid, ts_us, dur_us, std::move(args),
+        std::move(sargs)});
+}
+
+void TraceSink::instant(const std::string& name, const std::string& cat,
+                        std::int64_t pid, std::int64_t tid,
+                        std::int64_t ts_us, Args args, StrArgs sargs) {
+  push({name, cat, 'i', pid, tid, ts_us, 0, std::move(args),
+        std::move(sargs)});
+}
+
+void TraceSink::name_process(std::int64_t pid, const std::string& name) {
+  push({"process_name", "__metadata", 'M', pid, 0, 0, 0, {},
+        {{"name", name}}});
+}
+
+void TraceSink::name_thread(std::int64_t pid, std::int64_t tid,
+                            const std::string& name) {
+  push({"thread_name", "__metadata", 'M', pid, tid, 0, 0, {},
+        {{"name", name}}});
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceSink::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << "  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+       << json_escape(e.cat) << "\", \"ph\": \"" << e.ph << "\", \"pid\": "
+       << e.pid << ", \"tid\": " << e.tid;
+    if (e.ph != 'M') {
+      os << ", \"ts\": " << e.ts;
+      if (e.ph == 'X') os << ", \"dur\": " << e.dur;
+      if (e.ph == 'i') os << ", \"s\": \"t\"";
+    }
+    if (!e.args.empty() || !e.sargs.empty()) {
+      os << ", \"args\": {";
+      bool first = true;
+      for (const auto& [key, value] : e.args) {
+        os << (first ? "" : ", ") << "\"" << json_escape(key)
+           << "\": " << value;
+        first = false;
+      }
+      for (const auto& [key, value] : e.sargs) {
+        os << (first ? "" : ", ") << "\"" << json_escape(key) << "\": \""
+           << json_escape(value) << "\"";
+        first = false;
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+ScopedSpan::ScopedSpan(TraceSink* sink, std::string name, std::string cat,
+                       std::int64_t tid)
+    : sink_(sink),
+      name_(std::move(name)),
+      cat_(std::move(cat)),
+      tid_(tid),
+      ts_(sink ? sink->now_us() : 0) {}
+
+void ScopedSpan::arg(const std::string& key, std::int64_t value) {
+  if (sink_) args_.emplace_back(key, value);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!sink_) return;
+  sink_->complete(name_, cat_, TraceSink::kToolchainPid, tid_, ts_,
+                  sink_->now_us() - ts_, std::move(args_));
+}
+
+}  // namespace msc::telemetry

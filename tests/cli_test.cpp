@@ -281,6 +281,78 @@ TEST(Cli, VerifyEachPassesOnDefaultPipeline) {
   EXPECT_NE(r.output.find("match : yes"), std::string::npos) << r.output;
 }
 
+TEST(Cli, HelpDocumentsObservabilityFlagsAndExitCodes) {
+  auto r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 2);
+  for (const char* text :
+       {"--profile-simd", "--trace-chrome", "--metrics", "--trace-simd",
+        "--trace-convert", "--pass-timings", "mscprof",
+        "exit codes: 0 ok, 1 I/O or internal error, 2 usage/pipeline error",
+        "3 compile error, 4 state explosion, 5 machine fault"})
+    EXPECT_NE(r.output.find(text), std::string::npos) << text;
+}
+
+TEST(Cli, ProfileSimdWritesPerStateProfiles) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_profile_simd.json";
+  // --profile-simd implies --run.
+  auto r = run_cli("--kernel listing1 --emit meta --nprocs 4 --profile-simd " +
+                   path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("match : yes"), std::string::npos) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  for (const char* key : {"\"profile\"", "\"enabled_hist\"", "\"visits\"",
+                          "\"router_ops\"", "\"utilization\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+}
+
+TEST(Cli, TraceChromeWritesTraceEventsForPassesAndRun) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_chrome.json";
+  auto r = run_cli("--kernel listing1 --emit meta --run --nprocs 4 "
+                   "--trace-chrome " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Toolchain spans (pid 1): passes and conversion phases.
+  EXPECT_NE(json.find("\"name\": \"convert\", \"cat\": \"pass\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cat\": \"convert-phase\""), std::string::npos);
+  // Simulated-cycle meta-state events (pid 2) with their stat deltas.
+  EXPECT_NE(json.find("\"cat\": \"meta-state\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled_pes\""), std::string::npos);
+  // Without --run there must be no pid-2 events, but the file still writes.
+  std::string path2 = std::string(MSCC_TMPDIR) + "/cli_chrome_norun.json";
+  auto r2 = run_cli("--kernel listing1 --emit meta --trace-chrome " + path2);
+  EXPECT_EQ(r2.exit_code, 0) << r2.output;
+  std::ifstream in2(path2);
+  ASSERT_TRUE(in2.good());
+  std::string json2((std::istreambuf_iterator<char>(in2)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(json2.find("\"cat\": \"meta-state\""), std::string::npos);
+  EXPECT_NE(json2.find("\"cat\": \"pass\""), std::string::npos);
+}
+
+TEST(Cli, MetricsWritesGlobalRegistry) {
+  std::string path = std::string(MSCC_TMPDIR) + "/cli_metrics.json";
+  auto r = run_cli("--kernel listing1 --emit meta --run --nprocs 4 "
+                   "--metrics " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  for (const char* key :
+       {"\"schema\": 1", "\"counters\"", "\"histograms\"", "\"convert.runs\"",
+        "\"simd.runs\"", "\"pass.runs\"", "\"simd.utilization_pct\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+}
+
 TEST(Cli, FlagEqualsValueFormAccepted) {
   auto r = run_cli("--kernel=listing1 --emit=meta --threads=2");
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -1,0 +1,165 @@
+// Integration test for the mscprof report tool: generates observability
+// JSON with the built mscc, then pins mscprof's rendering byte-exactly
+// against goldens (profiles live on the simulated-cycle timeline, so the
+// reports are deterministic across hosts) and cross-checks the Chrome
+// trace aggregation path against the profile path.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string output;
+};
+
+/// Run `cmd` (stderr folded into stdout) and capture everything.
+CliResult run_cmd(const std::string& cmd) {
+  std::array<char, 4096> buf{};
+  CliResult res;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) {
+    res.exit_code = -1;
+    return res;
+  }
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    res.output.append(buf.data(), n);
+  int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+/// mscprof prints the input path verbatim in its headers, so goldens are
+/// only byte-stable when the tool runs with the tmpdir as cwd and sees a
+/// bare relative filename.
+CliResult run_mscprof(const std::string& args) {
+  return run_cmd("cd " + std::string(MSCC_TMPDIR) + " && " +
+                 std::string(MSCPROF_BINARY) + " " + args);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Generate a deterministic per-meta-state profile with mscc. Returns the
+/// bare filename (inside MSCC_TMPDIR).
+std::string make_profile(const std::string& name, const std::string& flags) {
+  const std::string file = name + ".json";
+  CliResult r = run_cmd(std::string(MSCC_BINARY) + " " + flags +
+                        " --profile-simd " + MSCC_TMPDIR + "/" + file);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  return file;
+}
+
+const char* kListing1N4 = "--kernel listing1 --emit meta --nprocs 4 --seed 1";
+const char* kListing1N8 = "--kernel listing1 --emit meta --nprocs 8 --seed 1";
+
+/// Extract the summary lines that must agree between a profile input and
+/// the Chrome-trace aggregation of the same run.
+std::vector<std::string> totals_lines(const std::string& report) {
+  std::vector<std::string> out;
+  std::istringstream in(report);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, 2, "  ") != 0) continue;  // summary rows only
+    if (line.find("meta transitions") != std::string::npos ||
+        line.find("control cycles") != std::string::npos ||
+        line.find("PE utilization") != std::string::npos ||
+        line.find("global-ors") != std::string::npos)
+      out.push_back(line);
+  }
+  return out;
+}
+
+TEST(Mscprof, GoldenProfileReport) {
+  const std::string file = make_profile("mscprof_listing1", kListing1N4);
+  CliResult r = run_mscprof(file);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string golden =
+      slurp(std::string(MSC_GOLDEN_DIR) + "/mscprof_listing1.txt");
+  ASSERT_FALSE(golden.empty()) << "missing golden; regenerate with:\n"
+                                  "  mscc " << kListing1N4
+                               << " --profile-simd mscprof_listing1.json\n"
+                                  "  mscprof mscprof_listing1.json";
+  EXPECT_EQ(r.output, golden)
+      << "mscprof output drifted; regenerate the golden if intentional";
+}
+
+TEST(Mscprof, GoldenDiffReport) {
+  const std::string before = make_profile("mscprof_listing1", kListing1N4);
+  const std::string after = make_profile("mscprof_listing1_n8", kListing1N8);
+  CliResult r = run_mscprof(before + " --diff " + after);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string golden =
+      slurp(std::string(MSC_GOLDEN_DIR) + "/mscprof_diff.txt");
+  ASSERT_FALSE(golden.empty()) << "missing golden mscprof_diff.txt";
+  EXPECT_EQ(r.output, golden);
+}
+
+TEST(Mscprof, ChromeTraceAggregationMatchesProfileTotals) {
+  // One mscc invocation writes both views of the same run; aggregating
+  // the pid-2 meta-state events must reproduce the profile's totals
+  // (the cycle fields are exact int64 sums on both paths).
+  const std::string prof = std::string(MSCC_TMPDIR) + "/mscprof_chrome_p.json";
+  const std::string chrome =
+      std::string(MSCC_TMPDIR) + "/mscprof_chrome_t.json";
+  CliResult gen =
+      run_cmd(std::string(MSCC_BINARY) + " " + kListing1N4 +
+              " --profile-simd " + prof + " --trace-chrome " + chrome);
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+
+  CliResult from_prof = run_mscprof("mscprof_chrome_p.json");
+  CliResult from_chrome = run_mscprof("mscprof_chrome_t.json");
+  ASSERT_EQ(from_prof.exit_code, 0) << from_prof.output;
+  ASSERT_EQ(from_chrome.exit_code, 0) << from_chrome.output;
+  const std::vector<std::string> p = totals_lines(from_prof.output);
+  const std::vector<std::string> c = totals_lines(from_chrome.output);
+  ASSERT_EQ(p.size(), 4u) << from_prof.output;
+  EXPECT_EQ(p, c) << "profile:\n"
+                  << from_prof.output << "\nchrome:\n"
+                  << from_chrome.output;
+  // The chrome path also tabulates the toolchain pass spans.
+  EXPECT_NE(from_chrome.output.find("pass wall time"), std::string::npos)
+      << from_chrome.output;
+  EXPECT_NE(from_chrome.output.find("convert"), std::string::npos);
+}
+
+TEST(Mscprof, TopLimitsTheTable) {
+  const std::string file = make_profile("mscprof_listing1", kListing1N4);
+  CliResult r = run_mscprof("--top 1 " + file);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("top 1 of"), std::string::npos) << r.output;
+}
+
+TEST(Mscprof, ExitCodes) {
+  EXPECT_EQ(run_mscprof("").exit_code, 2) << "no input is a usage error";
+  EXPECT_EQ(run_mscprof("--help").exit_code, 2);
+  EXPECT_EQ(run_mscprof("--no-such-flag x.json").exit_code, 2);
+  EXPECT_EQ(run_mscprof("does_not_exist.json").exit_code, 1);
+  const std::string bad = std::string(MSCC_TMPDIR) + "/mscprof_bad.json";
+  {
+    std::ofstream out(bad);
+    out << "{not json";
+  }
+  EXPECT_EQ(run_mscprof("mscprof_bad.json").exit_code, 1);
+  // Valid JSON that is not an mscc output is still an input error.
+  const std::string other = std::string(MSCC_TMPDIR) + "/mscprof_other.json";
+  {
+    std::ofstream out(other);
+    out << "{\"schema\": 1}";
+  }
+  EXPECT_EQ(run_mscprof("mscprof_other.json").exit_code, 1);
+}
+
+}  // namespace

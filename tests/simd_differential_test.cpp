@@ -10,6 +10,7 @@
 #include "msc/driver/pipeline.hpp"
 #include "msc/driver/runner.hpp"
 #include "msc/support/str.hpp"
+#include "msc/support/trace.hpp"
 #include "msc/workload/kernels.hpp"
 
 using namespace msc;
@@ -132,6 +133,82 @@ class RecordingTracer final : public simd::SimdTracer {
     events.push_back(cat("trans ", from, "->", to, " apc=", apc.to_string()));
   }
 };
+
+TEST(SimdDifferential, ObservabilityNeverChangesExecution) {
+  // Attaching a trace sink and/or enabling profiling must leave every
+  // observable of the run — final memories, SimdStats, visit counts —
+  // bit-identical to an uninstrumented run, on both engines. The profiles
+  // themselves must also be engine-independent, and summing any cycle
+  // field over all meta states must reproduce the run total exactly (the
+  // accumulation happens in the engine-independent step() skeleton, but
+  // this pins it against regressions).
+  for (const char* name : {"listing1", "spawn_tree", "oddeven_sort"}) {
+    SCOPED_TRACE(name);
+    auto compiled = driver::compile(workload::kernel(name).source);
+    auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+    auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+    mimd::RunConfig config;
+    config.nprocs = 8;
+    if (std::string(name) == "spawn_tree") config.initial_active = 2;
+
+    std::vector<simd::StateProfile> profiles[2];
+    std::string traces[2];
+    int idx = 0;
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+      SCOPED_TRACE(idx == 0 ? "fast" : "reference");
+      config.engine = engine;
+      // Plain run.
+      auto plain = simd::make_machine(prog, kCost, config);
+      driver::seed_machine(*plain, compiled, config, 5);
+      plain->run();
+      // Instrumented run: sink + profiling.
+      telemetry::TraceSink sink;
+      auto inst = simd::make_machine(prog, kCost, config);
+      driver::seed_machine(*inst, compiled, config, 5);
+      inst->set_trace_sink(&sink);
+      inst->enable_profiling();
+      inst->run();
+
+      EXPECT_TRUE(plain->stats() == inst->stats());
+      EXPECT_EQ(plain->state_visits(), inst->state_visits());
+      for (std::int64_t p = 0; p < config.nprocs; ++p) {
+        EXPECT_EQ(plain->ever_ran(p), inst->ever_ran(p));
+        EXPECT_EQ(plain->peek(p, 0).to_string(), inst->peek(p, 0).to_string());
+      }
+
+      // Per-state sums reproduce the run totals bit-exactly.
+      const simd::SimdStats& s = inst->stats();
+      simd::StateProfile sum;
+      std::int64_t visits = 0;
+      for (const simd::StateProfile& p : inst->profile()) {
+        visits += p.visits;
+        sum.control_cycles += p.control_cycles;
+        sum.busy_pe_cycles += p.busy_pe_cycles;
+        sum.offered_pe_cycles += p.offered_pe_cycles;
+        sum.global_ors += p.global_ors;
+        sum.guard_switches += p.guard_switches;
+        sum.router_ops += p.router_ops;
+        sum.spawns += p.spawns;
+      }
+      EXPECT_EQ(visits, s.meta_transitions);
+      EXPECT_EQ(sum.control_cycles, s.control_cycles);
+      EXPECT_EQ(sum.busy_pe_cycles, s.busy_pe_cycles);
+      EXPECT_EQ(sum.offered_pe_cycles, s.offered_pe_cycles);
+      EXPECT_EQ(sum.global_ors, s.global_ors);
+      EXPECT_EQ(sum.guard_switches, s.guard_switches);
+      EXPECT_EQ(sum.router_ops, s.router_ops);
+      EXPECT_EQ(sum.spawns, s.spawns);
+
+      profiles[idx] = inst->profile();
+      traces[idx] = sink.to_json();
+      ++idx;
+    }
+    // Engine-independent: identical profiles and identical (deterministic,
+    // simulated-cycle-timestamped) trace files.
+    EXPECT_TRUE(profiles[0] == profiles[1]);
+    EXPECT_EQ(traces[0], traces[1]);
+  }
+}
 
 TEST(SimdDifferential, TracerStreamsIdentical) {
   // The occupancy/alive/apc values handed to tracers come from full scans

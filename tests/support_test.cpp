@@ -163,6 +163,30 @@ TEST(Str, FmtDouble) {
 
 TEST(Str, Cat) { EXPECT_EQ(cat("x=", 42, ", y=", 1.5), "x=42, y=1.5"); }
 
+TEST(Str, JsonEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Str, JsonEscapeControlCharacters) {
+  // Regression: control characters used to pass through verbatim, making
+  // telemetry/trace/metrics output invalid JSON when a pass name or file
+  // path carried one. Short forms for the common ones, \uXXXX otherwise.
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("\b\f")), "\\b\\f");
+  EXPECT_EQ(json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+  EXPECT_EQ(json_escape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(json_escape(std::string("\x1f")), "\\u001f");
+}
+
+TEST(Str, JsonEscapeNonAsciiBytesBecomeEscapes) {
+  // Non-ASCII bytes are emitted byte-by-byte as \u00XX so the output is
+  // plain-ASCII valid JSON regardless of the input encoding.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\\u00c3\\u00a9");
+  for (char c : json_escape("any\x80\xffthing"))
+    EXPECT_TRUE(static_cast<unsigned char>(c) < 0x80) << json_escape("any\x80\xffthing");
+}
+
 // ---------------------------------------------------------------------- rng
 
 TEST(Rng, DeterministicAcrossInstances) {

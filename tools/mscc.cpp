@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -34,7 +35,9 @@
 #include "msc/ir/exec.hpp"
 #include "msc/pass/pass.hpp"
 #include "msc/simd/machine.hpp"
+#include "msc/support/metrics.hpp"
 #include "msc/support/str.hpp"
+#include "msc/support/trace.hpp"
 #include "msc/workload/kernels.hpp"
 
 using namespace msc;
@@ -94,10 +97,27 @@ int usage() {
       "                      reference = the scalar oracle; results and\n"
       "                      stats are bit-identical either way\n"
       "  --trace-simd F      implies --run; write SIMD execution stats JSON\n"
-      "                      to F; '-' = stdout\n"
+      "                      (engine, cycle counters, utilization, router\n"
+      "                      ops, per-meta-state visits) to F; '-' = stdout\n"
       "  --nprocs N          PEs (default 8)\n"
       "  --active N          initially active PEs (default all)\n"
       "  --seed S            per-PE input seed (default 1)\n"
+      "\n"
+      "observability (DESIGN.md §10; read the outputs with mscprof):\n"
+      "  --profile-simd F    implies --run; write per-meta-state utilization\n"
+      "                      profiles (visits, enabled-PE min/mean/max and\n"
+      "                      histogram, cycle/global-or/router shares) as\n"
+      "                      JSON to F; '-' = stdout\n"
+      "  --trace-chrome F    write a Chrome trace-event JSON file to F\n"
+      "                      ('-' = stdout): wall-clock spans for every pass\n"
+      "                      and conversion phase (pid 1) plus, with --run,\n"
+      "                      one event per executed meta state on the\n"
+      "                      simulated-cycle timeline (pid 2); load in\n"
+      "                      Perfetto / chrome://tracing\n"
+      "  --metrics F         write the process-global metrics registry\n"
+      "                      (counters, gauges, histograms from conversion,\n"
+      "                      passes, and the SIMD machines) as JSON to F;\n"
+      "                      '-' = stdout\n"
       "\n"
       "exit codes: 0 ok, 1 I/O or internal error, 2 usage/pipeline error,\n"
       "            3 compile error, 4 state explosion, 5 machine fault\n");
@@ -161,6 +181,9 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool show_pipeline = false;
   std::string trace_simd_path;
+  std::string profile_simd_path;
+  std::string trace_chrome_path;
+  std::string metrics_path;
   std::uint64_t seed = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -215,6 +238,9 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--trace-simd") { run = true; trace_simd_path = next(); }
+    else if (arg == "--profile-simd") { run = true; profile_simd_path = next(); }
+    else if (arg == "--trace-chrome") trace_chrome_path = next();
+    else if (arg == "--metrics") metrics_path = next();
     else if (arg == "--nprocs") config.nprocs = std::atoll(next().c_str());
     else if (arg == "--active")
       config.initial_active = std::atoll(next().c_str());
@@ -256,6 +282,16 @@ int main(int argc, char** argv) {
     popts.pipeline.push_back("codegen");
   }
 
+  // One sink spans the whole invocation: pipeline spans land on pid 1, the
+  // SIMD machine's per-meta-state events (with --run) on pid 2.
+  std::optional<telemetry::TraceSink> chrome;
+  if (!trace_chrome_path.empty()) {
+    chrome.emplace();
+    chrome->name_process(telemetry::TraceSink::kToolchainPid, "mscc toolchain");
+    chrome->name_process(telemetry::TraceSink::kSimdPid, "simd machine");
+    popts.trace_sink = &*chrome;
+  }
+
   try {
     ir::CostModel cost;
     driver::Converted converted = driver::convert(source, cost, popts);
@@ -291,7 +327,10 @@ int main(int argc, char** argv) {
     if (run) {
       simd::SimdStats stats;
       auto oracle = driver::run_oracle(compiled, config, seed);
-      if (trace || !trace_simd_path.empty()) {
+      const bool observe_machine = trace || !trace_simd_path.empty() ||
+                                   !profile_simd_path.empty() ||
+                                   chrome.has_value();
+      if (observe_machine) {
         // Step the SIMD machine manually, printing occupancy per state
         // and/or dumping the execution-stats JSON.
         class Printer final : public simd::SimdTracer {
@@ -317,9 +356,14 @@ int main(int argc, char** argv) {
           std::printf("\n%5s  %-6s %-22s %s\n", "step", "state", "occupancy",
                       "alive");
         }
+        if (!profile_simd_path.empty()) machine->enable_profiling();
+        if (chrome) machine->set_trace_sink(&*chrome);
         machine->run();
         if (!trace_simd_path.empty())
           driver::write_simd_trace(*machine, trace_simd_path);
+        if (!profile_simd_path.empty())
+          driver::write_json_file(simd::to_json(*machine), "simd profile",
+                                  profile_simd_path);
       }
       auto simd = driver::run_simd(compiled, conv, config, seed, cost, gopts,
                                    &stats);
@@ -334,6 +378,12 @@ int main(int argc, char** argv) {
                   100.0 * stats.utilization(),
                   static_cast<long long>(stats.global_ors));
     }
+    if (chrome)
+      driver::write_json_file(chrome->to_json(), "chrome trace",
+                              trace_chrome_path);
+    if (!metrics_path.empty())
+      driver::write_json_file(telemetry::MetricsRegistry::global().to_json(),
+                              "metrics", metrics_path);
   } catch (const CompileError& e) {
     render_compile_error(input_name, source, e);
     return kCompile;
