@@ -28,6 +28,10 @@ Sample sample(const std::string& src, core::ConvertOptions opts) {
             res.automaton.mean_width()};
   } catch (const core::ExplosionError&) {
     return {">150000", 0.0};
+  } catch (const CompileError&) {
+    // PaperPrune with >1 distinct barrier is rejected at compile time now;
+    // keep the table shape and render the refusal.
+    return {"rejected", 0.0};
   }
 }
 
@@ -90,7 +94,19 @@ void BM_ConvertBarrierPrune(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(core::meta_state_convert(compiled.graph, kCost, opts));
 }
-BENCHMARK(BM_ConvertBarrierPrune)->DenseRange(2, 8, 2);
+// k=1 is the only accepted prune shape since multi-barrier pruning became
+// a compile error; the k sweep moved to BM_ConvertBarrierTrack.
+BENCHMARK(BM_ConvertBarrierPrune)->DenseRange(1, 1);
+
+void BM_ConvertBarrierTrack(benchmark::State& state) {
+  auto compiled =
+      driver::compile(workload::loopy_barrier_source(static_cast<int>(state.range(0))));
+  core::ConvertOptions opts;
+  opts.barrier_mode = core::BarrierMode::TrackOccupancy;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::meta_state_convert(compiled.graph, kCost, opts));
+}
+BENCHMARK(BM_ConvertBarrierTrack)->DenseRange(2, 8, 2);
 
 void BM_ConvertNoBarrier(benchmark::State& state) {
   auto compiled =

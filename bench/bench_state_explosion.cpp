@@ -24,6 +24,8 @@ std::string states_or_explodes(const std::string& src,
     return bench::num(res.automaton.num_states());
   } catch (const core::ExplosionError&) {
     return ">" + bench::num(limit);
+  } catch (const CompileError&) {
+    return "rejected";  // PaperPrune + >1 barrier is a compile error now
   }
 }
 

@@ -32,7 +32,10 @@ void report() {
     mimd::MimdStats ms;
     driver::run_oracle(compiled, cfg, kSeed, &ms);
     core::ConvertOptions opts;
-    opts.barrier_mode = core::BarrierMode::PaperPrune;
+    // k>1 distinct barriers makes PaperPrune a compile error; occupancy
+    // tracking folds synchronization into the automaton just the same.
+    opts.barrier_mode = k == 1 ? core::BarrierMode::PaperPrune
+                               : core::BarrierMode::TrackOccupancy;
     auto conv = core::meta_state_convert(compiled.graph, kCost, opts);
     simd::SimdStats ss;
     driver::run_simd(compiled, conv, cfg, kSeed, kCost, {}, &ss);
@@ -74,7 +77,7 @@ BENCHMARK(BM_OracleWithBarriers)->Arg(16)->Arg(64);
 void BM_SimdWithBarriers(benchmark::State& state) {
   auto compiled = driver::compile(workload::loopy_barrier_source(4));
   core::ConvertOptions opts;
-  opts.barrier_mode = core::BarrierMode::PaperPrune;
+  opts.barrier_mode = core::BarrierMode::TrackOccupancy;
   auto conv = core::meta_state_convert(compiled.graph, kCost, opts);
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
   mimd::RunConfig cfg;

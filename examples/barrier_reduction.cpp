@@ -6,6 +6,7 @@
 //
 // Build & run:  ./build/examples/barrier_reduction
 #include <cstdio>
+#include <string>
 
 #include "msc/driver/pipeline.hpp"
 #include "msc/driver/runner.hpp"
@@ -15,14 +16,19 @@ using namespace msc;
 
 namespace {
 
-std::size_t states_of(const std::string& src, core::ConvertOptions opts) {
+std::string states_of(const std::string& src, core::ConvertOptions opts) {
   auto compiled = driver::compile(src);
   ir::CostModel cost;
   try {
-    return core::meta_state_convert(compiled.graph, cost, opts).automaton
-        .num_states();
+    return std::to_string(
+        core::meta_state_convert(compiled.graph, cost, opts)
+            .automaton.num_states());
   } catch (const core::ExplosionError&) {
-    return 0;  // rendered as "explodes"
+    return "explodes";
+  } catch (const CompileError&) {
+    // PaperPrune outside its soundness envelope (k>1 distinct barriers)
+    // is a compile error now; the sweep renders the rejection.
+    return "rejected";
   }
 }
 
@@ -48,11 +54,11 @@ int main() {
     base.max_meta_states = 30000;
     core::ConvertOptions track;
     track.barrier_mode = core::BarrierMode::TrackOccupancy;
-    std::size_t none = states_of(workload::loopy_source(k), base);
-    std::size_t p = states_of(workload::loopy_barrier_source(k), prune);
-    std::size_t t = states_of(workload::loopy_barrier_source(k), track);
-    std::printf("%4d %14s %14zu %14zu\n", k,
-                none ? std::to_string(none).c_str() : "explodes", p, t);
+    std::string none = states_of(workload::loopy_source(k), base);
+    std::string p = states_of(workload::loopy_barrier_source(k), prune);
+    std::string t = states_of(workload::loopy_barrier_source(k), track);
+    std::printf("%4d %14s %14s %14s\n", k, none.c_str(), p.c_str(),
+                t.c_str());
   }
 
   // --- Runtime synchronization cost: MIMD pays, MSC does not (§5).

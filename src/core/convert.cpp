@@ -92,11 +92,11 @@ class Converter {
         stats_(stats), memo_(memo) {}
 
   MetaAutomaton run() {
+    // meta_state_convert() already rejected the unsound PaperPrune
+    // combinations (compress / spawn / multiple barriers), so the mode is
+    // taken verbatim.
     aut_ = MetaAutomaton{};
-    // A compressed transition is unconditional, so the §3.2.4 apc masking
-    // has nothing to key on; compression always tracks barrier occupancy.
-    aut_.barrier_mode =
-        opts_.compress ? BarrierMode::TrackOccupancy : opts_.barrier_mode;
+    aut_.barrier_mode = opts_.barrier_mode;
     aut_.barriers = g_.barrier_states();
     aut_.compressed = opts_.compress;
 
@@ -114,28 +114,6 @@ class Converter {
     DynBitset start(g_.size());
     start.set(g_.start);
     aut_.start = get_or_create(start);
-
-    // With ≥2 distinct barrier-wait states, the paper's pruning rule can
-    // reach a runtime aggregate (all PEs waiting, spread over several
-    // barriers) that conversion never enumerates, because earlier waiters
-    // were masked out of the keys. Pre-create every all-barrier subset so
-    // the §3.2.4 "proceed normally" lookup (the executor's rescue path)
-    // always has a target. See tests/soundness_test.cpp.
-    if (aut_.barrier_mode == BarrierMode::PaperPrune && !opts_.compress) {
-      std::vector<std::size_t> bits = aut_.barriers.to_vector();
-      if (bits.size() >= 2) {
-        if (bits.size() > 16)
-          throw std::runtime_error(
-              "more than 16 distinct barrier-wait states under PaperPrune; "
-              "use BarrierMode::TrackOccupancy");
-        for (std::uint32_t m = 1; m < (1u << bits.size()); ++m) {
-          DynBitset s(g_.size());
-          for (std::size_t i = 0; i < bits.size(); ++i)
-            if (m & (1u << i)) s.set(bits[i]);
-          get_or_create(s);
-        }
-      }
-    }
 
     // meta_state_convert() main loop (§2.3), batched: take every unmarked
     // meta state (one BFS layer of the discovery frontier), enumerate all
@@ -426,6 +404,39 @@ class Converter {
   MetaAutomaton aut_;
 };
 
+/// §2.6 masking is only sound when the aggregate pc can never mix barrier
+/// and non-barrier occupancy that conversion did not enumerate. Three
+/// combinations break that — they used to be patched over at runtime (the
+/// executor's rescue path, a fuzzer skip, a silent mode override); each is
+/// now a compile error pointing at the offending construct.
+void check_paper_prune(const StateGraph& graph, const ConvertOptions& options) {
+  if (options.barrier_mode != BarrierMode::PaperPrune) return;
+  if (options.compress)
+    throw CompileError(
+        SourceLoc{},
+        "barrier mode 'prune' cannot be combined with meta-state "
+        "compression: compressed transitions are unconditional, so the "
+        "§3.2.4 aggregate-pc masking has nothing to key on (use barrier "
+        "mode 'track')");
+  for (const Block& b : graph.blocks)
+    if (b.exit == ExitKind::Spawn)
+      throw CompileError(
+          b.loc,
+          "barrier mode 'prune' is unsound with 'spawn': §3.2.5 children "
+          "can leave only themselves waiting at a barrier, an occupancy "
+          "the pruned automaton has no arc for (use barrier mode 'track')");
+  const DynBitset waits = graph.barrier_states();
+  if (waits.count() > 1) {
+    const std::size_t second = waits.next(waits.first());
+    throw CompileError(
+        graph.at(static_cast<StateId>(second)).loc,
+        "barrier mode 'prune' is unsound with more than one distinct "
+        "barrier-wait state: §2.6 masks earlier waiters out of the "
+        "transition keys, so conversion never enumerates the mixed-barrier "
+        "aggregates the program can reach (use barrier mode 'track')");
+  }
+}
+
 }  // namespace
 
 std::string to_json(const ConvertStats& stats) {
@@ -457,6 +468,7 @@ std::string to_json(const ConvertStats& stats) {
 ConvertResult meta_state_convert(const StateGraph& graph, const ir::CostModel& cost,
                                  const ConvertOptions& options) {
   ConvertResult res;
+  check_paper_prune(graph, options);
   res.graph = graph;
 
   // The memo outlives each restarted Converter: that is what makes §2.4
@@ -541,6 +553,9 @@ ConvertResult meta_state_convert_adaptive(const StateGraph& graph,
     return meta_state_convert(graph, cost, options);
   } catch (const ExplosionError&) {
     options.compress = true;
+    // Compression forfeits the §3.2.4 masking anyway; degrade the barrier
+    // mode with it rather than trade an explosion for a compile error.
+    options.barrier_mode = BarrierMode::TrackOccupancy;
     return meta_state_convert(graph, cost, options);
   }
 }

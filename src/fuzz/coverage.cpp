@@ -1,6 +1,8 @@
 // Coverage bookkeeping and the differential option matrix.
 #include "msc/fuzz/fuzz.hpp"
 
+#include "msc/simd/machine.hpp"
+
 #include "msc/support/str.hpp"
 
 namespace msc::fuzz {
@@ -18,6 +20,7 @@ const char* to_string(FindingKind kind) {
     case FindingKind::StatsMismatch: return "stats-mismatch";
     case FindingKind::Crash: return "crash";
     case FindingKind::CompileError: return "compile-error";
+    case FindingKind::UnsoundAccept: return "unsound-accept";
   }
   return "unknown";
 }
@@ -35,8 +38,7 @@ std::string RunSpec::convert_key() const {
 }
 
 std::string RunSpec::label() const {
-  return cat(convert_key(), "/",
-             engine == mimd::SimdEngine::Fast ? "fast" : "reference");
+  return cat(convert_key(), "/", simd::engine_name(engine));
 }
 
 std::vector<RunSpec> default_matrix() {
@@ -60,14 +62,17 @@ std::vector<RunSpec> default_matrix() {
   // evaluate()).
   add(base, BarrierMode::TrackOccupancy, 1, SimdEngine::Fast);
   add(base, BarrierMode::TrackOccupancy, 1, SimdEngine::Reference);
+  add(base, BarrierMode::TrackOccupancy, 1, SimdEngine::Codegen);
   add(base, BarrierMode::TrackOccupancy, 2, SimdEngine::Fast);
-  // The paper's §2.6 pruning rule (skipped per-candidate when >1 barrier
-  // state makes it unsound).
+  // The paper's §2.6 pruning rule (cells the converter must *reject* —
+  // compress/spawn/multi-barrier — are asserted inside evaluate()).
   add(base, BarrierMode::PaperPrune, 1, SimdEngine::Fast);
   add(base, BarrierMode::PaperPrune, 1, SimdEngine::Reference);
+  add(base, BarrierMode::PaperPrune, 1, SimdEngine::Codegen);
   // §2.5 compression, with and without Fig. 5 subsumption.
   add(comp, BarrierMode::TrackOccupancy, 1, SimdEngine::Fast);
   add(comp, BarrierMode::TrackOccupancy, 1, SimdEngine::Reference);
+  add(comp, BarrierMode::TrackOccupancy, 1, SimdEngine::Codegen);
   add({"compress", "convert", "straighten"}, BarrierMode::TrackOccupancy, 1,
       SimdEngine::Fast);
   // §2.4 time splitting (restart machinery + split graphs).
@@ -75,6 +80,8 @@ std::vector<RunSpec> default_matrix() {
       BarrierMode::TrackOccupancy, 1, SimdEngine::Fast);
   add({"time-split", "convert", "subsume", "straighten"},
       BarrierMode::TrackOccupancy, 1, SimdEngine::Reference);
+  add({"time-split", "convert", "subsume", "straighten"},
+      BarrierMode::TrackOccupancy, 1, SimdEngine::Codegen);
   // Custom-order coverage: the dme cleanup pass, straighten-less layout.
   add({"convert", "subsume", "dme"}, BarrierMode::TrackOccupancy, 1,
       SimdEngine::Fast);

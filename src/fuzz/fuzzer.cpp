@@ -97,7 +97,7 @@ EvalResult evaluate(const std::string& source, const EvalConfig& cfg,
   // instead of grinding toward the 4M default.
   const std::int64_t simd_block_budget =
       oracle_fault ? 1'000'000 : ostats.blocks_executed * 8 + 4096;
-  const bool unordered = source.find("spawn") != std::string::npos;
+  const bool unordered = compiled.graph.has_spawn();
   const bool single_barrier = compiled.graph.barrier_states().count() <= 1;
   const ir::CostModel cost;
 
@@ -110,12 +110,29 @@ EvalResult evaluate(const std::string& source, const EvalConfig& cfg,
 
   for (const RunSpec& spec : matrix) {
     // PaperPrune is only sound with at most one barrier state and a
-    // static process population (spawn lets a barrier be occupied by a
-    // subset the pruned automaton has no arc for); compression ignores
-    // the barrier mode entirely.
+    // static process population; the converter must refuse everything
+    // else with a CompileError (promoted from a fuzzer skip — an accept
+    // here is itself a finding).
     if (spec.barrier_mode == core::BarrierMode::PaperPrune &&
-        (spec.has("compress") || !single_barrier || unordered))
+        (spec.has("compress") || !single_barrier || unordered)) {
+      try {
+        core::ConvertResult conv = pass::run_conversion_pipeline(
+            compiled.graph, cost, spec.pipeline, convert_options(spec, cfg));
+        return fail(FindingKind::UnsoundAccept, spec,
+                    cat("converter accepted an unsound PaperPrune "
+                        "combination (", conv.automaton.num_states(),
+                        " states); expected a CompileError"));
+      } catch (const CompileError&) {
+        // expected: rejected at compile time
+      } catch (const core::ExplosionError&) {
+        // exploded before reaching the guard is impossible (the guard runs
+        // first), but a pipeline variant may bound states differently.
+      } catch (const std::exception& e) {
+        return fail(FindingKind::Crash, spec,
+                    cat("conversion crashed: ", e.what()));
+      }
       continue;
+    }
 
     const std::string key = spec.convert_key();
     auto it = conversions.find(key);

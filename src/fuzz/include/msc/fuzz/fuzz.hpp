@@ -82,8 +82,9 @@ struct RunSpec {
 /// The full matrix a candidate runs through: pass pipelines (base,
 /// compressed, compressed-without-subsume, time-split) × barrier_mode ×
 /// threads × engine, minus combinations that are redundant or unsound
-/// (PaperPrune with >1 barrier state is skipped per-candidate inside
-/// evaluate()).
+/// (PaperPrune cells where the converter must reject the program —
+/// compress, spawn, or >1 barrier state — instead assert the rejection
+/// inside evaluate()).
 std::vector<RunSpec> default_matrix();
 
 // ------------------------------------------------------------- findings
@@ -93,6 +94,7 @@ enum class FindingKind : std::uint8_t {
   StatsMismatch,  ///< engines or thread widths disagree on stats/automata
   Crash,          ///< unexpected exception anywhere in the pipeline
   CompileError,   ///< generator/mutator produced an uncompilable program
+  UnsoundAccept,  ///< converter accepted a PaperPrune combination it must reject
 };
 const char* to_string(FindingKind kind);
 

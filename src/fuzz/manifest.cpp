@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "msc/simd/machine.hpp"
 #include "msc/support/str.hpp"
 
 namespace msc::fuzz {
@@ -165,6 +166,8 @@ RunSpec Manifest::spec() const {
     s.engine = mimd::SimdEngine::Fast;
   } else if (engine == "reference") {
     s.engine = mimd::SimdEngine::Reference;
+  } else if (engine == "codegen") {
+    s.engine = mimd::SimdEngine::Codegen;
   } else {
     throw std::runtime_error(cat("manifest: unknown engine '", engine, "'"));
   }
@@ -185,6 +188,7 @@ FindingKind Manifest::finding_kind() const {
   if (kind == "stats-mismatch") return FindingKind::StatsMismatch;
   if (kind == "crash") return FindingKind::Crash;
   if (kind == "compile-error") return FindingKind::CompileError;
+  if (kind == "unsound-accept") return FindingKind::UnsoundAccept;
   throw std::runtime_error(
       cat("manifest kind '", kind, "' is not a finding kind"));
 }
@@ -272,7 +276,7 @@ Manifest manifest_for(const Finding& finding, const EvalConfig& cfg,
   m.pipeline = join(s.pipeline, ",");
   m.prune = s.barrier_mode == core::BarrierMode::PaperPrune;
   m.threads = s.threads;
-  m.engine = s.engine == mimd::SimdEngine::Fast ? "fast" : "reference";
+  m.engine = simd::engine_name(s.engine);
   // First line of the detail is enough context for a human reader.
   const std::size_t nl = finding.detail.find('\n');
   m.note = nl == std::string::npos ? finding.detail

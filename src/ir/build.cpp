@@ -246,6 +246,7 @@ class GraphBuilder {
       case fe::StmtKind::Wait: {
         StateId wait_blk = new_block("wait");
         graph_.at(wait_blk).barrier_wait = true;
+        graph_.at(wait_blk).loc = s.loc;
         StateId after = new_block("afterwait");
         seal_jump(wait_blk);
         switch_to(wait_blk);
@@ -262,6 +263,7 @@ class GraphBuilder {
         const auto& x = static_cast<const fe::SpawnStmt&>(s);
         StateId child = new_block("spawned");
         StateId cont = new_block("cont");
+        graph_.at(cur_).loc = s.loc;  // the block carrying the Spawn exit
         seal_spawn(child, cont);
         switch_to(child);
         std::vector<LoopCtx> saved;

@@ -81,6 +81,12 @@ Value arith(Opcode op, const Value& a, const Value& b) {
 
 }  // namespace
 
+Value eval_binary(Opcode op, const Value& a, const Value& b) {
+  if (op == Opcode::LAnd) return Value::of_int(a.truthy() && b.truthy());
+  if (op == Opcode::LOr) return Value::of_int(a.truthy() || b.truthy());
+  return arith(op, a, b);
+}
+
 Value stack_pop(std::vector<Value>& stack) {
   if (stack.empty()) throw MachineFault("operand stack underflow");
   Value v = stack.back();

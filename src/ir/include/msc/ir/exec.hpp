@@ -41,6 +41,12 @@ class MachineFault : public std::runtime_error {
 /// Execute one instruction. Throws MachineFault on underflow/range errors.
 void exec_instr(const Instr& in, PeContext& pe, MemoryBus& bus);
 
+/// Semantics of one pure binary opcode (Add…Shr, LAnd, LOr) on two popped
+/// operands — the single definition exec_instr routes through, exposed so
+/// the translation-cache engine's fused immediate ops and constant folder
+/// share it (divergence impossible by construction).
+Value eval_binary(Opcode op, const Value& a, const Value& b);
+
 /// Pop helper shared with block-exit condition evaluation.
 Value stack_pop(std::vector<Value>& stack);
 

@@ -7,6 +7,7 @@
 
 #include "msc/ir/instr.hpp"
 #include "msc/support/bitset.hpp"
+#include "msc/support/diag.hpp"
 
 namespace msc::ir {
 
@@ -33,6 +34,10 @@ struct Block {
   /// states carry no body; their single exit arc leads past the barrier.
   bool barrier_wait = false;
   std::string label;  ///< human-readable tag for dumps ("A", "B;C", ...)
+  /// Source position of the construct that created this state (set for
+  /// barrier waits and spawn exits) so later stages can point compile
+  /// errors back at the offending `wait`/`spawn`.
+  SourceLoc loc;
 
   bool has_two_exits() const {
     return exit == ExitKind::Branch || exit == ExitKind::Spawn;

@@ -11,7 +11,7 @@
 
 namespace msc::mimd {
 
-/// Which SIMD simulator executes the meta-state program. Both engines are
+/// Which SIMD simulator executes the meta-state program. All engines are
 /// observably identical (memories, stats, tracer streams — enforced by
 /// tests/simd_differential_test.cpp); they differ only in host cost:
 ///  - Fast: occupancy-indexed — per-broadcast work proportional to the
@@ -19,7 +19,11 @@ namespace msc::mimd {
 ///    alive count, and free-PE pool.
 ///  - Reference: the original scalar oracle — every broadcast scans all
 ///    nprocs PEs; kept compiled in forever as the differential baseline.
-enum class SimdEngine : std::uint8_t { Fast, Reference };
+///  - Codegen: translation-cache engine — at automaton load each meta
+///    state's guarded SOp sequence is compiled (once per program hash ×
+///    cost model, qemu-TCG-style) into a fused, constant-folded host
+///    stream executed group-at-a-time; fastest on high-occupancy runs.
+enum class SimdEngine : std::uint8_t { Fast, Reference, Codegen };
 
 /// Shared run parameters for both simulated machines.
 struct RunConfig {

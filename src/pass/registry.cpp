@@ -50,7 +50,9 @@ void run_convert(PipelineState& st, Counters& counters) {
     // by the reachable unions. Record the switch so later passes (and the
     // caller) see which mode actually ran.
     o.compress = true;
+    o.barrier_mode = core::BarrierMode::TrackOccupancy;
     st.options.compress = true;
+    st.options.barrier_mode = core::BarrierMode::TrackOccupancy;
     st.conversion = core::meta_state_convert(st.graph, st.cost, o);
   }
   const core::ConvertStats& s = st.conversion->stats;

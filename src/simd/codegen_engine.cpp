@@ -1,0 +1,242 @@
+// Translation-cache SIMD engine (DESIGN.md §11). The interpretive engines
+// pay per-SOp dispatch, guard resolution, and cycle arithmetic on every
+// broadcast; this engine runs the pre-translated form from
+// codegen/translate.cpp instead:
+//
+//  - per fused same-guard group, the enabled-PE set is gathered ONCE into
+//    a flat ascending list (the reference engine's 0..nprocs scan order)
+//    and the group's precomputed cycle aggregates are charged in O(1);
+//  - the folded host stream is dispatched op-major — threaded
+//    computed-goto dispatch under GCC/Clang, a switch loop elsewhere —
+//    with a tight per-opcode inner loop over the flat PE list;
+//  - immediate-fused ops (BinImm, LdLImm, …) skip the push/pop traffic of
+//    their unfused forms, and constant folding already removed whole runs
+//    of ops at translation time (stats still charge the originals).
+//
+// Op-major order (instruction outer, PE inner) is what keeps faults and
+// cross-PE side effects bit-identical to the reference engine: the n-th
+// broadcast reaches PE i before PE j > i, and no PE sees broadcast n+1
+// until every PE saw n.
+#include "msc/simd/machine.hpp"
+
+#include "msc/support/str.hpp"
+
+namespace msc::simd {
+
+using codegen::MetaCode;
+using codegen::TGroup;
+using codegen::TOp;
+using codegen::TOpKind;
+using core::MetaId;
+using ir::kNoState;
+using ir::MachineFault;
+using ir::StateId;
+
+CodegenSimdMachine::CodegenSimdMachine(const codegen::SimdProgram& program,
+                                       const ir::CostModel& cost,
+                                       const mimd::RunConfig& config)
+    : OccupancySimdMachine(program, cost, config),
+      trans_(codegen::translate(program, cost)) {}
+
+void CodegenSimdMachine::gather_enabled(
+    const std::vector<StateId>& guard_states) {
+  enabled_scratch_.clear();
+  occupied_scratch_.clear();
+  for (StateId s : guard_states)
+    if (occ_count_[static_cast<std::size_t>(s)] != 0)
+      occupied_scratch_.push_back(s);
+  if (occupied_scratch_.empty()) return;
+
+  if (occupied_scratch_.size() == 1) {
+    std::size_t s = static_cast<std::size_t>(occupied_scratch_[0]);
+    const DynBitset& pes = occ_[s];
+    std::size_t i = pes.first();
+    for (std::int64_t left = occ_count_[s];;) {
+      enabled_scratch_.push_back(static_cast<std::int64_t>(i));
+      if (--left == 0) break;
+      i = pes.next(i);
+    }
+  } else {
+    // Disjoint per-state PE sets: k-way merge in ascending PE id.
+    cursor_scratch_.clear();
+    for (StateId s : occupied_scratch_) {
+      const DynBitset& pes = occ_[static_cast<std::size_t>(s)];
+      cursor_scratch_.push_back(
+          {&pes, pes.first(), occ_count_[static_cast<std::size_t>(s)]});
+    }
+    while (!cursor_scratch_.empty()) {
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < cursor_scratch_.size(); ++k)
+        if (cursor_scratch_[k].pos < cursor_scratch_[best].pos) best = k;
+      OccCursor& c = cursor_scratch_[best];
+      enabled_scratch_.push_back(static_cast<std::int64_t>(c.pos));
+      if (--c.left == 0) {
+        cursor_scratch_.erase(cursor_scratch_.begin() +
+                              static_cast<std::ptrdiff_t>(best));
+      } else {
+        c.pos = c.pes->next(c.pos);
+      }
+    }
+  }
+}
+
+void CodegenSimdMachine::exec_state(const MetaCode& mc) {
+  const codegen::TransState& ts = trans_->states[static_cast<std::size_t>(mc.id)];
+  for (const TGroup& g : ts.groups) {
+    // One charge per group visit: the aggregates were computed from the
+    // ORIGINAL ops, so the totals equal the interpretive engines' per-op
+    // accounting exactly.
+    stats_.control_cycles += g.control_cost;
+    ++stats_.guard_switches;
+    stats_.offered_pe_cycles += g.cost_sum * alive_;
+    gather_enabled(g.guard_states);
+    stats_.busy_pe_cycles +=
+        g.cost_sum * static_cast<std::int64_t>(enabled_scratch_.size());
+    if (!enabled_scratch_.empty() && !g.code.empty()) run_group(g);
+  }
+  commit();
+}
+
+void CodegenSimdMachine::run_group(const TGroup& g) {
+  const TOp* op = g.code.data();
+  const TOp* const end = op + g.code.size();
+  const std::int64_t* const pe_begin = enabled_scratch_.data();
+  const std::int64_t* const pe_end = pe_begin + enabled_scratch_.size();
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MSC_TOP(name) l_##name:
+#define MSC_NEXT()                                         \
+  do {                                                     \
+    if (++op == end) return;                               \
+    goto* kDispatch[static_cast<std::size_t>(op->kind)];   \
+  } while (0)
+  // Label order must match codegen::TOpKind's declaration order.
+  static const void* const kDispatch[] = {
+      &&l_Exec,   &&l_PushI,  &&l_PushF,  &&l_LdLImm,    &&l_StLImm,
+      &&l_LdMImm, &&l_StMImm, &&l_BinImm, &&l_SetPc,     &&l_CondSetPc,
+      &&l_HaltPc, &&l_SpawnPc};
+  goto* kDispatch[static_cast<std::size_t>(op->kind)];
+#else
+#define MSC_TOP(name) case TOpKind::name:
+#define MSC_NEXT() break
+  for (; op != end; ++op) {
+    switch (op->kind) {
+#endif
+
+  MSC_TOP(Exec) {
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      Pe& pe = pes_[static_cast<std::size_t>(*p)];
+      ir::PeContext ctx{&pe.local, &pe.stack, *p, config_.nprocs};
+      ir::exec_instr(op->instr, ctx, *this);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(PushI)
+  MSC_TOP(PushF) {
+    const Value v = op->instr.imm;
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p)
+      pes_[static_cast<std::size_t>(*p)].stack.push_back(v);
+  }
+  MSC_NEXT();
+
+  MSC_TOP(LdLImm) {
+    const std::int64_t addr = op->instr.imm.as_int();
+    // All PE locals share config_.local_mem_cells cells, so a bad address
+    // faults at the first enabled PE either way.
+    if (addr < 0 || addr >= config_.local_mem_cells)
+      throw MachineFault(cat("local load out of range: ", addr));
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      Pe& pe = pes_[static_cast<std::size_t>(*p)];
+      pe.stack.push_back(pe.local[static_cast<std::size_t>(addr)]);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(StLImm) {
+    const std::int64_t addr = op->instr.imm.as_int();
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      Pe& pe = pes_[static_cast<std::size_t>(*p)];
+      // Underflow precedes the range check, as in the unfused pop order.
+      Value v = ir::stack_pop(pe.stack);
+      if (addr < 0 || addr >= config_.local_mem_cells)
+        throw MachineFault(cat("local store out of range: ", addr));
+      pe.local[static_cast<std::size_t>(addr)] = v;
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(LdMImm) {
+    // No side effects and no stores in between: one load serves all PEs.
+    const Value v = mono_load(op->instr.imm.as_int());
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p)
+      pes_[static_cast<std::size_t>(*p)].stack.push_back(v);
+  }
+  MSC_NEXT();
+
+  MSC_TOP(StMImm) {
+    const std::int64_t addr = op->instr.imm.as_int();
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      Value v = ir::stack_pop(pes_[static_cast<std::size_t>(*p)].stack);
+      mono_store(addr, v);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(BinImm) {
+    const Value imm = op->instr.imm;
+    const ir::Opcode opc = op->instr.op;
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      auto& st = pes_[static_cast<std::size_t>(*p)].stack;
+      if (st.empty()) throw MachineFault("operand stack underflow");
+      st.back() = ir::eval_binary(opc, st.back(), imm);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(SetPc) {
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      pes_[static_cast<std::size_t>(*p)].next_pc = op->a;
+      moved_.push_back(*p);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(CondSetPc) {
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      Pe& pe = pes_[static_cast<std::size_t>(*p)];
+      Value cond = ir::stack_pop(pe.stack);
+      pe.next_pc = cond.truthy() ? op->a : op->b;
+      moved_.push_back(*p);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(HaltPc) {
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
+      pes_[static_cast<std::size_t>(*p)].next_pc = kNoState;
+      moved_.push_back(*p);
+    }
+  }
+  MSC_NEXT();
+
+  MSC_TOP(SpawnPc) {
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p)
+      spawn_pe(pes_[static_cast<std::size_t>(*p)], *p, op->a, op->b);
+  }
+  MSC_NEXT();
+
+#if !(defined(__GNUC__) || defined(__clang__))
+    }
+  }
+#endif
+#undef MSC_TOP
+#undef MSC_NEXT
+}
+
+MetaId CodegenSimdMachine::next_state(const MetaCode& mc, DynBitset* apc) {
+  *apc = apc_;
+  return resolve_transition(mc, *apc);
+}
+
+}  // namespace msc::simd

@@ -1,27 +1,18 @@
-// Occupancy-indexed SIMD engine. Host cost per broadcast is proportional
-// to the PEs the guard actually enables, not to nprocs:
+// Occupancy-indexed interpretive SIMD engine. Host cost per broadcast is
+// proportional to the PEs the guard actually enables, not to nprocs:
 //
-//  - occ_[s] holds the ids of the PEs sitting in MIMD state s, so a
-//    broadcast walks occ_[s] for the occupied guard states only. Bitset
-//    order makes multi-PE side effects (mono/router stores) land in
-//    ascending PE id — the same order the reference engine's 0..nprocs
-//    scan uses, hence bit-identical memories.
-//  - apc_ (the aggregate pc) and alive_ are maintained at the pc commit
-//    of each meta state instead of by the reference engine's three full
-//    scans per step.
-//  - free_ is the spawn pool; first() returns the lowest-numbered free
-//    PE, matching the reference engine's linear search.
+//  - occ_[s] (maintained in occupancy.cpp) holds the ids of the PEs
+//    sitting in MIMD state s, so a broadcast walks occ_[s] for the
+//    occupied guard states only. Bitset order makes multi-PE side effects
+//    (mono/router stores) land in ascending PE id — the same order the
+//    reference engine's 0..nprocs scan uses, hence bit-identical memories.
+//  - apc_ (the aggregate pc), alive_, and the spawn pool free_ are
+//    maintained at the pc commit of each meta state instead of by the
+//    reference engine's full scans per step.
 //
-// Invariants between meta states (DESIGN.md §7):
-//   occ_[s] == { i | pes_[i].pc == s }, occ_count_[s] == |occ_[s]|,
-//   apc_.test(s) == (occ_count_[s] > 0), alive_ == Σ occ_count_,
-//   pes_[i].next_pc == pes_[i].pc, and free_ holds exactly the PEs a
-//   spawn may claim (idle, and fresh unless reuse_halted_pes).
 // Within exec_state, pcs are frozen (lockstep semantics) — only next_pc
 // changes, and each changed PE is recorded once in moved_.
 #include "msc/simd/machine.hpp"
-
-#include "msc/support/coverage.hpp"
 
 namespace msc::simd {
 
@@ -30,30 +21,7 @@ using codegen::SOp;
 using codegen::SOpKind;
 using core::MetaId;
 using ir::kNoState;
-using ir::MachineFault;
 using ir::StateId;
-
-FastSimdMachine::FastSimdMachine(const codegen::SimdProgram& program,
-                                 const ir::CostModel& cost,
-                                 const mimd::RunConfig& config)
-    : SimdMachine(program, cost, config),
-      occ_(prog_.mimd_states, DynBitset(static_cast<std::size_t>(config_.nprocs))),
-      occ_count_(prog_.mimd_states, 0),
-      apc_(prog_.mimd_states),
-      free_(static_cast<std::size_t>(config_.nprocs)) {
-  for (std::int64_t i = 0; i < config_.nprocs; ++i) {
-    Pe& pe = pes_[static_cast<std::size_t>(i)];
-    pe.next_pc = pe.pc;
-    if (pe.pc != kNoState) {
-      occ_[static_cast<std::size_t>(pe.pc)].set(static_cast<std::size_t>(i));
-      if (occ_count_[static_cast<std::size_t>(pe.pc)]++ == 0)
-        apc_.set(static_cast<std::size_t>(pe.pc));
-      ++alive_;
-    } else {
-      free_.set(static_cast<std::size_t>(i));  // never ran: spawnable
-    }
-  }
-}
 
 void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
                               std::int64_t i) {
@@ -79,25 +47,9 @@ void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
       pe.next_pc = kNoState;
       moved_.push_back(i);
       break;
-    case SOpKind::SpawnPc: {
-      std::size_t child = free_.first();
-      if (child == DynBitset::npos)
-        throw MachineFault("spawn failed: no free processing element "
-                           "(§3.2.5 assumes processes ≤ processors)");
-      free_.reset(child);
-      Pe& ch = pes_[child];
-      if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
-      ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
-                      Value{});
-      ch.stack.clear();
-      ch.next_pc = op.a;
-      ch.ever_ran = true;
-      moved_.push_back(static_cast<std::int64_t>(child));
-      ++stats_.spawns;
-      pe.next_pc = op.b;
-      moved_.push_back(i);
+    case SOpKind::SpawnPc:
+      spawn_pe(pe, i, op.a, op.b);
       break;
-    }
   }
 }
 
@@ -165,30 +117,6 @@ void FastSimdMachine::exec_state(const MetaCode& mc) {
     }
   }
   commit();
-}
-
-void FastSimdMachine::commit() {
-  for (std::int64_t i : moved_) {
-    Pe& pe = pes_[static_cast<std::size_t>(i)];
-    if (pe.next_pc == pe.pc) continue;  // e.g. a self-loop branch target
-    if (pe.pc != kNoState) {
-      std::size_t old_pc = static_cast<std::size_t>(pe.pc);
-      occ_[old_pc].reset(static_cast<std::size_t>(i));
-      if (--occ_count_[old_pc] == 0) apc_.reset(old_pc);
-    } else {
-      ++alive_;  // spawned child comes to life
-    }
-    if (pe.next_pc != kNoState) {
-      std::size_t new_pc = static_cast<std::size_t>(pe.next_pc);
-      occ_[new_pc].set(static_cast<std::size_t>(i));
-      if (occ_count_[new_pc]++ == 0) apc_.set(new_pc);
-    } else {
-      --alive_;  // halted; §3.2.5: returns to the pool only under reuse
-      if (config_.reuse_halted_pes) free_.set(static_cast<std::size_t>(i));
-    }
-    pe.pc = pe.next_pc;
-  }
-  moved_.clear();
 }
 
 MetaId FastSimdMachine::next_state(const MetaCode& mc, DynBitset* apc) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "msc/codegen/program.hpp"
+#include "msc/codegen/translate.hpp"
 #include "msc/ir/cost.hpp"
 #include "msc/ir/exec.hpp"
 #include "msc/mimd/machine.hpp"  // RunConfig, SimdEngine, Timeout
@@ -109,7 +110,7 @@ class SimdTracer {
 ///
 /// This is the engine-independent interface plus the shared substrate
 /// (PE/mono memory, stats, visit counts, the step() skeleton and the
-/// transition-table lookup). Two engines implement the per-broadcast hot
+/// transition-table lookup). Three engines implement the per-broadcast hot
 /// path — see mimd::SimdEngine and make_machine(); their observable
 /// behaviour is bit-identical by contract (simd_differential_test).
 class SimdMachine : public ir::MemoryBus {
@@ -160,7 +161,7 @@ class SimdMachine : public ir::MemoryBus {
   core::MetaId current_state() const { return cur_; }
   virtual std::int64_t alive_count() const;
 
-  /// "fast" or "reference" (--trace-simd, bench labels).
+  /// "fast", "reference", or "codegen" (--trace-simd, bench labels).
   virtual const char* engine_name() const = 0;
 
   const SimdStats& stats() const { return stats_; }
@@ -231,42 +232,58 @@ class SimdMachine : public ir::MemoryBus {
 
 /// The original scalar implementation, kept compiled in forever as the
 /// differential oracle: every broadcast scans all nprocs PEs against the
-/// guard, the aggregate pc is a full rescan, and spawn allocation is a
-/// linear free-PE search.
+/// guard and the aggregate pc is a full rescan. The only indexed structure
+/// it keeps is the spawn free-pool (`free_`), because the historical
+/// from-zero rescan it replaces was O(nprocs) per spawn — quadratic on
+/// spawn-heavy kernels — without being any more obviously correct:
+/// first() IS the lowest-numbered free PE of §3.2.5's linear search.
 class ReferenceSimdMachine final : public SimdMachine {
  public:
-  using SimdMachine::SimdMachine;
+  ReferenceSimdMachine(const codegen::SimdProgram& program,
+                       const ir::CostModel& cost,
+                       const mimd::RunConfig& config);
   const char* engine_name() const override { return "reference"; }
 
  protected:
   void exec_state(const codegen::MetaCode& mc) override;
   core::MetaId next_state(const codegen::MetaCode& mc,
                           DynBitset* apc) override;
+
+ private:
+  /// PEs a spawn may claim: pc == none, no pending claim, and fresh per
+  /// `reuse_halted_pes`. Maintained at the per-meta-state pc commit.
+  DynBitset free_;
 };
 
-/// Occupancy-indexed engine: per-MIMD-state PE sets let each broadcast
-/// iterate only the PEs whose pc is in the op's guard, and the aggregate
-/// pc, alive count, and free-PE pool are maintained incrementally at the
-/// per-meta-state pc commit instead of by full scans. Host cost per
-/// broadcast is O(enabled PEs + occupied guard states), not O(nprocs).
-/// See DESIGN.md §7 for the maintained invariants.
-class FastSimdMachine final : public SimdMachine {
+/// Shared substrate of the occupancy-indexed engines (Fast and Codegen):
+/// per-MIMD-state PE sets, the incrementally maintained aggregate pc,
+/// alive count and spawn pool, and the end-of-state pc commit. See
+/// DESIGN.md §7 for the maintained invariants:
+///   occ_[s] == { i | pes_[i].pc == s }, occ_count_[s] == |occ_[s]|,
+///   apc_.test(s) == (occ_count_[s] > 0), alive_ == Σ occ_count_,
+///   pes_[i].next_pc == pes_[i].pc between meta states, and free_ holds
+///   exactly the PEs a spawn may claim. Within exec_state, pcs are frozen
+///   (lockstep semantics) — only next_pc changes, each changed PE recorded
+///   once in moved_.
+class OccupancySimdMachine : public SimdMachine {
  public:
-  FastSimdMachine(const codegen::SimdProgram& program,
-                  const ir::CostModel& cost, const mimd::RunConfig& config);
-  const char* engine_name() const override { return "fast"; }
+  OccupancySimdMachine(const codegen::SimdProgram& program,
+                       const ir::CostModel& cost,
+                       const mimd::RunConfig& config);
   std::int64_t alive_count() const override { return alive_; }
 
  protected:
-  void exec_state(const codegen::MetaCode& mc) override;
-  core::MetaId next_state(const codegen::MetaCode& mc,
-                          DynBitset* apc) override;
   bool any_alive() const override { return alive_ > 0; }
   DynBitset occupancy() const override { return apc_; }
 
- private:
-  void exec_op(const codegen::SOp& op, std::int64_t op_cost, std::int64_t pe);
+  /// Apply the next_pc of every PE in moved_, maintaining occ_/apc_/
+  /// alive_/free_ incrementally (end of each meta state).
   void commit();
+  /// §3.2.5 spawn: claim the lowest free PE for a child entering
+  /// `child_entry`; `parent` continues at `cont`. Exact fault and
+  /// child-choice semantics of the reference engine's linear search.
+  void spawn_pe(Pe& parent, std::int64_t parent_id, ir::StateId child_entry,
+                ir::StateId cont);
 
   /// occ_[s] = PE ids whose pc == s (bit order doubles as the PE-id
   /// execution order the reference engine uses); occ_count_[s] = |occ_[s]|.
@@ -275,10 +292,7 @@ class FastSimdMachine final : public SimdMachine {
   /// Incremental aggregate pc: bit s set iff occ_count_[s] > 0.
   DynBitset apc_;
   std::int64_t alive_ = 0;
-  /// PEs a spawn may claim: pc == none, no pending claim, and fresh per
-  /// `reuse_halted_pes` (halted PEs re-enter the pool only when reuse is
-  /// on). first() yields the lowest-numbered free PE, matching the
-  /// reference engine's linear scan.
+  /// PEs a spawn may claim (lowest-first; see ReferenceSimdMachine::free_).
   DynBitset free_;
   /// PEs with a pending next_pc ≠ pc this meta state (each PE executes at
   /// most one pc-writing op per state, so entries are unique).
@@ -297,14 +311,64 @@ class FastSimdMachine final : public SimdMachine {
   std::vector<OccCursor> cursor_scratch_;
 };
 
+/// Occupancy-indexed interpretive engine: each broadcast iterates only the
+/// PEs whose pc is in the op's guard. Host cost per broadcast is
+/// O(enabled PEs + occupied guard states), not O(nprocs).
+class FastSimdMachine final : public OccupancySimdMachine {
+ public:
+  using OccupancySimdMachine::OccupancySimdMachine;
+  const char* engine_name() const override { return "fast"; }
+
+ protected:
+  void exec_state(const codegen::MetaCode& mc) override;
+  core::MetaId next_state(const codegen::MetaCode& mc,
+                          DynBitset* apc) override;
+
+ private:
+  void exec_op(const codegen::SOp& op, std::int64_t op_cost, std::int64_t pe);
+};
+
+/// Translation-cache engine (DESIGN.md §11): at construction the program
+/// body is compiled — through the process-global cache in
+/// codegen/translate.hpp, so repeat runs of the same automaton skip the
+/// work — into fused same-guard groups of constant-folded host ops.
+/// exec_state then resolves each group's guard once, charges the group's
+/// precomputed cycle aggregates, and dispatches the folded stream op-major
+/// (threaded/computed-goto dispatch) over a flat enabled-PE list, in the
+/// exact PE order the interpretive engines use. Observable behaviour —
+/// memories, SimdStats, profiles, visits, tracer streams — stays
+/// bit-identical to the reference oracle by construction.
+class CodegenSimdMachine final : public OccupancySimdMachine {
+ public:
+  CodegenSimdMachine(const codegen::SimdProgram& program,
+                     const ir::CostModel& cost, const mimd::RunConfig& config);
+  const char* engine_name() const override { return "codegen"; }
+
+ protected:
+  void exec_state(const codegen::MetaCode& mc) override;
+  core::MetaId next_state(const codegen::MetaCode& mc,
+                          DynBitset* apc) override;
+
+ private:
+  /// Fill enabled_scratch_ with the PEs occupying `guard_states`, in
+  /// ascending PE id (the reference engine's 0..nprocs scan order).
+  void gather_enabled(const std::vector<ir::StateId>& guard_states);
+  void run_group(const codegen::TGroup& g);
+
+  std::shared_ptr<const codegen::TransProgram> trans_;
+  std::vector<std::int64_t> enabled_scratch_;
+};
+
 /// Build the engine selected by `config.engine`.
 std::unique_ptr<SimdMachine> make_machine(const codegen::SimdProgram& program,
                                           const ir::CostModel& cost,
                                           const mimd::RunConfig& config);
 
-/// Parse "fast"/"reference" (mscc --simd-engine); throws
+/// Parse "fast"/"reference"/"codegen" (mscc --simd-engine); throws
 /// std::invalid_argument on anything else.
 mimd::SimdEngine parse_engine(const std::string& name);
+/// Canonical name of an engine ("fast"/"reference"/"codegen").
+const char* engine_name(mimd::SimdEngine engine);
 
 /// JSON for --trace-simd / --profile-simd: engine name, cycle/utilization
 /// stats, per-meta-state visit counts, and — when profiling was enabled —

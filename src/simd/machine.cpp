@@ -285,14 +285,26 @@ std::unique_ptr<SimdMachine> make_machine(const codegen::SimdProgram& program,
                                           const mimd::RunConfig& config) {
   if (config.engine == mimd::SimdEngine::Reference)
     return std::make_unique<ReferenceSimdMachine>(program, cost, config);
+  if (config.engine == mimd::SimdEngine::Codegen)
+    return std::make_unique<CodegenSimdMachine>(program, cost, config);
   return std::make_unique<FastSimdMachine>(program, cost, config);
 }
 
 mimd::SimdEngine parse_engine(const std::string& name) {
   if (name == "fast") return mimd::SimdEngine::Fast;
   if (name == "reference") return mimd::SimdEngine::Reference;
-  throw std::invalid_argument(
-      cat("unknown SIMD engine '", name, "' (expected fast|reference)"));
+  if (name == "codegen") return mimd::SimdEngine::Codegen;
+  throw std::invalid_argument(cat("unknown SIMD engine '", name,
+                                  "' (expected fast|reference|codegen)"));
+}
+
+const char* engine_name(mimd::SimdEngine engine) {
+  switch (engine) {
+    case mimd::SimdEngine::Fast: return "fast";
+    case mimd::SimdEngine::Reference: return "reference";
+    case mimd::SimdEngine::Codegen: return "codegen";
+  }
+  return "?";
 }
 
 std::string to_json(const SimdMachine& machine) {

@@ -1,0 +1,81 @@
+// Shared substrate of the occupancy-indexed engines (Fast, Codegen):
+// construction of the per-MIMD-state PE index, the incrementally
+// maintained aggregate pc / alive count / spawn pool, the end-of-state pc
+// commit, and the §3.2.5 spawn allocation. Invariants in DESIGN.md §7 and
+// on the class declaration.
+#include "msc/simd/machine.hpp"
+
+#include "msc/support/coverage.hpp"
+
+namespace msc::simd {
+
+using ir::kNoState;
+using ir::MachineFault;
+
+OccupancySimdMachine::OccupancySimdMachine(const codegen::SimdProgram& program,
+                                           const ir::CostModel& cost,
+                                           const mimd::RunConfig& config)
+    : SimdMachine(program, cost, config),
+      occ_(prog_.mimd_states, DynBitset(static_cast<std::size_t>(config_.nprocs))),
+      occ_count_(prog_.mimd_states, 0),
+      apc_(prog_.mimd_states),
+      free_(static_cast<std::size_t>(config_.nprocs)) {
+  for (std::int64_t i = 0; i < config_.nprocs; ++i) {
+    Pe& pe = pes_[static_cast<std::size_t>(i)];
+    pe.next_pc = pe.pc;
+    if (pe.pc != kNoState) {
+      occ_[static_cast<std::size_t>(pe.pc)].set(static_cast<std::size_t>(i));
+      if (occ_count_[static_cast<std::size_t>(pe.pc)]++ == 0)
+        apc_.set(static_cast<std::size_t>(pe.pc));
+      ++alive_;
+    } else {
+      free_.set(static_cast<std::size_t>(i));  // never ran: spawnable
+    }
+  }
+}
+
+void OccupancySimdMachine::spawn_pe(Pe& parent, std::int64_t parent_id,
+                                    ir::StateId child_entry,
+                                    ir::StateId cont) {
+  std::size_t child = free_.first();
+  if (child == DynBitset::npos)
+    throw MachineFault("spawn failed: no free processing element "
+                       "(§3.2.5 assumes processes ≤ processors)");
+  free_.reset(child);
+  Pe& ch = pes_[child];
+  if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
+  ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
+  ch.stack.clear();
+  ch.next_pc = child_entry;
+  ch.ever_ran = true;
+  moved_.push_back(static_cast<std::int64_t>(child));
+  ++stats_.spawns;
+  parent.next_pc = cont;
+  moved_.push_back(parent_id);
+}
+
+void OccupancySimdMachine::commit() {
+  for (std::int64_t i : moved_) {
+    Pe& pe = pes_[static_cast<std::size_t>(i)];
+    if (pe.next_pc == pe.pc) continue;  // e.g. a self-loop branch target
+    if (pe.pc != kNoState) {
+      std::size_t old_pc = static_cast<std::size_t>(pe.pc);
+      occ_[old_pc].reset(static_cast<std::size_t>(i));
+      if (--occ_count_[old_pc] == 0) apc_.reset(old_pc);
+    } else {
+      ++alive_;  // spawned child comes to life
+    }
+    if (pe.next_pc != kNoState) {
+      std::size_t new_pc = static_cast<std::size_t>(pe.next_pc);
+      occ_[new_pc].set(static_cast<std::size_t>(i));
+      if (occ_count_[new_pc]++ == 0) apc_.set(new_pc);
+    } else {
+      --alive_;  // halted; §3.2.5: returns to the pool only under reuse
+      if (config_.reuse_halted_pes) free_.set(static_cast<std::size_t>(i));
+    }
+    pe.pc = pe.next_pc;
+  }
+  moved_.clear();
+}
+
+}  // namespace msc::simd

@@ -1,9 +1,12 @@
 // The original scalar SIMD engine, kept as the differential oracle: every
-// broadcast scans all nprocs PEs, the aggregate pc is a full rescan, and
-// spawn allocation is a linear free-PE search. Deliberately simple — its
-// value is being obviously correct, so the occupancy-indexed engine in
-// fast.cpp can be checked against it bit-for-bit forever
-// (tests/simd_differential_test.cpp).
+// broadcast scans all nprocs PEs and the aggregate pc is a full rescan.
+// Deliberately simple — its value is being obviously correct, so the
+// occupancy-indexed engines can be checked against it bit-for-bit forever
+// (tests/simd_differential_test.cpp). The one concession is the spawn
+// pool free_: the historical per-spawn rescan from PE 0 was O(nprocs) —
+// quadratic on spawn-heavy kernels — and "lowest set bit of the idle+fresh
+// set" is exactly the PE that scan found, so the optimization does not
+// cost any obviousness.
 #include "msc/simd/machine.hpp"
 
 #include "msc/support/coverage.hpp"
@@ -16,6 +19,16 @@ using codegen::SOpKind;
 using core::MetaId;
 using ir::kNoState;
 using ir::MachineFault;
+
+ReferenceSimdMachine::ReferenceSimdMachine(const codegen::SimdProgram& program,
+                                           const ir::CostModel& cost,
+                                           const mimd::RunConfig& config)
+    : SimdMachine(program, cost, config),
+      free_(static_cast<std::size_t>(config_.nprocs)) {
+  for (std::int64_t i = 0; i < config_.nprocs; ++i)
+    if (pes_[static_cast<std::size_t>(i)].pc == kNoState)
+      free_.set(static_cast<std::size_t>(i));  // never ran: spawnable
+}
 
 void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
   std::int64_t alive_count = 0;
@@ -72,20 +85,12 @@ void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
         case SOpKind::SpawnPc: {
           // Allocate the lowest-numbered free PE (free: not running and
           // not already claimed in this meta state).
-          std::int64_t child = -1;
-          for (std::int64_t c = 0; c < config_.nprocs; ++c) {
-            const Pe& cp = pes_[static_cast<std::size_t>(c)];
-            bool idle = cp.pc == kNoState && cp.next_pc == kNoState;
-            bool fresh = config_.reuse_halted_pes || !cp.ever_ran;
-            if (idle && fresh) {
-              child = c;
-              break;
-            }
-          }
-          if (child < 0)
+          std::size_t child = free_.first();
+          if (child == DynBitset::npos)
             throw MachineFault("spawn failed: no free processing element "
                                "(§3.2.5 assumes processes ≤ processors)");
-          Pe& ch = pes_[static_cast<std::size_t>(child)];
+          free_.reset(child);
+          Pe& ch = pes_[child];
           if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
           ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
                           Value{});
@@ -99,7 +104,14 @@ void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
       }
     }
   }
-  for (Pe& pe : pes_) pe.pc = pe.next_pc;
+  for (std::size_t i = 0; i < pes_.size(); ++i) {
+    Pe& pe = pes_[i];
+    // A PE halting this state re-enters the spawn pool only under reuse
+    // (§3.2.5); fresh never-ran PEs are already in it.
+    if (config_.reuse_halted_pes && pe.pc != kNoState && pe.next_pc == kNoState)
+      free_.set(i);
+    pe.pc = pe.next_pc;
+  }
 }
 
 MetaId ReferenceSimdMachine::next_state(const MetaCode& mc, DynBitset* apc) {

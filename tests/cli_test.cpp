@@ -153,8 +153,8 @@ TEST(Cli, TraceConvertWritesJson) {
   EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
 }
 
-TEST(Cli, TraceSimdWritesJsonForBothEngines) {
-  for (const char* engine : {"fast", "reference"}) {
+TEST(Cli, TraceSimdWritesJsonForAllEngines) {
+  for (const char* engine : {"fast", "reference", "codegen"}) {
     std::string path =
         std::string(MSCC_TMPDIR) + "/cli_simd_trace_" + engine + ".json";
     auto r = run_cli("--kernel listing1 --emit meta --simd-engine " +
@@ -174,6 +174,52 @@ TEST(Cli, TraceSimdWritesJsonForBothEngines) {
     EXPECT_NE(json.find("\"utilization\""), std::string::npos);
     EXPECT_NE(json.find("\"visits\""), std::string::npos);
   }
+}
+
+TEST(Cli, CodegenEngineRunsAndReportsTranslationCache) {
+  auto r = run_cli("--kernel listing1 --run --nprocs 4 --seed 9 "
+                   "--simd-engine codegen --emit meta");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("match : yes"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("engine=codegen"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("trans-cache: hits="), std::string::npos) << r.output;
+}
+
+TEST(Cli, PruneUnsoundCombinationsExitWithCode3) {
+  // Satellite of the PaperPrune soundness promotion: the CLI surfaces all
+  // three rejected corners as ordinary compile errors (exit 3), with a
+  // caret when the construct has a source location.
+  std::string spawny = std::string(MSCC_TMPDIR) + "/cli_prune_spawn.mimdc";
+  {
+    std::ofstream out(spawny);
+    out << "int main() {\n  spawn { return 2; }\n  wait;\n  return 1;\n}\n";
+  }
+  auto s = run_cli(spawny + " --prune --emit meta");
+  EXPECT_EQ(s.exit_code, 3) << s.output;
+  EXPECT_NE(s.output.find("error:"), std::string::npos) << s.output;
+  EXPECT_NE(s.output.find("barrier mode 'prune'"), std::string::npos)
+      << s.output;
+  EXPECT_NE(s.output.find("^"), std::string::npos) << s.output;
+
+  std::string twob = std::string(MSCC_TMPDIR) + "/cli_prune_twob.mimdc";
+  {
+    std::ofstream out(twob);
+    out << "poly int x;\nint main() {\n  poly int r;\n"
+           "  if (x & 1) { r = 1; wait; } else { r = 2; wait; }\n"
+           "  return r + x;\n}\n";
+  }
+  auto t = run_cli(twob + " --prune --emit meta");
+  EXPECT_EQ(t.exit_code, 3) << t.output;
+  EXPECT_NE(t.output.find("barrier mode 'prune'"), std::string::npos)
+      << t.output;
+
+  auto c = run_cli("--kernel listing3 --prune --compress --emit meta");
+  EXPECT_EQ(c.exit_code, 3) << c.output;
+  EXPECT_NE(c.output.find("compression"), std::string::npos) << c.output;
+
+  // The sound corner still works: one static barrier, no compression.
+  auto ok = run_cli("--kernel listing3 --prune --emit meta");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
 }
 
 TEST(Cli, BadSimdEngineIsUsageError) {

@@ -146,12 +146,21 @@ TEST(Convert, BarrierTrackOccupancyKeepsWaitingMembers) {
 
 TEST(Convert, BarrierCutsStateSpace) {
   // §2.6's purpose: the barrier version must be no bigger than the
-  // barrier-free version for the same divergent code.
+  // barrier-free version for the same divergent code. With five distinct
+  // barriers PaperPrune is a compile error, so occupancy tracking carries
+  // the claim (waiting PEs pin their members, killing the cross-product).
   auto no_barrier = convert_src(workload::loopy_source(5));
+  auto with_barrier = convert_src(workload::loopy_barrier_source(5));
+  EXPECT_LT(with_barrier.num_states(), no_barrier.num_states());
+
   ConvertOptions prune;
   prune.barrier_mode = BarrierMode::PaperPrune;
-  auto with_barrier = convert_src(workload::loopy_barrier_source(5), prune);
-  EXPECT_LT(with_barrier.num_states(), no_barrier.num_states());
+  EXPECT_THROW(convert_src(workload::loopy_barrier_source(5), prune),
+               CompileError);
+  // One barrier keeps the paper's rule sound and accepted.
+  auto pruned = convert_src(workload::loopy_barrier_source(1), prune);
+  auto plain = convert_src(workload::loopy_source(1));
+  EXPECT_LE(pruned.num_states(), plain.num_states());
 }
 
 TEST(Convert, SpawnTakesBothArcs) {

@@ -66,10 +66,13 @@ std::vector<Case> all_cases() {
       for (auto mode :
            {core::BarrierMode::TrackOccupancy, core::BarrierMode::PaperPrune}) {
         for (bool split : {false, true}) {
-          // PaperPrune is exercised only where it is sound: kernels with at
-          // most one barrier state (all of ours) — and is redundant with
-          // TrackOccupancy when compressing (compression overrides it).
-          if (compress && mode == core::BarrierMode::PaperPrune) continue;
+          // PaperPrune is exercised only where the converter accepts it:
+          // one barrier state, static process population, no compression
+          // (the other combinations are compile errors — soundness_test).
+          if (mode == core::BarrierMode::PaperPrune &&
+              (compress || k.source.find("spawn") != std::string::npos ||
+               driver::compile(k.source).graph.barrier_states().count() > 1))
+            continue;
           // Time splitting multiplies MIMD states; on loop-heavy divergent
           // kernels the *base* conversion then exceeds the explosion guard
           // (a real §1.2 phenomenon, measured in bench_state_explosion).

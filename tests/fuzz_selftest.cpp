@@ -179,12 +179,14 @@ TEST(FuzzSelftest, CoverageSinkScopingAndBuckets) {
 TEST(FuzzSelftest, DefaultMatrixCoversEveryMode) {
   const std::vector<RunSpec> matrix = default_matrix();
   std::vector<std::string> labels;
-  bool fast = false, reference = false, prune = false, compress = false;
+  bool fast = false, reference = false, codegen = false, prune = false;
+  bool compress = false;
   bool nosub = false, split = false, threaded = false, dme = false;
   for (const RunSpec& s : matrix) {
     labels.push_back(s.label());
     fast |= s.engine == mimd::SimdEngine::Fast;
     reference |= s.engine == mimd::SimdEngine::Reference;
+    codegen |= s.engine == mimd::SimdEngine::Codegen;
     prune |= s.barrier_mode == core::BarrierMode::PaperPrune;
     compress |= s.has("compress");
     nosub |= s.has("compress") && !s.has("subsume");
@@ -193,8 +195,8 @@ TEST(FuzzSelftest, DefaultMatrixCoversEveryMode) {
     threaded |= s.threads > 1;
     EXPECT_TRUE(s.has("convert")) << s.label();
   }
-  EXPECT_TRUE(fast && reference && prune && compress && nosub && split &&
-              threaded && dme);
+  EXPECT_TRUE(fast && reference && codegen && prune && compress && nosub &&
+              split && threaded && dme);
   std::sort(labels.begin(), labels.end());
   EXPECT_EQ(std::adjacent_find(labels.begin(), labels.end()), labels.end())
       << "duplicate matrix cells";

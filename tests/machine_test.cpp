@@ -297,7 +297,7 @@ TEST(SimdMachine, TracerSeesEveryStateAndTheExit) {
 TEST(SimdMachine, PeCountBoundaries) {
   // PE counts straddling the 64-bit words of the occupancy and free-pool
   // bitsets (1, 63, 64, 65, 127) plus a large non-power-of-two count.
-  // Both engines must match the oracle and each other at every size.
+  // Every engine must match the oracle and each other at every size.
   auto c = compile(workload::kernel("escape_iter").source);
   auto conv = core::meta_state_convert(c.graph, kCost, {});
   for (std::int64_t nprocs : {1, 63, 64, 65, 127, 1000}) {
@@ -305,26 +305,29 @@ TEST(SimdMachine, PeCountBoundaries) {
     mimd::RunConfig cfg;
     cfg.nprocs = nprocs;
     auto oracle = driver::run_oracle(c, cfg, 3);
-    simd::SimdStats stats[2];
+    simd::SimdStats stats[3];
     int idx = 0;
-    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                        mimd::SimdEngine::Codegen}) {
       cfg.engine = engine;
       auto simd = driver::run_simd(c, conv, cfg, 3, kCost, {}, &stats[idx]);
       EXPECT_TRUE(oracle == simd)
-          << "engine=" << (idx == 0 ? "fast" : "reference")
+          << "engine=" << simd::engine_name(engine)
           << "\noracle: " << oracle.to_string()
           << "\nsimd:   " << simd.to_string();
       ++idx;
     }
     EXPECT_TRUE(stats[0] == stats[1]);
+    EXPECT_TRUE(stats[0] == stats[2]);
   }
 }
 
-TEST(SimdMachine, SpawnWithoutFreePEFaultsBothEngines) {
+TEST(SimdMachine, SpawnWithoutFreePEFaultsAllEngines) {
   auto c = compile("int main() { spawn { return 1; } return 0; }");
   auto conv = core::meta_state_convert(c.graph, kCost, {});
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
-  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                      mimd::SimdEngine::Codegen}) {
     mimd::RunConfig cfg;
     cfg.nprocs = 2;
     cfg.initial_active = 2;  // nobody free
@@ -334,7 +337,7 @@ TEST(SimdMachine, SpawnWithoutFreePEFaultsBothEngines) {
   }
 }
 
-TEST(SimdMachine, SpawnReusePolicyBothEngines) {
+TEST(SimdMachine, SpawnReusePolicyAllEngines) {
   // SIMD twin of MimdMachine.SpawnReusePolicy: 1 parent spawning 2
   // children sequentially with only 1 spare PE. Succeeds only when halted
   // PEs return to the pool — the exact path the fast engine's free list
@@ -352,7 +355,8 @@ int main() {
 )");
   auto conv = core::meta_state_convert(c.graph, kCost, {});
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
-  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                      mimd::SimdEngine::Codegen}) {
     mimd::RunConfig cfg;
     cfg.nprocs = 2;
     cfg.initial_active = 1;
@@ -375,7 +379,8 @@ TEST(SimdMachine, TracerDoesNotChangeStats) {
   auto c = compile(workload::listing1().source);
   auto conv = core::meta_state_convert(c.graph, kCost, {});
   auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
-  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                      mimd::SimdEngine::Codegen}) {
     mimd::RunConfig cfg;
     cfg.nprocs = 8;
     cfg.engine = engine;

@@ -167,7 +167,22 @@ TEST(Pipeline, DefaultPipelineMatchesLegacyCallChainByteForByte) {
       workload::loopy_barrier_source(3)};
   for (const Mode& mode : modes) {
     for (std::size_t i = 0; i < sources.size(); ++i) {
-      core::ConvertResult legacy = legacy_convert(sources[i], mode.opts);
+      core::ConvertResult legacy;
+      try {
+        legacy = legacy_convert(sources[i], mode.opts);
+      } catch (const CompileError&) {
+        // PaperPrune rejections (multi-barrier loopy_barrier_source) must
+        // be byte-identical too: the pipeline throws the same error.
+        EXPECT_THROW(
+            {
+              driver::PipelineOptions popts;
+              popts.convert = mode.opts;
+              driver::convert(sources[i], kCost, popts);
+            },
+            CompileError)
+            << mode.name << " kernel " << i;
+        continue;
+      }
       driver::PipelineOptions popts;
       popts.convert = mode.opts;
       driver::Converted now = driver::convert(sources[i], kCost, popts);

@@ -7,6 +7,7 @@
 #include "msc/driver/pipeline.hpp"
 #include "msc/driver/runner.hpp"
 #include "msc/interp/machine.hpp"
+#include "msc/simd/machine.hpp"
 #include "msc/workload/generator.hpp"
 
 using namespace msc;
@@ -36,9 +37,17 @@ TEST_P(RandomProgramTest, AllModesMatchOracle) {
   for (bool compress : {false, true}) {
     for (auto mode :
          {core::BarrierMode::TrackOccupancy, core::BarrierMode::PaperPrune}) {
-      if (compress && mode == core::BarrierMode::PaperPrune) continue;
-      if (mode == core::BarrierMode::PaperPrune && !single_barrier)
-        continue;  // the paper's rule is only sound for one barrier state
+      if (mode == core::BarrierMode::PaperPrune &&
+          (compress || !single_barrier || compiled.graph.has_spawn())) {
+        // Unsound combinations must be rejected at compile time (the
+        // converter's PaperPrune guard); soundness_test pins the details.
+        core::ConvertOptions bad;
+        bad.compress = compress;
+        bad.barrier_mode = mode;
+        EXPECT_THROW(core::meta_state_convert(compiled.graph, cost, bad),
+                     CompileError);
+        continue;
+      }
       core::ConvertOptions opts;
       opts.compress = compress;
       opts.barrier_mode = mode;
@@ -86,13 +95,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
 // 32-seed sweep over PE counts straddling the 64-bit word boundaries of
 // the fast engine's occupancy/free-pool bitsets, plus a large
 // non-power-of-two count. Each seed's random program must match the oracle
-// on both engines at every size, with bit-identical stats between the
+// on every engine at every size, with bit-identical stats between the
 // engines. The binary is registered as four `property`-labeled ctest
 // shards (GTEST_SHARD_INDEX — see tests/CMakeLists.txt) so the widened
 // sweep keeps tier-1 wall time flat.
 class BoundaryPeCountTest : public testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(BoundaryPeCountTest, BothEnginesMatchOracleAtWordBoundaries) {
+TEST_P(BoundaryPeCountTest, AllEnginesMatchOracleAtWordBoundaries) {
   const std::uint64_t seed = GetParam();
   ir::CostModel cost;
   workload::GenOptions gen;
@@ -116,20 +125,21 @@ TEST_P(BoundaryPeCountTest, BothEnginesMatchOracleAtWordBoundaries) {
     mimd::RunConfig config;
     config.nprocs = nprocs;
     auto oracle = driver::run_oracle(compiled, config, seed + 1);
-    simd::SimdStats stats[2];
+    simd::SimdStats stats[3];
     int idx = 0;
-    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                        mimd::SimdEngine::Codegen}) {
       config.engine = engine;
       auto simd = driver::run_simd(compiled, conversion, config, seed + 1,
                                    cost, {}, &stats[idx]);
       EXPECT_TRUE(oracle == simd)
-          << "nprocs=" << nprocs
-          << " engine=" << (idx == 0 ? "fast" : "reference")
+          << "nprocs=" << nprocs << " engine=" << simd::engine_name(engine)
           << "\noracle: " << oracle.to_string()
           << "\nsimd:   " << simd.to_string();
       ++idx;
     }
     EXPECT_TRUE(stats[0] == stats[1]) << "nprocs=" << nprocs;
+    EXPECT_TRUE(stats[0] == stats[2]) << "nprocs=" << nprocs;
   }
 }
 

@@ -1,14 +1,16 @@
-// Differential harness for the two SIMD engines: the occupancy-indexed
-// fast engine must be bit-identical to the scalar reference oracle — same
-// final memories, same SimdStats counters, same per-meta-state visit
-// counts, same tracer streams — on every equivalence-suite workload and
-// nested_branch_source, across a seed sweep and both conversion modes.
-// This is the contract that lets the fast engine's incremental occupancy
-// bookkeeping be trusted forever (see DESIGN.md §7).
+// Differential harness for the SIMD engines: the occupancy-indexed fast
+// engine and the translation-cache codegen engine must be bit-identical
+// to the scalar reference oracle — same final memories, same SimdStats
+// counters, same per-meta-state visit counts, same tracer streams — on
+// every equivalence-suite workload and nested_branch_source, across a
+// seed sweep and both conversion modes. This is the contract that lets
+// the fast engine's incremental occupancy bookkeeping and the codegen
+// engine's folded host streams be trusted forever (DESIGN.md §7, §11).
 #include <gtest/gtest.h>
 
 #include "msc/driver/pipeline.hpp"
 #include "msc/driver/runner.hpp"
+#include "msc/simd/machine.hpp"
 #include "msc/support/str.hpp"
 #include "msc/support/trace.hpp"
 #include "msc/workload/kernels.hpp"
@@ -37,37 +39,42 @@ std::string case_name(const testing::TestParamInfo<Case>& info) {
   return info.param.name;
 }
 
-/// Runs both engines on an identical configuration and asserts every
-/// observable is bit-identical. Returns the number of comparisons made.
+/// Runs every engine on an identical configuration and asserts every
+/// observable is bit-identical to the reference oracle.
 void expect_engines_identical(const driver::Compiled& compiled,
                               const core::ConvertResult& conv,
                               mimd::RunConfig config, std::uint64_t seed,
                               const std::string& label) {
   SCOPED_TRACE(label);
-  simd::SimdStats fast_stats, ref_stats;
-  std::vector<std::int64_t> fast_visits, ref_visits;
-  config.engine = mimd::SimdEngine::Fast;
-  auto fast = driver::run_simd(compiled, conv, config, seed, kCost, {},
-                               &fast_stats, &fast_visits);
+  simd::SimdStats ref_stats;
+  std::vector<std::int64_t> ref_visits;
   config.engine = mimd::SimdEngine::Reference;
   auto ref = driver::run_simd(compiled, conv, config, seed, kCost, {},
                               &ref_stats, &ref_visits);
+  for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Codegen}) {
+    SCOPED_TRACE(simd::engine_name(engine));
+    simd::SimdStats stats;
+    std::vector<std::int64_t> visits;
+    config.engine = engine;
+    auto got = driver::run_simd(compiled, conv, config, seed, kCost, {},
+                                &stats, &visits);
 
-  // Final memories (results, poly globals, mono globals, ran flags).
-  EXPECT_TRUE(fast == ref) << "fast: " << fast.to_string()
-                           << "\nref:  " << ref.to_string();
-  // Every cycle counter, bit for bit.
-  EXPECT_EQ(fast_stats.control_cycles, ref_stats.control_cycles);
-  EXPECT_EQ(fast_stats.busy_pe_cycles, ref_stats.busy_pe_cycles);
-  EXPECT_EQ(fast_stats.offered_pe_cycles, ref_stats.offered_pe_cycles);
-  EXPECT_EQ(fast_stats.meta_transitions, ref_stats.meta_transitions);
-  EXPECT_EQ(fast_stats.global_ors, ref_stats.global_ors);
-  EXPECT_EQ(fast_stats.guard_switches, ref_stats.guard_switches);
-  EXPECT_EQ(fast_stats.spawns, ref_stats.spawns);
-  EXPECT_EQ(fast_stats.rescue_transitions, ref_stats.rescue_transitions);
-  EXPECT_TRUE(fast_stats == ref_stats);
-  // Per-meta-state visit counts (pins the whole state sequence length).
-  EXPECT_EQ(fast_visits, ref_visits);
+    // Final memories (results, poly globals, mono globals, ran flags).
+    EXPECT_TRUE(got == ref) << "got: " << got.to_string()
+                            << "\nref: " << ref.to_string();
+    // Every cycle counter, bit for bit.
+    EXPECT_EQ(stats.control_cycles, ref_stats.control_cycles);
+    EXPECT_EQ(stats.busy_pe_cycles, ref_stats.busy_pe_cycles);
+    EXPECT_EQ(stats.offered_pe_cycles, ref_stats.offered_pe_cycles);
+    EXPECT_EQ(stats.meta_transitions, ref_stats.meta_transitions);
+    EXPECT_EQ(stats.global_ors, ref_stats.global_ors);
+    EXPECT_EQ(stats.guard_switches, ref_stats.guard_switches);
+    EXPECT_EQ(stats.spawns, ref_stats.spawns);
+    EXPECT_EQ(stats.rescue_transitions, ref_stats.rescue_transitions);
+    EXPECT_TRUE(stats == ref_stats);
+    // Per-meta-state visit counts (pins the whole state sequence length).
+    EXPECT_EQ(visits, ref_visits);
+  }
 }
 
 class SimdDifferentialTest : public testing::TestWithParam<Case> {};
@@ -151,11 +158,12 @@ TEST(SimdDifferential, ObservabilityNeverChangesExecution) {
     config.nprocs = 8;
     if (std::string(name) == "spawn_tree") config.initial_active = 2;
 
-    std::vector<simd::StateProfile> profiles[2];
-    std::string traces[2];
+    std::vector<simd::StateProfile> profiles[3];
+    std::string traces[3];
     int idx = 0;
-    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
-      SCOPED_TRACE(idx == 0 ? "fast" : "reference");
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                        mimd::SimdEngine::Codegen}) {
+      SCOPED_TRACE(simd::engine_name(engine));
       config.engine = engine;
       // Plain run.
       auto plain = simd::make_machine(prog, kCost, config);
@@ -206,7 +214,9 @@ TEST(SimdDifferential, ObservabilityNeverChangesExecution) {
     // Engine-independent: identical profiles and identical (deterministic,
     // simulated-cycle-timestamped) trace files.
     EXPECT_TRUE(profiles[0] == profiles[1]);
+    EXPECT_TRUE(profiles[0] == profiles[2]);
     EXPECT_EQ(traces[0], traces[1]);
+    EXPECT_EQ(traces[0], traces[2]);
   }
 }
 
@@ -222,9 +232,10 @@ TEST(SimdDifferential, TracerStreamsIdentical) {
     config.nprocs = 8;
     if (std::string(name) == "spawn_tree") config.initial_active = 2;
 
-    std::vector<std::string> streams[2];
+    std::vector<std::string> streams[3];
     int idx = 0;
-    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference}) {
+    for (auto engine : {mimd::SimdEngine::Fast, mimd::SimdEngine::Reference,
+                        mimd::SimdEngine::Codegen}) {
       config.engine = engine;
       auto m = simd::make_machine(prog, kCost, config);
       driver::seed_machine(*m, compiled, config, 5);
@@ -234,6 +245,7 @@ TEST(SimdDifferential, TracerStreamsIdentical) {
       streams[idx++] = std::move(tracer.events);
     }
     EXPECT_EQ(streams[0], streams[1]) << name;
+    EXPECT_EQ(streams[0], streams[2]) << name;
   }
 }
 

@@ -3,7 +3,9 @@
 //    contained in some compressed meta state;
 //  - the multi-barrier analysis behind the two §2.6 modes: TrackOccupancy
 //    stays exact when two distinct barrier states are occupied at once,
-//    where the paper's pruning rule needs its rescue path;
+//    while the paper's pruning rule is rejected outright (a compile error
+//    pointing at the second barrier — the occupancies it can reach are
+//    ones conversion never enumerates);
 //  - machine-level fault behaviour (recursion overflowing the frame stack).
 #include <gtest/gtest.h>
 
@@ -92,27 +94,50 @@ TEST(MultiBarrier, TrackOccupancyIsExactWithoutRescues) {
   }
 }
 
-TEST(MultiBarrier, PaperPruneStaysCorrectViaRescue) {
-  // The paper's rule merges the two waiting populations out of the key;
-  // when both barrier states are occupied the hashed switch has no entry
-  // and the executor resolves through the member index. Results must
-  // still match the oracle — and at least one run must actually need the
-  // rescue, demonstrating why TrackOccupancy is the default.
+TEST(MultiBarrier, PaperPruneIsRejectedAtCompileTime) {
+  // The paper's rule merges the two waiting populations out of the
+  // transition key, so conversion never enumerates the mixed-barrier
+  // aggregates the program can reach. That unsoundness used to be papered
+  // over by a runtime rescue; it is now a compile error whose location
+  // points at the second `wait`.
   auto compiled = driver::compile(kTwoBarrierSource);
   ConvertOptions opts;
   opts.barrier_mode = BarrierMode::PaperPrune;
-  auto conv = meta_state_convert(compiled.graph, kCost, opts);
-  mimd::RunConfig cfg;
-  cfg.nprocs = 8;
-  std::int64_t rescues = 0;
-  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
-    simd::SimdStats stats;
-    auto oracle = driver::run_oracle(compiled, cfg, seed);
-    auto simd = driver::run_simd(compiled, conv, cfg, seed, kCost, {}, &stats);
-    EXPECT_TRUE(oracle == simd) << "seed " << seed;
-    rescues += stats.rescue_transitions;
+  try {
+    meta_state_convert(compiled.graph, kCost, opts);
+    FAIL() << "multi-barrier PaperPrune conversion must throw";
+  } catch (const CompileError& e) {
+    EXPECT_TRUE(e.loc().valid());
+    EXPECT_NE(std::string(e.what()).find("barrier mode 'prune'"),
+              std::string::npos)
+        << e.what();
   }
-  EXPECT_GT(rescues, 0);
+}
+
+TEST(MultiBarrier, PaperPruneRejectsSpawnAndCompression) {
+  // Same promotion for the other two unsound corners: a dynamic process
+  // population (found by mscfuzz — tests/corpus/spawn_child_barrier.mimdc)
+  // and §2.5 compression (whose unconditional transitions leave the
+  // §3.2.4 masking nothing to key on).
+  auto spawny = driver::compile(R"(
+int main() {
+  spawn { return 2; }
+  wait;
+  return 1;
+}
+)");
+  ConvertOptions opts;
+  opts.barrier_mode = BarrierMode::PaperPrune;
+  EXPECT_THROW(meta_state_convert(spawny.graph, kCost, opts), CompileError);
+
+  auto single = driver::compile("int main() { wait; return 1; }");
+  ConvertOptions copts;
+  copts.barrier_mode = BarrierMode::PaperPrune;
+  copts.compress = true;
+  EXPECT_THROW(meta_state_convert(single.graph, kCost, copts), CompileError);
+  // Without compression the single-barrier static program is fine.
+  copts.compress = false;
+  EXPECT_NO_THROW(meta_state_convert(single.graph, kCost, copts));
 }
 
 TEST(MultiBarrier, CompressedHandlesBothBarriers) {

@@ -1,0 +1,121 @@
+// Unit tests for the translation cache behind the codegen engine
+// (DESIGN.md §11): repeat translations of a structurally identical
+// program+cost pair must hit (sharing one immutable TransProgram), any
+// structural or cost-model change must miss, and the LRU bound must hold.
+#include <gtest/gtest.h>
+
+#include "msc/codegen/translate.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/simd/machine.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+
+namespace {
+
+ir::CostModel kCost;
+
+codegen::SimdProgram program_for(const std::string& source,
+                                 const ir::CostModel& cost) {
+  auto compiled = driver::compile(source);
+  auto conv = core::meta_state_convert(compiled.graph, cost, {});
+  return codegen::generate(conv.automaton, conv.graph, cost, {});
+}
+
+TEST(TranslationCache, RepeatTranslationHits) {
+  codegen::translation_cache_clear();
+  EXPECT_EQ(codegen::translation_cache_stats().entries, 0u);
+
+  const auto prog = program_for(workload::kernel("listing1").source, kCost);
+  auto first = codegen::translate(prog, kCost);
+  auto stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Same structure, different SimdProgram object: still a hit, and the
+  // cached translation is shared, not re-derived.
+  const auto again = program_for(workload::kernel("listing1").source, kCost);
+  auto second = codegen::translate(again, kCost);
+  stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(second.get(), first.get());
+
+  // Folding never grows the host stream.
+  EXPECT_LE(first->host_ops, first->source_ops);
+  EXPECT_GT(first->source_ops, 0u);
+}
+
+TEST(TranslationCache, MachinesShareOneTranslationPerAutomaton) {
+  codegen::translation_cache_clear();
+  const auto prog = program_for(workload::kernel("listing1").source, kCost);
+  mimd::RunConfig config;
+  config.nprocs = 8;
+  config.engine = mimd::SimdEngine::Codegen;
+  auto a = simd::make_machine(prog, kCost, config);
+  auto b = simd::make_machine(prog, kCost, config);
+  const auto stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(TranslationCache, ProgramOrCostChangeInvalidates) {
+  codegen::translation_cache_clear();
+  const auto prog = program_for(workload::kernel("listing1").source, kCost);
+  codegen::translate(prog, kCost);
+
+  // A different program misses.
+  const auto other =
+      program_for(workload::kernel("oddeven_sort").source, kCost);
+  codegen::translate(other, kCost);
+  auto stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // Same program under a different cost model misses too: the per-group
+  // cycle aggregates bake the cost model in.
+  ir::CostModel expensive = kCost;
+  expensive.alu += 7;
+  codegen::translate(prog, expensive);
+  stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+
+  // And every original entry still hits.
+  codegen::translate(prog, kCost);
+  codegen::translate(other, kCost);
+  codegen::translate(prog, expensive);
+  stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(TranslationCache, LruEvictsBeyondCapacity) {
+  codegen::translation_cache_clear();
+  const auto prog = program_for(workload::kernel("listing1").source, kCost);
+  // 17 distinct cost models > the 16-entry capacity: the oldest entry
+  // (jump=+1) must be evicted and miss on re-translation.
+  for (int i = 1; i <= 17; ++i) {
+    ir::CostModel c = kCost;
+    c.jump += i;
+    codegen::translate(prog, c);
+  }
+  auto stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 17u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, 16u);
+
+  ir::CostModel first = kCost;
+  first.jump += 1;
+  codegen::translate(prog, first);
+  EXPECT_EQ(codegen::translation_cache_stats().misses, 18u);
+
+  // The most recent entry survived.
+  ir::CostModel last = kCost;
+  last.jump += 17;
+  codegen::translate(prog, last);
+  EXPECT_EQ(codegen::translation_cache_stats().hits, 1u);
+}
+
+}  // namespace

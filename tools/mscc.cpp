@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "msc/codegen/program.hpp"
+#include "msc/codegen/translate.hpp"
 #include "msc/core/profile.hpp"
 #include "msc/core/serialize.hpp"
 #include "msc/driver/pipeline.hpp"
@@ -63,6 +64,8 @@ int usage() {
       "  --adaptive          base conversion, compress only on state explosion\n"
       "  --no-subsume        keep subset meta states when compressing\n"
       "  --prune             §2.6 barrier handling exactly as in the paper\n"
+      "                      (compile error with spawn, more than one barrier\n"
+      "                      state, or --compress — those corners are unsound)\n"
       "  --split             §2.4 MIMD-state time splitting\n"
       "\n"
       "pass pipeline:\n"
@@ -94,8 +97,9 @@ int usage() {
       "  --run               also execute on SIMD machine + MIMD oracle\n"
       "  --trace             like --run, plus a per-meta-state occupancy trace\n"
       "  --simd-engine E     fast = occupancy-indexed engine (default),\n"
-      "                      reference = the scalar oracle; results and\n"
-      "                      stats are bit-identical either way\n"
+      "                      reference = the scalar oracle, codegen = the\n"
+      "                      translation-cached specialized engine; results\n"
+      "                      and stats are bit-identical in every case\n"
       "  --trace-simd F      implies --run; write SIMD execution stats JSON\n"
       "                      (engine, cycle counters, utilization, router\n"
       "                      ops, per-meta-state visits) to F; '-' = stdout\n"
@@ -372,11 +376,21 @@ int main(int argc, char** argv) {
       std::printf("match : %s\n", oracle == simd ? "yes" : "NO");
       std::printf("engine=%s meta states=%zu cycles=%lld utilization=%.1f%% "
                   "global-ors=%lld\n",
-                  config.engine == mimd::SimdEngine::Fast ? "fast" : "reference",
+                  simd::engine_name(config.engine),
                   conv.automaton.num_states(),
                   static_cast<long long>(stats.control_cycles),
                   100.0 * stats.utilization(),
                   static_cast<long long>(stats.global_ors));
+      if (config.engine == mimd::SimdEngine::Codegen) {
+        const codegen::TranslationCacheStats tc =
+            codegen::translation_cache_stats();
+        std::printf("trans-cache: hits=%llu misses=%llu evictions=%llu "
+                    "entries=%llu\n",
+                    static_cast<unsigned long long>(tc.hits),
+                    static_cast<unsigned long long>(tc.misses),
+                    static_cast<unsigned long long>(tc.evictions),
+                    static_cast<unsigned long long>(tc.entries));
+      }
     }
     if (chrome)
       driver::write_json_file(chrome->to_json(), "chrome trace",
