@@ -75,6 +75,13 @@ void write_pass_timings(const telemetry::PipelineTrace& trace,
 void write_simd_trace(const simd::SimdMachine& machine,
                       const std::string& path);
 
+/// Collect observations from a SIMD machine the caller ran (manual step()
+/// loops, the co-scheduler): per-PE results/ran plus final globals, in
+/// the same form run_simd() returns.
+Observed observe_simd(const simd::SimdMachine& machine,
+                      const Compiled& compiled,
+                      const mimd::RunConfig& config);
+
 /// Run the MIMD oracle and collect observations.
 Observed run_oracle(const Compiled& compiled, const mimd::RunConfig& config,
                     std::uint64_t seed, mimd::MimdStats* stats_out = nullptr);

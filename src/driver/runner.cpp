@@ -118,6 +118,15 @@ std::int64_t seed_input(std::uint64_t seed, std::int64_t pe) {
   return static_cast<std::int64_t>(rng.next_below(97));
 }
 
+Observed observe_simd(const simd::SimdMachine& machine,
+                      const Compiled& compiled,
+                      const mimd::RunConfig& config) {
+  std::vector<bool> ran(static_cast<std::size_t>(config.nprocs));
+  for (std::int64_t p = 0; p < config.nprocs; ++p)
+    ran[static_cast<std::size_t>(p)] = machine.ever_ran(p);
+  return observe(machine, compiled, config, ran);
+}
+
 Observed run_oracle(const Compiled& compiled, const mimd::RunConfig& config,
                     std::uint64_t seed, mimd::MimdStats* stats_out) {
   ir::CostModel cost;

@@ -248,6 +248,100 @@ bool reproduces(const std::string& source, const EvalConfig& cfg,
   return !ev.skipped && ev.finding && ev.finding->kind == kind;
 }
 
+std::vector<workload::GenProgram> kernel_seed_corpus() {
+  using workload::GenStmt;
+  const auto stmt = [](GenStmt::Kind kind, int var, std::string op,
+                       std::string expr) {
+    GenStmt s;
+    s.kind = kind;
+    s.var = var;
+    s.op = std::move(op);
+    s.expr = std::move(expr);
+    return s;
+  };
+  const auto assign = [&](int var, std::string expr) {
+    return stmt(GenStmt::Kind::Assign, var, "", std::move(expr));
+  };
+  const auto add = [&](int var, std::string expr) {
+    return stmt(GenStmt::Kind::Compound, var, "+=", std::move(expr));
+  };
+  const auto wait = [&] { return stmt(GenStmt::Kind::Wait, 0, "", ""); };
+  const auto iff = [&](std::string cond, std::vector<GenStmt> then_body,
+                       std::vector<GenStmt> else_body = {}) {
+    GenStmt s;
+    s.kind = GenStmt::Kind::If;
+    s.expr = std::move(cond);
+    s.body = std::move(then_body);
+    s.else_body = std::move(else_body);
+    return s;
+  };
+  const auto loop = [&](int trips, std::vector<GenStmt> body) {
+    GenStmt s;
+    s.kind = GenStmt::Kind::Loop;
+    s.trips = trips;
+    // Counter renders as ((expr) % trips) + 1: a constant trips-1 seed
+    // yields exactly `trips` uniform iterations on every PE, so barriers
+    // inside the body stay aligned (kernel phase loops are uniform).
+    s.expr = cat(trips - 1);
+    s.body = std::move(body);
+    return s;
+  };
+  const auto shell = [](bool spawn) {
+    workload::GenProgram p;
+    p.opts.stmts = 6;
+    p.opts.num_vars = 4;
+    p.opts.allow_float = false;
+    p.opts.allow_mono = false;
+    p.opts.allow_spawn = spawn;
+    p.ret_expr = "v0";
+    return p;
+  };
+
+  std::vector<workload::GenProgram> out;
+
+  // reduce: barrier-phased halving tree — alternating roles per level.
+  workload::GenProgram reduce = shell(false);
+  reduce.body = {loop(3, {iff("(procid() % 2) == 0", {add(0, "v1")},
+                             {assign(1, "v0")}),
+                          wait()})};
+  out.push_back(std::move(reduce));
+
+  // scan: Hillis-Steele double-barrier read/accumulate phases.
+  workload::GenProgram scan = shell(false);
+  scan.body = {loop(4, {assign(1, "v0 + procid()"), wait(),
+                        add(0, "v1 / 2"), wait()})};
+  out.push_back(std::move(scan));
+
+  // oddeven: phase-parity compare-exchange with a phase counter.
+  workload::GenProgram oddeven = shell(false);
+  oddeven.body = {loop(4, {iff("(procid() + v3) % 2 == 0",
+                               {assign(2, "v0 % 13")}, {assign(2, "v1 % 7")}),
+                           wait(), add(3, "1"), wait()})};
+  out.push_back(std::move(oddeven));
+
+  // stencil: Jacobi-style relax into a scratch cell, publish, barrier.
+  workload::GenProgram stencil = shell(false);
+  stencil.body = {loop(4, {assign(3, "(v0 + 2 * v1 + v2) / 4"), wait(),
+                           assign(1, "v3"), wait()})};
+  out.push_back(std::move(stencil));
+
+  // bfs: rounds of guarded frontier relaxation toward a fixpoint.
+  workload::GenProgram bfs = shell(false);
+  bfs.body = {loop(5, {iff("v0 > v1 + 1", {assign(0, "v1 + 1")}), wait()})};
+  out.push_back(std::move(bfs));
+
+  // workqueue: sparse parents spawn weighted children, then a join.
+  workload::GenProgram workqueue = shell(true);
+  GenStmt spawn;
+  spawn.kind = GenStmt::Kind::Spawn;
+  spawn.body = {add(0, "procid() * 17 % 23 + 1")};
+  workqueue.body = {iff("procid() % 4 == 0", {std::move(spawn)}), wait(),
+                    assign(1, "v0")};
+  out.push_back(std::move(workqueue));
+
+  return out;
+}
+
 FuzzResult run_fuzzer(const FuzzOptions& opts) {
   FuzzResult res;
   const std::vector<RunSpec> matrix =
@@ -257,6 +351,9 @@ FuzzResult run_fuzzer(const FuzzOptions& opts) {
   ScopedCoverage installed(&coverage);
   Rng rng(opts.seed ^ 0x9e3779b97f4a7c15ull);
   std::vector<workload::GenProgram> corpus;
+  if (opts.seed_kernels)
+    for (workload::GenProgram& k : kernel_seed_corpus())
+      corpus.push_back(std::move(k));
 
   const auto start = std::chrono::steady_clock::now();
   auto out_of_time = [&] {

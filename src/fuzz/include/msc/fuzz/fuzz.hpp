@@ -145,6 +145,10 @@ struct FuzzOptions {
   std::int64_t max_iterations = -1;  ///< <0 = until the time budget ends
   int max_findings = 4;              ///< stop after this many findings
   bool shrink = true;
+  /// Pre-seed the mutation corpus with kernel_seed_corpus() so mutations
+  /// start from real barrier/reduction/spawn control shapes instead of
+  /// only random trees.
+  bool seed_kernels = true;
   EvalConfig eval;
   workload::GenOptions gen;
   std::vector<RunSpec> matrix;  ///< empty = default_matrix()
@@ -165,6 +169,14 @@ struct FuzzResult {
 /// corpus on novel coverage; findings are shrunk and written as
 /// repro_<n>.mimdc + repro_<n>.json pairs under out_dir.
 FuzzResult run_fuzzer(const FuzzOptions& opts);
+
+/// Kernel-shaped mutation seeds (DESIGN.md §12): one GenProgram skeleton
+/// per verified kernel (reduce, scan, oddeven, stencil, bfs, workqueue)
+/// mirroring its control shape — barrier-phased loops, divergent
+/// compare-exchange, frontier relaxation, spawn fan-out. Router-free by
+/// construction so every skeleton keeps the generator's race-freedom and
+/// termination invariants under mutate_program.
+std::vector<workload::GenProgram> kernel_seed_corpus();
 
 // --------------------------------------------------------------- shrink
 

@@ -1,0 +1,246 @@
+#include "msc/simd/coschedule.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "msc/support/rng.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::simd {
+
+namespace {
+
+/// d = post - pre, field by field. SimdStats counters are all monotone
+/// within one machine, so every delta is non-negative.
+SimdStats stats_delta(const SimdStats& post, const SimdStats& pre) {
+  SimdStats d;
+  d.control_cycles = post.control_cycles - pre.control_cycles;
+  d.busy_pe_cycles = post.busy_pe_cycles - pre.busy_pe_cycles;
+  d.offered_pe_cycles = post.offered_pe_cycles - pre.offered_pe_cycles;
+  d.meta_transitions = post.meta_transitions - pre.meta_transitions;
+  d.global_ors = post.global_ors - pre.global_ors;
+  d.guard_switches = post.guard_switches - pre.guard_switches;
+  d.spawns = post.spawns - pre.spawns;
+  d.rescue_transitions = post.rescue_transitions - pre.rescue_transitions;
+  d.router_ops = post.router_ops - pre.router_ops;
+  return d;
+}
+
+void stats_accumulate(SimdStats& acc, const SimdStats& d) {
+  acc.control_cycles += d.control_cycles;
+  acc.busy_pe_cycles += d.busy_pe_cycles;
+  acc.offered_pe_cycles += d.offered_pe_cycles;
+  acc.meta_transitions += d.meta_transitions;
+  acc.global_ors += d.global_ors;
+  acc.guard_switches += d.guard_switches;
+  acc.spawns += d.spawns;
+  acc.rescue_transitions += d.rescue_transitions;
+  acc.router_ops += d.router_ops;
+}
+
+std::string stats_json(const SimdStats& s, const char* indent) {
+  return cat(
+      "{\n", indent, "  \"control_cycles\": ", s.control_cycles,
+      ",\n", indent, "  \"busy_pe_cycles\": ", s.busy_pe_cycles,
+      ",\n", indent, "  \"offered_pe_cycles\": ", s.offered_pe_cycles,
+      ",\n", indent, "  \"meta_transitions\": ", s.meta_transitions,
+      ",\n", indent, "  \"global_ors\": ", s.global_ors,
+      ",\n", indent, "  \"guard_switches\": ", s.guard_switches,
+      ",\n", indent, "  \"spawns\": ", s.spawns,
+      ",\n", indent, "  \"rescue_transitions\": ", s.rescue_transitions,
+      ",\n", indent, "  \"router_ops\": ", s.router_ops,
+      "\n", indent, "}");
+}
+
+}  // namespace
+
+CoPolicy parse_copolicy(const std::string& name) {
+  if (name == "sequential") return CoPolicy::Sequential;
+  if (name == "rr" || name == "round-robin") return CoPolicy::RoundRobin;
+  if (name == "greedy" || name == "greedy-occupancy")
+    return CoPolicy::GreedyOccupancy;
+  throw std::invalid_argument(
+      cat("unknown co-schedule policy '", name,
+          "' (want sequential, rr, or greedy)"));
+}
+
+const char* copolicy_name(CoPolicy policy) {
+  switch (policy) {
+    case CoPolicy::Sequential: return "sequential";
+    case CoPolicy::RoundRobin: return "rr";
+    case CoPolicy::GreedyOccupancy: return "greedy";
+  }
+  return "?";
+}
+
+void CoScheduler::add_program(std::string name,
+                              std::unique_ptr<SimdMachine> machine) {
+  if (!machine) throw std::invalid_argument("co-schedule: null machine");
+  programs_.push_back(Entry{std::move(name), std::move(machine)});
+}
+
+CoResult CoScheduler::run(const CoOptions& options) {
+  if (programs_.empty())
+    throw std::logic_error("co-schedule: no programs registered");
+  if (ran_) throw std::logic_error("co-schedule: scheduler already ran");
+  if (options.quantum < 1)
+    throw std::invalid_argument("co-schedule: quantum must be >= 1");
+
+  const std::size_t n = programs_.size();
+
+  // Deterministic program order: the caller's explicit permutation, else
+  // Fisher-Yates under the caller's seed. Validated before the scheduler
+  // is consumed so a rejected option set leaves it runnable.
+  std::vector<std::size_t> order;
+  if (!options.order.empty()) {
+    if (options.order.size() != n)
+      throw std::invalid_argument("co-schedule: order is not a permutation");
+    std::vector<bool> seen(n, false);
+    for (const std::size_t i : options.order) {
+      if (i >= n || seen[i])
+        throw std::invalid_argument("co-schedule: order is not a permutation");
+      seen[i] = true;
+    }
+    order = options.order;
+  } else {
+    order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    Rng rng(options.seed);
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  ran_ = true;
+
+  CoResult result;
+  result.policy = options.policy;
+  result.seed = options.seed;
+  result.quantum = options.quantum;
+  result.programs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.programs[i].name = programs_[i].name;
+    result.programs[i].pes = programs_[i].machine->nprocs();
+    result.machine_pes += result.programs[i].pes;
+  }
+
+  std::vector<bool> finished(n, false);
+  std::size_t remaining = n;
+  std::size_t rr_cursor = 0;  // index into `order`
+
+  // Pick the next program (index into programs_) per policy; only called
+  // while at least one program is unfinished.
+  const auto choose = [&]() -> std::size_t {
+    switch (options.policy) {
+      case CoPolicy::Sequential:
+        for (const std::size_t i : order)
+          if (!finished[i]) return i;
+        break;
+      case CoPolicy::RoundRobin:
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t i = order[(rr_cursor + k) % n];
+          if (!finished[i]) {
+            rr_cursor = (rr_cursor + k + 1) % n;
+            return i;
+          }
+        }
+        break;
+      case CoPolicy::GreedyOccupancy: {
+        std::size_t best = n;
+        std::int64_t best_alive = -1;
+        for (const std::size_t i : order)
+          if (!finished[i] && programs_[i].machine->alive_count() > best_alive) {
+            best = i;
+            best_alive = programs_[i].machine->alive_count();
+          }
+        if (best < n) return best;
+        break;
+      }
+    }
+    throw std::logic_error("co-schedule: no runnable program");
+  };
+
+  while (remaining > 0) {
+    const std::size_t i = choose();
+    SimdMachine& m = *programs_[i].machine;
+    CoProgramResult& pr = result.programs[i];
+    for (std::int64_t q = 0; q < options.quantum; ++q) {
+      const SimdStats pre = m.stats();
+      const std::int64_t pre_alive = m.alive_count();
+      const bool more = m.step();
+      const SimdStats d = stats_delta(m.stats(), pre);
+      // One shared control unit: the machine clock advances by exactly
+      // this step's control cost, every resident PE either works (the
+      // runner) or waits (everyone else).
+      result.elapsed_control_cycles += d.control_cycles;
+      stats_accumulate(result.machine, d);
+      pr.held_pe_cycles += d.control_cycles * pre_alive;
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i && !finished[j])
+          result.programs[j].idle_pe_cycles +=
+              d.control_cycles * programs_[j].machine->alive_count();
+      // The exiting step still executes its final meta state before
+      // step() returns false, so count executed steps by the transition
+      // delta, not the return value.
+      pr.steps += d.meta_transitions;
+      if (!more) {
+        finished[i] = true;
+        --remaining;
+        pr.completion_cycle = result.elapsed_control_cycles;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    SimdMachine& m = *programs_[i].machine;
+    m.publish_metrics();
+    CoProgramResult& pr = result.programs[i];
+    pr.stats = m.stats();
+    pr.visits = m.state_visits();
+    pr.profile = m.profile();
+    pr.run_json = to_json(m);
+    result.held_pe_cycles += pr.held_pe_cycles;
+    result.idle_pe_cycles += pr.idle_pe_cycles;
+  }
+  return result;
+}
+
+std::string to_json(const CoResult& r) {
+  char util[32];
+  std::snprintf(util, sizeof util, "%.6f", r.machine_utilization());
+  std::string json = cat(
+      "{\n"
+      "  \"coschedule\": true,\n"
+      "  \"policy\": \"", copolicy_name(r.policy), "\",\n"
+      "  \"seed\": ", r.seed, ",\n"
+      "  \"quantum\": ", r.quantum, ",\n"
+      "  \"machine_pes\": ", r.machine_pes, ",\n"
+      "  \"elapsed_control_cycles\": ", r.elapsed_control_cycles, ",\n"
+      "  \"held_pe_cycles\": ", r.held_pe_cycles, ",\n"
+      "  \"idle_pe_cycles\": ", r.idle_pe_cycles, ",\n"
+      "  \"machine_utilization\": ", util, ",\n"
+      "  \"machine\": ", stats_json(r.machine, "  "), ",\n"
+      "  \"programs\": [\n");
+  for (std::size_t i = 0; i < r.programs.size(); ++i) {
+    const CoProgramResult& p = r.programs[i];
+    // Embed the standalone run document verbatim (indentation aside): a
+    // co-scheduled program section is exactly what mscprof already knows
+    // how to read.
+    std::string run = p.run_json;
+    while (!run.empty() && (run.back() == '\n' || run.back() == ' '))
+      run.pop_back();
+    json += cat("    {\"name\": \"", json_escape(p.name),
+                "\", \"pes\": ", p.pes,
+                ", \"steps\": ", p.steps,
+                ", \"completion_cycle\": ", p.completion_cycle,
+                ",\n     \"held_pe_cycles\": ", p.held_pe_cycles,
+                ", \"idle_pe_cycles\": ", p.idle_pe_cycles,
+                ",\n     \"run\": ", run, "}",
+                i + 1 < r.programs.size() ? "," : "", "\n");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+}  // namespace msc::simd

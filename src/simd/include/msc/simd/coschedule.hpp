@@ -1,0 +1,134 @@
+#ifndef MSC_SIMD_COSCHEDULE_HPP
+#define MSC_SIMD_COSCHEDULE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msc/simd/machine.hpp"
+
+namespace msc::simd {
+
+/// MASIM-style co-scheduling (PAPERS.md): several independently converted
+/// meta-state automata time-share one simulated SIMD machine. Exactly one
+/// automaton's control unit owns the array per scheduling turn — the
+/// others' PEs stay resident but idle. The scheduler therefore charges,
+/// per executed step of control cost c, `c × alive(P)` *held* PE-cycles
+/// to the running program P and `c × alive(Q)` *idle* PE-cycles to every
+/// other unfinished program Q. Machine-level utilization is
+/// busy / (held + idle): programs that shed PEs early (halt) make their
+/// tails cheap to preempt, which is where co-scheduling beats the best
+/// sequential order (EXPERIMENTS.md T-COSCHED).
+enum class CoPolicy : std::uint8_t {
+  /// Run each program to completion in (shuffled) order — the baseline
+  /// co-scheduling must beat.
+  Sequential,
+  /// Cycle through unfinished programs, one quantum each.
+  RoundRobin,
+  /// Always run the unfinished program with the most alive PEs (ties →
+  /// earlier in the shuffled order): the waiting set is kept as small as
+  /// possible, so idle PE-cycles accrue at the lowest available rate.
+  GreedyOccupancy,
+};
+
+/// Parse "sequential" / "rr" / "greedy" (mscc --cosched-policy). Throws
+/// std::invalid_argument on anything else.
+CoPolicy parse_copolicy(const std::string& name);
+const char* copolicy_name(CoPolicy policy);
+
+struct CoOptions {
+  CoPolicy policy = CoPolicy::RoundRobin;
+  /// Deterministically shuffles the program order before scheduling; the
+  /// whole run is a pure function of (programs, policy, seed, quantum).
+  std::uint64_t seed = 1;
+  /// Meta-state steps a program executes per scheduling turn.
+  std::int64_t quantum = 1;
+  /// Explicit program order (a permutation of [0, size)); overrides the
+  /// seeded shuffle when non-empty. Lets callers enumerate every
+  /// Sequential order exactly (bench_kernels' best-sequential baseline).
+  std::vector<std::size_t> order;
+};
+
+/// Per-program outcome and attribution. `stats`/`visits`/`profile` are
+/// the program's own execution exactly as a standalone run would produce
+/// them; summed over programs they reproduce CoResult::machine bit-exactly
+/// (coschedule_test pins this).
+struct CoProgramResult {
+  std::string name;
+  std::int64_t pes = 0;    ///< partition width (the sub-machine's nprocs)
+  std::int64_t steps = 0;  ///< executed meta-state steps
+  /// Machine clock (control cycles) when this program exited.
+  std::int64_t completion_cycle = 0;
+  /// Σ own-step control cost × own alive PEs at step entry.
+  std::int64_t held_pe_cycles = 0;
+  /// Σ other programs' step cost × own alive PEs while waiting.
+  std::int64_t idle_pe_cycles = 0;
+  SimdStats stats;
+  std::vector<std::int64_t> visits;
+  std::vector<StateProfile> profile;  ///< empty unless profiling enabled
+  /// simd::to_json of the finished sub-machine (spliced into the
+  /// co-scheduled profile document for mscprof).
+  std::string run_json;
+
+  double utilization() const { return stats.utilization(); }
+};
+
+struct CoResult {
+  CoPolicy policy = CoPolicy::RoundRobin;
+  std::uint64_t seed = 0;
+  std::int64_t quantum = 1;
+  std::int64_t machine_pes = 0;  ///< Σ partition widths
+  /// Machine clock at the end: Σ all programs' control cycles (one shared
+  /// control unit — turns never overlap).
+  std::int64_t elapsed_control_cycles = 0;
+  /// Field-wise Σ of per-step stats deltas across all programs.
+  SimdStats machine;
+  std::int64_t held_pe_cycles = 0;
+  std::int64_t idle_pe_cycles = 0;
+  std::vector<CoProgramResult> programs;
+
+  /// Array-level utilization: work done over PE-cycles the array was
+  /// occupied for (running + waiting resident programs).
+  double machine_utilization() const {
+    const std::int64_t denom = held_pe_cycles + idle_pe_cycles;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(machine.busy_pe_cycles) /
+                            static_cast<double>(denom);
+  }
+};
+
+/// Owns the sub-machines and multiplexes them. Typical use:
+///   CoScheduler cs;
+///   cs.add_program("reduce@65", make_machine(prog, cost, config));
+///   ...seed/enable_profiling via cs.machine(i)...
+///   CoResult r = cs.run(opts);
+class CoScheduler {
+ public:
+  /// Register a freshly constructed (never stepped) machine. The name is
+  /// a display label; duplicates are allowed.
+  void add_program(std::string name, std::unique_ptr<SimdMachine> machine);
+  std::size_t size() const { return programs_.size(); }
+  SimdMachine& machine(std::size_t i) { return *programs_[i].machine; }
+
+  /// Run every program to completion under `options`. May be called once
+  /// per scheduler. Throws std::logic_error when empty or re-run.
+  CoResult run(const CoOptions& options);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<SimdMachine> machine;
+  };
+  std::vector<Entry> programs_;
+  bool ran_ = false;
+};
+
+/// Render the co-scheduled profile document (mscc --coschedule with
+/// --profile-simd/--trace-simd; schema in DESIGN.md §12): machine-level
+/// totals plus one embedded simd::to_json per program under "programs".
+std::string to_json(const CoResult& result);
+
+}  // namespace msc::simd
+
+#endif  // MSC_SIMD_COSCHEDULE_HPP

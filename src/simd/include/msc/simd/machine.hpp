@@ -160,6 +160,9 @@ class SimdMachine : public ir::MemoryBus {
   bool step();
   core::MetaId current_state() const { return cur_; }
   virtual std::int64_t alive_count() const;
+  /// Machine width (RunConfig::nprocs) — partition bookkeeping for the
+  /// co-scheduler and reporting tools.
+  std::int64_t nprocs() const { return config_.nprocs; }
 
   /// "fast", "reference", or "codegen" (--trace-simd, bench labels).
   virtual const char* engine_name() const = 0;

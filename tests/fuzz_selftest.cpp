@@ -96,6 +96,29 @@ TEST(FuzzSelftest, CleanPipelineProducesNoFindings) {
   EXPECT_GT(res.corpus_size, 0u);
 }
 
+// The kernel-shaped mutation seeds (DESIGN.md §12): one skeleton per
+// verified kernel, every one well-formed, spawn-bearing where the kernel
+// spawns, and differentially clean across the whole default matrix — a
+// bad seed would poison every fuzzing run from iteration one.
+TEST(FuzzSelftest, KernelSeedCorpusEvaluatesCleanAcrossTheMatrix) {
+  std::vector<workload::GenProgram> seeds = kernel_seed_corpus();
+  ASSERT_EQ(seeds.size(), 6u);
+  bool any_spawn = false;
+  EvalConfig cfg;  // defaults: nprocs=6, all active, seed 1
+  for (const workload::GenProgram& p : seeds) {
+    const std::string source = p.render();
+    EXPECT_GT(p.block_bound(), 0);
+    any_spawn = any_spawn || p.uses_spawn();
+    EvalResult ev = evaluate(source, cfg, default_matrix());
+    EXPECT_FALSE(ev.skipped) << source;
+    if (ev.finding)
+      ADD_FAILURE() << to_string(ev.finding->kind) << " in seed\n"
+                    << source << "\n"
+                    << ev.finding->detail;
+  }
+  EXPECT_TRUE(any_spawn) << "workqueue skeleton lost its spawn";
+}
+
 TEST(FuzzSelftest, ShrinkerReachesMinimalFormOnTextPredicates) {
   const std::string source =
       "poly int x;\n"

@@ -107,6 +107,38 @@ TEST(Mscprof, GoldenDiffReport) {
   EXPECT_EQ(r.output, golden);
 }
 
+TEST(Mscprof, GoldenCoscheduleReport) {
+  // A co-scheduled profile document renders a machine-level header plus
+  // one full per-program section per automaton (DESIGN.md §12). The
+  // schedule lives on the simulated-cycle timeline, so the report is
+  // byte-stable.
+  const std::string file = "mscprof_cosched.json";
+  CliResult gen = run_cmd(std::string(MSCC_BINARY) +
+                          " --coschedule reduce@16,scan@16"
+                          " --cosched-policy greedy --seed 1"
+                          " --profile-simd " +
+                          MSCC_TMPDIR + "/" + file);
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  CliResult r = run_mscprof(file);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string golden =
+      slurp(std::string(MSC_GOLDEN_DIR) + "/mscprof_cosched.txt");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden; regenerate with:\n"
+         "  mscc --coschedule reduce@16,scan@16 --cosched-policy greedy"
+         " --seed 1 --profile-simd mscprof_cosched.json\n"
+         "  mscprof mscprof_cosched.json";
+  EXPECT_EQ(r.output, golden)
+      << "mscprof co-schedule output drifted; regenerate if intentional";
+
+  // --diff refuses co-scheduled inputs with a pointed message.
+  CliResult diff = run_mscprof(file + " --diff " + file);
+  EXPECT_EQ(diff.exit_code, 1);
+  EXPECT_NE(diff.output.find("does not support co-scheduled"),
+            std::string::npos)
+      << diff.output;
+}
+
 TEST(Mscprof, ChromeTraceAggregationMatchesProfileTotals) {
   // One mscc invocation writes both views of the same run; aggregating
   // the pid-2 meta-state events must reproduce the profile's totals

@@ -4,6 +4,9 @@
 // structural or cost-model change must miss, and the LRU bound must hold.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "msc/codegen/translate.hpp"
 #include "msc/driver/pipeline.hpp"
 #include "msc/simd/machine.hpp"
@@ -116,6 +119,42 @@ TEST(TranslationCache, LruEvictsBeyondCapacity) {
   last.jump += 17;
   codegen::translate(prog, last);
   EXPECT_EQ(codegen::translation_cache_stats().hits, 1u);
+}
+
+// The cache is process-global and machines are built from arbitrary
+// threads (the fuzzer's differential matrix, co-scheduling harnesses):
+// N threads racing to translate the same program must produce exactly one
+// translation — 1 miss, N−1 hits, every thread holding the same shared
+// TransProgram. Run under MSC_SANITIZE this also proves the lock
+// discipline is ASan/TSan-clean.
+TEST(TranslationCache, ConcurrentTranslationIsSingleMiss) {
+  codegen::translation_cache_clear();
+  const auto prog = program_for(workload::kernel("listing1").source, kCost);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::shared_ptr<const codegen::TransProgram>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }  // spin so all threads hit the cache as close together as possible
+      got[static_cast<std::size_t>(t)] = codegen::translate(prog, kCost);
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true);
+  for (std::thread& th : threads) th.join();
+
+  const auto stats = codegen::translation_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.entries, 1u);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(got[0].get(), got[t].get());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 //   3  compile error in the MIMDC input
 //   4  meta-state explosion (conversion exceeded --max-meta-states)
 //   5  machine fault while executing (--run)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +36,8 @@
 #include "msc/driver/runner.hpp"
 #include "msc/ir/exec.hpp"
 #include "msc/pass/pass.hpp"
+#include "msc/kernels/verified.hpp"
+#include "msc/simd/coschedule.hpp"
 #include "msc/simd/machine.hpp"
 #include "msc/support/metrics.hpp"
 #include "msc/support/str.hpp"
@@ -57,7 +60,7 @@ enum ExitCode {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mscc [options] (file.mimdc | --kernel <name>)\n"
+      "usage: mscc [options] (file.mimdc | --kernel <name> | --coschedule L)\n"
       "\n"
       "conversion stages (shorthands for pipeline edits):\n"
       "  --compress          §2.5 meta-state compression\n"
@@ -106,6 +109,25 @@ int usage() {
       "  --nprocs N          PEs (default 8)\n"
       "  --active N          initially active PEs (default all)\n"
       "  --seed S            per-PE input seed (default 1)\n"
+      "\n"
+      "kernels and co-scheduling (DESIGN.md §12):\n"
+      "  --kernel K          use a built-in workload kernel, or a verified\n"
+      "                      kernel 'name[@n]' (reduce, scan, oddeven,\n"
+      "                      stencil, bfs, workqueue; default n = 8) — the\n"
+      "                      latter preset --nprocs/--active to the kernel's\n"
+      "                      geometry and, with --run, check the results\n"
+      "                      against the host-side ground truth\n"
+      "  --coschedule L      MASIM-style time-multiplexing: convert each\n"
+      "                      verified kernel in the comma list L (e.g.\n"
+      "                      'reduce@65,workqueue@64') and co-schedule the\n"
+      "                      automata on one simulated machine; prints per-\n"
+      "                      program attribution + machine utilization and\n"
+      "                      checks every program against ground truth\n"
+      "  --cosched-policy P  sequential | rr | greedy (default rr)\n"
+      "  --cosched-quantum N meta-state steps per scheduling turn (default 1)\n"
+      "                      (--seed also shuffles the program order;\n"
+      "                      --profile-simd writes the co-scheduled profile\n"
+      "                      JSON with per-program sections for mscprof)\n"
       "\n"
       "observability (DESIGN.md §10; read the outputs with mscprof):\n"
       "  --profile-simd F    implies --run; write per-meta-state utilization\n"
@@ -172,6 +194,101 @@ int print_pipeline(const driver::PipelineOptions& popts) {
   return kOk;
 }
 
+/// --coschedule: convert each verified kernel in `specs`, load all the
+/// automata onto one simulated machine and time-multiplex them. Prints
+/// per-program attribution plus machine-level utilization, checks every
+/// program against its host-side ground truth, and (with --profile-simd /
+/// --trace-simd) writes the co-scheduled profile document.
+int run_coschedule(const std::vector<std::string>& specs,
+                   driver::PipelineOptions popts, const mimd::RunConfig& base,
+                   std::uint64_t seed, const simd::CoOptions& co,
+                   const std::string& profile_path,
+                   const std::string& trace_path, std::string& input_name,
+                   std::string& source) {
+  ir::CostModel cost;
+  if (popts.pipeline.empty()) popts.pipeline = driver::resolve_pipeline(popts);
+  if (std::find(popts.pipeline.begin(), popts.pipeline.end(), "codegen") ==
+      popts.pipeline.end())
+    popts.pipeline.push_back("codegen");
+
+  // Converted holds the SimdProgram the machines reference; keep each at a
+  // stable address for the machines' lifetime.
+  std::vector<std::unique_ptr<driver::Converted>> converted;
+  std::vector<kernels::VerifiedCase> cases;
+  std::vector<mimd::RunConfig> configs;
+  simd::CoScheduler cs;
+  const bool profiling = !profile_path.empty();
+  for (const std::string& spec : specs) {
+    kernels::VerifiedParams params;
+    params.input_seed = seed;
+    kernels::VerifiedCase c = kernels::parse_case(spec, params);
+    input_name = cat("<kernel:", spec, ">");
+    source = c.source;
+    auto conv = std::make_unique<driver::Converted>(
+        driver::convert(c.source, cost, popts));
+    mimd::RunConfig config = base;
+    config.nprocs = c.config.nprocs;
+    config.initial_active = c.config.initial_active;
+    config.reuse_halted_pes = c.config.reuse_halted_pes;
+    auto machine = simd::make_machine(*conv->prog, cost, config);
+    driver::seed_machine(*machine, conv->compiled, config, seed);
+    if (profiling) machine->enable_profiling();
+    cs.add_program(spec, std::move(machine));
+    converted.push_back(std::move(conv));
+    cases.push_back(std::move(c));
+    configs.push_back(config);
+  }
+
+  const simd::CoResult r = cs.run(co);
+
+  std::printf("co-schedule: policy=%s seed=%llu quantum=%lld engine=%s "
+              "programs=%zu machine-pes=%lld\n\n",
+              simd::copolicy_name(r.policy),
+              static_cast<unsigned long long>(r.seed),
+              static_cast<long long>(r.quantum),
+              simd::engine_name(base.engine), r.programs.size(),
+              static_cast<long long>(r.machine_pes));
+  std::printf("%-18s %5s %7s %10s %10s %6s %10s %10s  %s\n", "program", "pes",
+              "steps", "cycles", "busy", "util%", "done@", "idle-pe",
+              "ground-truth");
+  int rc = kOk;
+  for (std::size_t i = 0; i < r.programs.size(); ++i) {
+    const simd::CoProgramResult& p = r.programs[i];
+    const driver::Observed obs = driver::observe_simd(
+        cs.machine(i), converted[i]->compiled, configs[i]);
+    const std::string verdict = kernels::check(cases[i], obs);
+    if (!verdict.empty()) {
+      rc = kInternal;
+      std::fprintf(stderr, "mscc: ground-truth mismatch: %s\n",
+                   verdict.c_str());
+    }
+    std::printf("%-18s %5lld %7lld %10lld %10lld %6.1f %10lld %10lld  %s\n",
+                p.name.c_str(), static_cast<long long>(p.pes),
+                static_cast<long long>(p.steps),
+                static_cast<long long>(p.stats.control_cycles),
+                static_cast<long long>(p.stats.busy_pe_cycles),
+                100.0 * p.utilization(),
+                static_cast<long long>(p.completion_cycle),
+                static_cast<long long>(p.idle_pe_cycles),
+                verdict.empty() ? "ok" : "FAIL");
+  }
+  std::printf("\nmachine: elapsed=%lld busy=%lld held=%lld idle=%lld "
+              "utilization=%.1f%%\n",
+              static_cast<long long>(r.elapsed_control_cycles),
+              static_cast<long long>(r.machine.busy_pe_cycles),
+              static_cast<long long>(r.held_pe_cycles),
+              static_cast<long long>(r.idle_pe_cycles),
+              100.0 * r.machine_utilization());
+
+  if (!profile_path.empty())
+    driver::write_json_file(simd::to_json(r), "co-scheduled profile",
+                            profile_path);
+  if (!trace_path.empty())
+    driver::write_json_file(simd::to_json(r), "co-scheduled trace",
+                            trace_path);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +306,11 @@ int main(int argc, char** argv) {
   std::string trace_chrome_path;
   std::string metrics_path;
   std::uint64_t seed = 1;
+  std::vector<std::string> cosched_specs;
+  simd::CoOptions co;
+  std::optional<std::string> verified_spec;
+  bool user_nprocs = false;
+  bool user_active = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -245,16 +367,39 @@ int main(int argc, char** argv) {
     else if (arg == "--profile-simd") { run = true; profile_simd_path = next(); }
     else if (arg == "--trace-chrome") trace_chrome_path = next();
     else if (arg == "--metrics") metrics_path = next();
-    else if (arg == "--nprocs") config.nprocs = std::atoll(next().c_str());
-    else if (arg == "--active")
+    else if (arg == "--nprocs") {
+      config.nprocs = std::atoll(next().c_str());
+      user_nprocs = true;
+    }
+    else if (arg == "--active") {
       config.initial_active = std::atoll(next().c_str());
+      user_active = true;
+    }
     else if (arg == "--seed")
       seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (arg == "--kernel") {
       const std::string name = next();
-      source = workload::kernel(name).source;
+      if (kernels::is_verified(name.substr(0, name.find('@')))) {
+        verified_spec = name;  // source + geometry resolved after parsing
+      } else {
+        source = workload::kernel(name).source;
+      }
       input_name = cat("<kernel:", name, ">");
     }
+    else if (arg == "--coschedule") {
+      for (const std::string& spec : split(next(), ','))
+        if (!spec.empty()) cosched_specs.push_back(spec);
+    }
+    else if (arg == "--cosched-policy") {
+      try {
+        co.policy = simd::parse_copolicy(next());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "mscc: %s\n", e.what());
+        return usage();
+      }
+    }
+    else if (arg == "--cosched-quantum")
+      co.quantum = std::atoll(next().c_str());
     else if (arg == "--help" || arg == "-h") return usage();
     else if (!arg.empty() && arg[0] == '-') return usage();
     else {
@@ -278,7 +423,28 @@ int main(int argc, char** argv) {
       return kUsage;
     }
   }
-  if (source.empty()) return usage();
+  if (source.empty() && !verified_spec && cosched_specs.empty())
+    return usage();
+
+  // Verified kernels resolve after parsing so --seed/--nprocs are known;
+  // they preset the machine geometry unless the flags override it.
+  std::optional<kernels::VerifiedCase> vcase;
+  if (verified_spec && cosched_specs.empty()) {
+    try {
+      kernels::VerifiedParams params;
+      params.input_seed = seed;
+      if (user_nprocs) params.nprocs = config.nprocs;
+      kernels::VerifiedCase c = kernels::parse_case(*verified_spec, params);
+      source = c.source;
+      if (!user_nprocs) config.nprocs = c.config.nprocs;
+      if (!user_active) config.initial_active = c.config.initial_active;
+      config.reuse_halted_pes = c.config.reuse_halted_pes;
+      vcase = std::move(c);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mscc: %s\n", e.what());
+      return usage();
+    }
+  }
 
   const bool need_codegen = emit == "mpl" || run;
   if (need_codegen) {
@@ -297,6 +463,12 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!cosched_specs.empty()) {
+      co.seed = seed;
+      return run_coschedule(cosched_specs, popts, config, seed, co,
+                            profile_simd_path, trace_simd_path, input_name,
+                            source);
+    }
     ir::CostModel cost;
     driver::Converted converted = driver::convert(source, cost, popts);
     driver::Compiled& compiled = converted.compiled;
@@ -374,6 +546,15 @@ int main(int argc, char** argv) {
       std::printf("\noracle: %s\n", oracle.to_string().c_str());
       std::printf("simd  : %s\n", simd.to_string().c_str());
       std::printf("match : %s\n", oracle == simd ? "yes" : "NO");
+      if (vcase && !user_active) {
+        const std::string verdict = kernels::check(*vcase, simd);
+        std::printf("ground-truth: %s\n", verdict.empty() ? "ok" : "FAIL");
+        if (!verdict.empty()) {
+          std::fprintf(stderr, "mscc: ground-truth mismatch: %s\n",
+                       verdict.c_str());
+          return kInternal;
+        }
+      }
       std::printf("engine=%s meta states=%zu cycles=%lld utilization=%.1f%% "
                   "global-ors=%lld\n",
                   simd::engine_name(config.engine),

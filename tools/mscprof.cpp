@@ -43,6 +43,8 @@ int usage() {
       "  - mscc --trace-simd output (run stats; summary only)\n"
       "  - mscc --trace-chrome output (Chrome trace events; meta-state\n"
       "    events are aggregated into a profile, pass spans tabulated)\n"
+      "  - mscc --coschedule profile output (machine-level header plus\n"
+      "    one per-program section per co-scheduled automaton)\n"
       "\n"
       "options:\n"
       "  --top N      rows in the per-meta-state table (default 10, 0 = all)\n"
@@ -193,19 +195,25 @@ Run load_chrome(const json::Value& doc, const std::string& path) {
   return run;
 }
 
-Run load(const std::string& path) {
+json::Value read_doc(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error(cat("cannot open '", path, "'"));
   std::ostringstream ss;
   ss << in.rdbuf();
-  const json::Value doc = json::parse(ss.str());
+  return json::parse(ss.str());
+}
+
+Run load_doc(const json::Value& doc, const std::string& path) {
   if (doc.find("traceEvents")) return load_chrome(doc, path);
   if (doc.find("engine")) return load_profile(doc, path);
   throw std::runtime_error(
       cat("'", path,
           "': not a recognized mscc output (expected a --profile-simd/"
-          "--trace-simd stats object or a --trace-chrome event file)"));
+          "--trace-simd stats object, a --coschedule profile, or a "
+          "--trace-chrome event file)"));
 }
+
+Run load(const std::string& path) { return load_doc(read_doc(path), path); }
 
 /// States ranked hottest-first (control-cycle share, then visits, then id
 /// for a total, deterministic order).
@@ -368,6 +376,50 @@ void print_diff(const Run& before, const Run& after, std::size_t top) {
                 d.state, d.d_visits, d.d_cycles, 100.0 * d.d_util);
 }
 
+/// mscc --coschedule documents (DESIGN.md §12): a machine-level header —
+/// policy, clock, held/idle PE-cycle split, array utilization — followed
+/// by one full per-program section per entry. Each program's "run"
+/// sub-object is exactly the single-run schema, so the standard summary/
+/// table/curve renderers apply unchanged.
+void print_coschedule(const json::Value& doc, const std::string& path,
+                      std::size_t top) {
+  std::printf("== co-scheduled run: %s ==\n", path.c_str());
+  if (const json::Value* p = doc.find("policy"))
+    std::printf("  policy            %s\n", p->as_string().c_str());
+  std::printf("  seed              %" PRId64 "\n", get_int(doc, "seed"));
+  std::printf("  quantum           %" PRId64 "\n", get_int(doc, "quantum"));
+  const json::Value& programs = doc.at("programs");
+  std::printf("  programs          %zu\n", programs.elems.size());
+  std::printf("  machine PEs       %" PRId64 "\n", get_int(doc, "machine_pes"));
+  std::printf("  elapsed cycles    %" PRId64 "\n",
+              get_int(doc, "elapsed_control_cycles"));
+  const std::int64_t held = get_int(doc, "held_pe_cycles");
+  const std::int64_t idle = get_int(doc, "idle_pe_cycles");
+  const std::int64_t busy = get_int(doc.at("machine"), "busy_pe_cycles");
+  std::printf("  held/idle PE-cyc  %" PRId64 " / %" PRId64 "\n", held, idle);
+  std::printf("  array utilization %.1f%%  (busy %" PRId64 " / resident %"
+              PRId64 ")\n",
+              held + idle == 0 ? 100.0
+                               : 100.0 * static_cast<double>(busy) /
+                                     static_cast<double>(held + idle),
+              busy, held + idle);
+
+  for (const json::Value& p : programs.elems) {
+    const std::string name =
+        p.find("name") ? p.at("name").as_string() : "?";
+    std::printf("\n-- program %s: %" PRId64 " PEs, %" PRId64
+                " steps, done @%" PRId64 " (held %" PRId64 ", idle %" PRId64
+                " PE-cycles) --\n",
+                name.c_str(), get_int(p, "pes"), get_int(p, "steps"),
+                get_int(p, "completion_cycle"), get_int(p, "held_pe_cycles"),
+                get_int(p, "idle_pe_cycles"));
+    const Run run = load_profile(p.at("run"), cat(path, "#", name));
+    print_summary(run);
+    print_table(run, top);
+    print_curve(run);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -400,7 +452,16 @@ int main(int argc, char** argv) {
   if (inputs.size() != 1) return usage();
 
   try {
-    const Run run = load(inputs[0]);
+    const json::Value doc = read_doc(inputs[0]);
+    if (doc.find("coschedule")) {
+      if (!diff_path.empty())
+        throw std::runtime_error(
+            "--diff does not support co-scheduled profiles; diff the "
+            "per-program sections individually");
+      print_coschedule(doc, inputs[0], top);
+      return kOk;
+    }
+    const Run run = load_doc(doc, inputs[0]);
     if (!diff_path.empty()) {
       print_diff(run, load(diff_path), top);
       return kOk;
