@@ -1,0 +1,63 @@
+#ifndef MSC_FUZZ_SERVICE_FUZZ_HPP
+#define MSC_FUZZ_SERVICE_FUZZ_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msc::fuzz {
+
+/// Wire-format fuzzing for the mscd protocol engine (mscfuzz --target
+/// service). Mutated request frames are thrown at a live in-process
+/// service::Service — no sockets, so a finding is a pure function of the
+/// frame sequence — and every response is checked against the protocol
+/// contract:
+///
+///   1. handle_line() returns exactly one line (no embedded newline) and
+///      never throws;
+///   2. the line parses as a JSON object with "schema": 1 and a boolean
+///      "ok";
+///   3. an "ok": false response carries a typed error kind from the
+///      published taxonomy;
+///   4. a frame over the configured limit is answered "frame-too-large".
+///
+/// Findings shrink to a minimal replayable request log (one frame per
+/// line, the service_*.reqlog format under tests/corpus/).
+struct ServiceFuzzOptions {
+  std::uint64_t seed = 1;
+  double time_budget_seconds = 10.0;
+  std::int64_t max_iterations = 0;  ///< 0 = bounded by the time budget
+  int max_findings = 4;
+  /// Frames per candidate: protocol state (cache, quotas, shutdown) only
+  /// shows up across sequences, not single requests.
+  int frames_per_candidate = 4;
+  /// Small frame limit so the FrameTooLarge path is actually reachable.
+  std::size_t max_frame_bytes = 8192;
+  bool shrink = true;
+  /// When non-empty, write finding_<n>.reqlog files here.
+  std::string out_dir;
+};
+
+struct ServiceFinding {
+  std::string detail;                ///< violated contract clause
+  std::vector<std::string> frames;   ///< shrunk replayable request log
+};
+
+struct ServiceFuzzResult {
+  std::int64_t iterations = 0;
+  std::size_t corpus_size = 0;       ///< coverage-novel frames retained
+  std::size_t total_features = 0;
+  std::vector<ServiceFinding> findings;
+};
+
+ServiceFuzzResult fuzz_service(const ServiceFuzzOptions& options);
+
+/// Replay a request log (one frame per line) against a fresh in-process
+/// service and re-check the protocol contract. Returns true when every
+/// frame passes; on failure `detail` names the violation.
+bool replay_request_log(const std::vector<std::string>& frames,
+                        std::size_t max_frame_bytes, std::string* detail);
+
+}  // namespace msc::fuzz
+
+#endif  // MSC_FUZZ_SERVICE_FUZZ_HPP

@@ -1,0 +1,63 @@
+#include "msc/service/admission.hpp"
+
+#include <algorithm>
+
+#include "msc/support/str.hpp"
+
+namespace msc::service {
+
+AdmissionControl::AdmissionControl(const QuotaOptions& quota)
+    : quota_(quota) {}
+
+AdmissionControl::Decision AdmissionControl::try_admit(
+    const std::string& tenant, std::int64_t blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  if (quota_.explosion_quota > 0 && t.explosions >= quota_.explosion_quota) {
+    ++t.rejected;
+    return {false, cat("tenant '", tenant, "' exhausted its explosion quota (",
+                       t.explosions, "/", quota_.explosion_quota, ")")};
+  }
+  if (quota_.block_budget > 0 && blocks > 0 &&
+      t.inflight_blocks + blocks > quota_.block_budget) {
+    ++t.rejected;
+    return {false,
+            cat("tenant '", tenant, "' block budget exceeded: ", blocks,
+                " requested, ", quota_.block_budget - t.inflight_blocks,
+                " of ", quota_.block_budget, " available")};
+  }
+  t.inflight_blocks += blocks;
+  ++t.admitted;
+  return {};
+}
+
+void AdmissionControl::release(const std::string& tenant,
+                               std::int64_t blocks) {
+  if (blocks <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  it->second.inflight_blocks =
+      std::max<std::int64_t>(0, it->second.inflight_blocks - blocks);
+}
+
+void AdmissionControl::record_explosion(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tenants_[tenant].explosions;
+}
+
+std::vector<TenantStats> AdmissionControl::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_)
+    out.push_back({name, t.inflight_blocks, t.explosions, t.admitted,
+                   t.rejected});
+  std::sort(out.begin(), out.end(),
+            [](const TenantStats& a, const TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+}  // namespace msc::service

@@ -1,0 +1,120 @@
+// Process-wide conversion cache. The concurrency discipline generalizes
+// translate_cache_test's race: one mutex guards the map, compute runs
+// outside it, and racers block on a per-slot ready flag — so N identical
+// concurrent compiles cost exactly one conversion, and the loser threads
+// report as hits that waited.
+#include "msc/service/cache.hpp"
+
+#include <algorithm>
+
+#include "msc/support/str.hpp"
+
+namespace msc::service {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string conversion_cache_key(const std::string& source,
+                                 const std::vector<std::string>& pipeline,
+                                 bool adaptive, bool prune,
+                                 std::size_t max_meta_states) {
+  return cat(fnv1a64(source), "|", join(pipeline, ","), "|",
+             adaptive ? "a" : "-", prune ? "p" : "-", "|", max_meta_states);
+}
+
+ConversionCache::ConversionCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedConversion> ConversionCache::get_or_compute(
+    const std::string& key,
+    const std::function<std::shared_ptr<const CachedConversion>()>& compute) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      slot = it->second;
+      if (!slot->ready) {
+        ++stats_.inflight_waits;
+        cv_.wait(lock, [&] { return slot->ready; });
+      }
+      ++stats_.hits;
+      // The slot may have been evicted (or cleared) while we waited; it
+      // still holds the value, so touch the LRU only if the key is live.
+      auto pos = std::find(lru_.begin(), lru_.end(), key);
+      if (pos != lru_.end()) lru_.splice(lru_.begin(), lru_, pos);
+      if (slot->error) std::rethrow_exception(slot->error);
+      return slot->value;
+    }
+    slot = std::make_shared<Slot>();
+    map_.emplace(key, slot);
+    ++stats_.misses;
+  }
+
+  // Compute outside the lock; other threads asking for the same key park
+  // on the condition variable above.
+  std::exception_ptr error;
+  std::shared_ptr<const CachedConversion> value;
+  try {
+    value = compute();
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->value = value;
+    slot->error = error;
+    slot->ready = true;
+    // A slot that ended in an error is published to its waiters but not
+    // retained: transient failures must not poison the key forever.
+    // (Compile and explosion errors are deterministic, but cheap.)
+    if (error) {
+      map_.erase(key);
+    } else {
+      lru_.push_front(key);
+      evict_locked();
+    }
+    stats_.entries = static_cast<std::int64_t>(lru_.size());
+  }
+  cv_.notify_all();
+
+  if (error) std::rethrow_exception(error);
+  return value;
+}
+
+void ConversionCache::evict_locked() {
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ConversionCache::Stats ConversionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = static_cast<std::int64_t>(lru_.size());
+  return s;
+}
+
+void ConversionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // In-flight slots survive in their requesters' shared_ptrs; dropping
+  // the map reference is safe because publication only touches the slot.
+  map_.clear();
+  lru_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace msc::service

@@ -1,0 +1,111 @@
+#include "msc/service/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "msc/support/str.hpp"
+
+namespace msc::service {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& o) noexcept : fd_(o.fd_), buffer_(std::move(o.buffer_)) {
+  o.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    buffer_ = std::move(o.buffer_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socket_path, int timeout_ms) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error(cat("client: socket path '", socket_path,
+                                 "' too long"));
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // Retry while the daemon binds: ENOENT/ECONNREFUSED until listen().
+  for (int waited = 0;; waited += 10) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw std::runtime_error(cat("client: socket(): ", std::strerror(errno)));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return;
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    if (waited >= timeout_ms)
+      throw std::runtime_error(cat("client: connect('", socket_path,
+                                   "'): ", std::strerror(err)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+void Client::send_line(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0)
+      throw std::runtime_error(cat("client: send(): ", std::strerror(errno)));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::recv_line(std::string& line, int timeout_ms) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (timeout_ms >= 0) {
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, timeout_ms);
+      if (rc <= 0) return false;  // timeout or poll error
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // EOF
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line, int timeout_ms) {
+  send_line(line);
+  std::string response;
+  if (!recv_line(response, timeout_ms))
+    throw std::runtime_error("client: daemon closed without responding");
+  return response;
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace msc::service

@@ -1,0 +1,243 @@
+// Socket front half of mscd. POSIX-only (AF_UNIX), like the rest of the
+// toolchain's process plumbing (cli_test's popen); no external deps.
+#include "msc/service/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "msc/support/str.hpp"
+
+namespace msc::service {
+
+namespace {
+
+void close_quietly(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+Daemon::Daemon(const DaemonOptions& options)
+    : options_(options), service_(options.service) {
+  if (options_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.workers = hw == 0 ? 4 : hw;
+  }
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (options_.socket_path.empty())
+    throw std::runtime_error("daemon: no socket path configured");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error(
+        cat("daemon: socket path '", options_.socket_path, "' exceeds ",
+            sizeof(addr.sun_path) - 1, " bytes"));
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(cat("daemon: socket(): ", std::strerror(errno)));
+  // A stale socket file from a crashed daemon would fail bind(); remove
+  // it — connect() on a dead socket errors, so this cannot hijack a
+  // running daemon's clients.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw std::runtime_error(
+        cat("daemon: bind('", options_.socket_path, "'): ", err));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw std::runtime_error(cat("daemon: listen(): ", err));
+  }
+  if (::pipe(wake_pipe_) < 0) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error(cat("daemon: pipe(): ", std::strerror(errno)));
+  }
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Daemon::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // request_stop() wrote the pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { read_loop(conn); });
+  }
+}
+
+void Daemon::read_loop(const std::shared_ptr<Conn>& conn) {
+  const std::size_t max_frame = options_.service.limits.max_frame_bytes;
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // disconnect (mid-frame bytes are discarded)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string frame = buffer.substr(start, nl - start);
+      if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+      start = nl + 1;
+      enqueue({conn, std::move(frame)});
+    }
+    buffer.erase(0, start);
+
+    // A partial frame past the limit can never become a valid request;
+    // answer tersely and drop the connection rather than buffer forever.
+    if (buffer.size() > max_frame) {
+      send_line(*conn,
+                error_response("", std::nullopt, ErrorKind::FrameTooLarge,
+                               cat("request frame exceeds the ", max_frame,
+                                   "-byte limit")));
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+void Daemon::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void Daemon::worker_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty(); });
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (!task.conn) return;  // poison pill
+    const std::string response = service_.handle_line(task.frame);
+    send_line(*task.conn, response);
+    if (service_.shutdown_requested()) {
+      // Wake wait() so the stop sequence starts; workers keep draining
+      // the queue until their poison pill arrives.
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      stop_requested_ = true;
+      stop_cv_.notify_all();
+    }
+  }
+}
+
+bool Daemon::send_line(Conn& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(conn.fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;  // client went away; response is dropped
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Daemon::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait(lock, [this] { return stop_requested_; });
+  }
+  stop();
+}
+
+void Daemon::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  // Signal-safe enough for the CLI handlers: write(2) on the self-pipe.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Daemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  // 1. Stop accepting: wake the poll and join the acceptor.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  close_quietly(listen_fd_);
+
+  // 2. Wake every blocked reader and join; readers may still enqueue the
+  // frames they had already buffered.
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  // SHUT_RD only: the write side stays open so workers can still answer
+  // the frames these connections already delivered.
+  for (auto& conn : conns)
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  for (auto& conn : conns)
+    if (conn->reader.joinable()) conn->reader.join();
+
+  // 3. Poison pills go behind any queued requests (FIFO): in-flight work
+  // is answered, then the workers exit.
+  for (std::size_t i = 0; i < workers_.size(); ++i) enqueue({nullptr, ""});
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+
+  for (auto& conn : conns) close_quietly(conn->fd);
+  close_quietly(wake_pipe_[0]);
+  close_quietly(wake_pipe_[1]);
+  if (!options_.socket_path.empty())
+    ::unlink(options_.socket_path.c_str());
+}
+
+}  // namespace msc::service

@@ -1,0 +1,77 @@
+#ifndef MSC_SERVICE_ADMISSION_HPP
+#define MSC_SERVICE_ADMISSION_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace msc::service {
+
+/// Per-tenant admission limits (DESIGN.md §13). Zero = unlimited.
+struct QuotaOptions {
+  /// Ceiling on the sum of max_blocks across a tenant's in-flight run
+  /// requests: admission charges a request's declared block budget up
+  /// front and releases it on completion, so one tenant cannot occupy
+  /// every worker with billion-block runs.
+  std::int64_t block_budget = 64'000'000;
+  /// After this many ExplosionErrors a tenant's compile/run requests are
+  /// rejected at admission — a client fuzzing for state explosion stops
+  /// burning workers after `explosion_quota` strikes.
+  std::int64_t explosion_quota = 16;
+};
+
+/// Snapshot of one tenant's accounting, for the stats op.
+struct TenantStats {
+  std::string tenant;
+  std::int64_t inflight_blocks = 0;
+  std::int64_t explosions = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+};
+
+/// Admission controller: one mutex, one map keyed by tenant id. Decisions
+/// are deterministic in (tenant history, request) — contention changes
+/// which request is charged first, never whether a lone request within
+/// budget is admitted.
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(const QuotaOptions& quota = {});
+
+  /// Outcome of try_admit. `ok` admitted; otherwise `reason` explains the
+  /// quota that fired (wire "quota-exceeded" message body).
+  struct Decision {
+    bool ok = true;
+    std::string reason;
+  };
+
+  /// Admit a request charging `blocks` against the tenant's budget (pass
+  /// 0 for compile/stats requests — the explosion quota still applies).
+  /// On success the caller MUST pair with release(tenant, blocks).
+  Decision try_admit(const std::string& tenant, std::int64_t blocks);
+  void release(const std::string& tenant, std::int64_t blocks);
+
+  /// Record an ExplosionError attributed to `tenant` (cache hits count:
+  /// replaying a known-exploding program is the abuse being metered).
+  void record_explosion(const std::string& tenant);
+
+  std::vector<TenantStats> stats() const;
+  const QuotaOptions& quota() const { return quota_; }
+
+ private:
+  struct Tenant {
+    std::int64_t inflight_blocks = 0;
+    std::int64_t explosions = 0;
+    std::int64_t admitted = 0;
+    std::int64_t rejected = 0;
+  };
+
+  QuotaOptions quota_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Tenant> tenants_;
+};
+
+}  // namespace msc::service
+
+#endif  // MSC_SERVICE_ADMISSION_HPP

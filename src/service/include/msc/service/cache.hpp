@@ -1,0 +1,90 @@
+#ifndef MSC_SERVICE_CACHE_HPP
+#define MSC_SERVICE_CACHE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "msc/driver/pipeline.hpp"
+
+namespace msc::service {
+
+/// One finished front-half: the compiled program, its conversion, and the
+/// SimdProgram the codegen pass produced. Immutable once published —
+/// concurrent run requests build their own machines over the shared
+/// program, exactly like the co-scheduler does.
+struct CachedConversion {
+  driver::Converted converted;
+  /// The resolved conversion-stage pass list that produced it (response
+  /// metadata; also part of the cache key).
+  std::vector<std::string> pipeline;
+};
+
+/// Canonical cache key: FNV-1a of the program text plus the resolved
+/// pipeline and the conversion options that are not passes. Two requests
+/// spelling the same compile differently (explicit pipeline vs option
+/// booleans) canonicalize to the same key.
+std::string conversion_cache_key(const std::string& source,
+                                 const std::vector<std::string>& pipeline,
+                                 bool adaptive, bool prune,
+                                 std::size_t max_meta_states);
+
+/// Process-wide conversion cache shared by every daemon worker, keyed by
+/// program hash + pipeline + options. Concurrent identical compiles are
+/// single-miss (the translate-cache race idiom, generalized): the first
+/// requester inserts an in-flight slot and computes outside the lock;
+/// every racer blocks on the slot's condition until the value (or the
+/// deterministic error — CompileError/ExplosionError are pure functions
+/// of the key) is published, then shares it. Ready entries are LRU-bounded.
+class ConversionCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    /// Requests that blocked on another worker's in-flight compile
+    /// (counted as hits too once the value arrives).
+    std::int64_t inflight_waits = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;
+  };
+
+  explicit ConversionCache(std::size_t capacity = 64);
+
+  /// Look up `key`; on miss, run `compute` exactly once (across all
+  /// threads) and publish the result. Throws whatever `compute` threw —
+  /// to the computing thread and every waiter alike.
+  std::shared_ptr<const CachedConversion> get_or_compute(
+      const std::string& key,
+      const std::function<std::shared_ptr<const CachedConversion>()>& compute);
+
+  Stats stats() const;
+  /// Drop every entry and zero the counters (tests).
+  void clear();
+
+ private:
+  struct Slot {
+    bool ready = false;
+    std::shared_ptr<const CachedConversion> value;
+    std::exception_ptr error;
+  };
+
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t capacity_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> map_;
+  /// Ready keys, most recently used first (in-flight slots are not
+  /// evictable and live only in map_).
+  std::list<std::string> lru_;
+  Stats stats_;
+};
+
+}  // namespace msc::service
+
+#endif  // MSC_SERVICE_CACHE_HPP

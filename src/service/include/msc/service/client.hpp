@@ -1,0 +1,49 @@
+#ifndef MSC_SERVICE_CLIENT_HPP
+#define MSC_SERVICE_CLIENT_HPP
+
+#include <string>
+
+namespace msc::service {
+
+/// Minimal blocking client for the mscd wire protocol: connect to a
+/// Unix-domain socket, send newline-delimited frames, read newline-
+/// delimited responses. Used by mscli, the tests, and the load bench; not
+/// thread-safe (one Client per thread).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+
+  /// Connect, with a bounded retry loop so callers racing a daemon that
+  /// is still binding (tests, mscli right after spawning mscd) converge.
+  /// Throws std::runtime_error when the socket stays unreachable.
+  void connect(const std::string& socket_path, int timeout_ms = 2000);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one frame; the newline is appended. Throws on a broken pipe.
+  void send_line(const std::string& line);
+  /// Read one response line (newline stripped). Returns false on EOF /
+  /// timeout (`timeout_ms` < 0 = block forever).
+  bool recv_line(std::string& line, int timeout_ms = -1);
+  /// send_line + recv_line; throws std::runtime_error when the daemon
+  /// hangs up without responding.
+  std::string request(const std::string& line, int timeout_ms = -1);
+
+  /// Half-close the write side, leaving the read side open — used by the
+  /// disconnect tests to model a client that stops mid-request.
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace msc::service
+
+#endif  // MSC_SERVICE_CLIENT_HPP

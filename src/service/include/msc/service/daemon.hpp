@@ -1,0 +1,108 @@
+#ifndef MSC_SERVICE_DAEMON_HPP
+#define MSC_SERVICE_DAEMON_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msc/service/service.hpp"
+
+namespace msc::service {
+
+struct DaemonOptions {
+  std::string socket_path;
+  /// Worker threads executing requests. 0 = one per hardware thread.
+  std::size_t workers = 4;
+  ServiceOptions service;
+};
+
+/// The socket front half of mscd: acceptor → per-connection readers →
+/// worker pool, all funneling into one Service (DESIGN.md §13).
+///
+///  - The acceptor thread polls the listening socket plus a self-pipe;
+///    request_stop() writes the pipe, so shutdown never waits on accept().
+///  - One reader thread per connection splits the byte stream into
+///    newline-delimited frames and enqueues {connection, frame} tasks. A
+///    frame exceeding max_frame_bytes gets a terse frame-too-large error
+///    and the connection is dropped (the reader cannot resynchronize).
+///  - Workers pop tasks FIFO, call Service::handle_line(), and write the
+///    response under the connection's write mutex — concurrent responses
+///    to one pipelined client interleave by whole lines, never by bytes.
+///
+/// Shutdown (stop(), or a shutdown request observed by wait()) is clean:
+/// the listener closes first, readers are woken with SHUT_RDWR and
+/// joined, then one poison task per worker is enqueued BEHIND any queued
+/// requests — every request read before shutdown still gets its response
+/// before the daemon exits (service_concurrency_test pins this).
+class Daemon {
+ public:
+  explicit Daemon(const DaemonOptions& options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind the socket and start the acceptor + worker threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Block until the daemon stops: either request_stop() was called or a
+  /// client's shutdown request was accepted. Performs the stop sequence
+  /// itself, so when wait() returns every thread is joined and the socket
+  /// file is unlinked.
+  void wait();
+
+  /// Signal-safe stop trigger (SIGINT/SIGTERM handlers; the shutdown op).
+  void request_stop();
+
+  Service& service() { return service_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+  };
+
+  struct Task {
+    std::shared_ptr<Conn> conn;  ///< null = poison pill
+    std::string frame;
+  };
+
+  void accept_loop();
+  void read_loop(const std::shared_ptr<Conn>& conn);
+  void worker_loop();
+  void enqueue(Task task);
+  void stop();
+  bool send_line(Conn& conn, const std::string& line);
+
+  DaemonOptions options_;
+  Service service_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace msc::service
+
+#endif  // MSC_SERVICE_DAEMON_HPP

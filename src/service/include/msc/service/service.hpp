@@ -1,0 +1,85 @@
+#ifndef MSC_SERVICE_SERVICE_HPP
+#define MSC_SERVICE_SERVICE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "msc/service/admission.hpp"
+#include "msc/service/cache.hpp"
+#include "msc/service/protocol.hpp"
+
+namespace msc::service {
+
+/// Per-connection input limits, enforced twice: the daemon's reader drops
+/// a connection whose frame exceeds max_frame_bytes (after sending a
+/// terse frame-too-large error), and handle_line() re-checks so in-process
+/// callers (fuzzer, bench) get the same behavior without a socket.
+struct ServiceLimits {
+  std::size_t max_frame_bytes = 1 << 20;
+  int max_json_depth = 64;
+};
+
+struct ServiceOptions {
+  ServiceLimits limits;
+  QuotaOptions quota;
+  std::size_t cache_capacity = 64;
+};
+
+/// The protocol engine: one frame in, one response line out. Owns the
+/// process-wide conversion cache and the admission controller; holds no
+/// per-connection state, so any number of daemon workers (or in-process
+/// test/fuzz/bench threads) may call handle_line() concurrently.
+///
+/// handle_line() never throws and always returns exactly one line —
+/// every failure mode (hostile bytes, compile errors, state explosion,
+/// quota) renders as a typed error response. Responses are deterministic
+/// per request: the "automaton" / "simd" / "observed" / "cosched" payload
+/// members are byte-identical to what the standalone driver produces for
+/// the same inputs (service_test pins this against the mscc binary), and
+/// only the "cache" member reflects cross-request state.
+class Service {
+ public:
+  explicit Service(const ServiceOptions& options = {});
+
+  /// Handle one request frame (newline not included) and render the
+  /// response line (newline not included).
+  std::string handle_line(const std::string& line);
+
+  /// True once a shutdown request has been accepted; the daemon's wait()
+  /// observes this and stops the serving loop. Subsequent requests get
+  /// "shutting-down" errors.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  ConversionCache& cache() { return cache_; }
+  AdmissionControl& admission() { return admission_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  std::string dispatch(const Request& request);
+  std::string do_compile(const Request& request);
+  std::string do_run(const Request& request);
+  std::string do_coschedule(const Request& request);
+  std::string do_stats(const Request& request);
+
+  /// Fetch (or compute, single-miss) the conversion for a compile-like
+  /// request. Sets `*hit` to whether this request found the entry ready
+  /// or in flight. Throws CompileError / ExplosionError / PipelineError.
+  std::shared_ptr<const CachedConversion> convert_cached(
+      const Request& request, const std::string& source, bool* hit);
+
+  ServiceOptions options_;
+  ConversionCache cache_;
+  AdmissionControl admission_;
+  std::atomic<bool> shutdown_{false};
+
+  // Served-request counters, by outcome (stats op).
+  std::atomic<std::int64_t> requests_ok_{0};
+  std::atomic<std::int64_t> requests_error_{0};
+};
+
+}  // namespace msc::service
+
+#endif  // MSC_SERVICE_SERVICE_HPP

@@ -1,0 +1,312 @@
+// The mscd protocol engine (DESIGN.md §13). One frame in, one line out,
+// no per-connection state: parse → admit → execute → render, with every
+// toolchain exception folded into the typed error taxonomy. The payload
+// documents are the exact strings the standalone toolchain emits —
+// automaton.dump() (--emit meta), core::to_json (--trace-convert),
+// simd::to_json (--trace-simd / --profile-simd, and the co-scheduled
+// document) — so mscprof renders daemon responses unchanged and
+// service_test can diff them against mscc byte for byte.
+#include "msc/service/service.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "msc/core/convert.hpp"
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/ir/exec.hpp"
+#include "msc/kernels/verified.hpp"
+#include "msc/pass/pass.hpp"
+#include "msc/simd/coschedule.hpp"
+#include "msc/simd/machine.hpp"
+#include "msc/support/diag.hpp"
+#include "msc/support/metrics.hpp"
+#include "msc/support/str.hpp"
+
+namespace msc::service {
+
+namespace {
+
+/// RAII pairing for AdmissionControl::try_admit's block charge.
+struct BlockCharge {
+  AdmissionControl& admission;
+  std::string tenant;
+  std::int64_t blocks;
+  ~BlockCharge() { admission.release(tenant, blocks); }
+};
+
+driver::PipelineOptions pipeline_options(const Request& request) {
+  driver::PipelineOptions popts;
+  popts.convert.compress = request.compress;
+  popts.convert.time_split = request.time_split;
+  popts.convert.subsume = request.subsume;
+  popts.convert.max_meta_states = request.max_meta_states;
+  popts.adaptive = request.adaptive;
+  popts.pipeline = request.pipeline;
+  if (request.prune)
+    popts.convert.barrier_mode = core::BarrierMode::PaperPrune;
+  return popts;
+}
+
+mimd::RunConfig run_config(const Request& request) {
+  mimd::RunConfig config;
+  config.nprocs = request.nprocs;
+  config.initial_active = request.initial_active;
+  config.reuse_halted_pes = request.reuse_halted_pes;
+  config.engine = request.engine;
+  config.max_blocks = request.max_blocks;
+  return config;
+}
+
+std::string quoted(const std::string& s) {
+  return cat("\"", json_escape(s), "\"");
+}
+
+std::string string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += quoted(items[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& options)
+    : options_(options), cache_(options.cache_capacity),
+      admission_(options.quota) {}
+
+std::string Service::handle_line(const std::string& line) {
+  if (line.size() > options_.limits.max_frame_bytes) {
+    ++requests_error_;
+    return error_response(
+        "", std::nullopt, ErrorKind::FrameTooLarge,
+        cat("request frame of ", line.size(), " bytes exceeds the ",
+            options_.limits.max_frame_bytes, "-byte limit"));
+  }
+
+  Request request;
+  try {
+    json::ParseLimits limits;
+    limits.max_bytes = options_.limits.max_frame_bytes;
+    limits.max_depth = options_.limits.max_json_depth;
+    request = parse_request(line, limits);
+  } catch (const ProtocolError& e) {
+    ++requests_error_;
+    return error_response("", std::nullopt, e.kind(), e.what());
+  } catch (const json::ParseError& e) {
+    ++requests_error_;
+    return error_response("", std::nullopt, ErrorKind::ParseError, e.what());
+  }
+
+  if (shutdown_requested() && request.op != Op::Stats) {
+    ++requests_error_;
+    return error_response(request.id_json, request.op,
+                          ErrorKind::ShuttingDown,
+                          "daemon is shutting down");
+  }
+
+  std::string response = dispatch(request);
+  return response;
+}
+
+std::string Service::dispatch(const Request& request) {
+  // Admission: run requests charge their declared block budget; every
+  // compile-like and coschedule request is screened against the tenant's
+  // explosion quota. Stats and shutdown are never rejected — operators
+  // must be able to observe and stop an overloaded daemon.
+  std::int64_t charged = 0;
+  if (request.op == Op::Run) charged = request.max_blocks;
+  if (request.op == Op::Compile || request.op == Op::Run ||
+      request.op == Op::Coschedule) {
+    AdmissionControl::Decision d = admission_.try_admit(request.tenant,
+                                                        charged);
+    if (!d.ok) {
+      ++requests_error_;
+      return error_response(request.id_json, request.op, ErrorKind::Quota,
+                            d.reason);
+    }
+  }
+  BlockCharge charge{admission_, request.tenant, charged};
+
+  try {
+    std::string payload;
+    switch (request.op) {
+      case Op::Compile: payload = do_compile(request); break;
+      case Op::Run: payload = do_run(request); break;
+      case Op::Coschedule: payload = do_coschedule(request); break;
+      case Op::Stats: payload = do_stats(request); break;
+      case Op::Shutdown:
+        shutdown_.store(true, std::memory_order_release);
+        payload = "\"stopping\": true";
+        break;
+    }
+    ++requests_ok_;
+    return ok_response(request, payload);
+  } catch (const CompileError& e) {
+    ++requests_error_;
+    return error_response(request.id_json, request.op, ErrorKind::Compile,
+                          e.what());
+  } catch (const core::ExplosionError& e) {
+    // Strikes count whether the conversion ran here or the error was
+    // replayed from the cache: the quota meters tenant behavior, not CPU.
+    admission_.record_explosion(request.tenant);
+    ++requests_error_;
+    return error_response(request.id_json, request.op, ErrorKind::Explosion,
+                          e.what());
+  } catch (const ir::MachineFault& e) {
+    ++requests_error_;
+    return error_response(request.id_json, request.op, ErrorKind::Fault,
+                          e.what());
+  } catch (const pass::PipelineError& e) {
+    ++requests_error_;
+    return error_response(request.id_json, request.op, ErrorKind::Pipeline,
+                          e.what());
+  } catch (const std::exception& e) {
+    ++requests_error_;
+    return error_response(request.id_json, request.op, ErrorKind::Internal,
+                          e.what());
+  }
+}
+
+std::shared_ptr<const CachedConversion> Service::convert_cached(
+    const Request& request, const std::string& source, bool* hit) {
+  driver::PipelineOptions popts = pipeline_options(request);
+  // Canonicalize exactly as mscc does for --run: resolve the pass list,
+  // then append codegen so run requests can share the compile's entry.
+  if (popts.pipeline.empty()) popts.pipeline = driver::resolve_pipeline(popts);
+  if (std::find(popts.pipeline.begin(), popts.pipeline.end(), "codegen") ==
+      popts.pipeline.end())
+    popts.pipeline.push_back("codegen");
+
+  const std::string key = conversion_cache_key(
+      source, popts.pipeline, request.adaptive, request.prune,
+      request.max_meta_states);
+  bool miss = false;
+  auto cached = cache_.get_or_compute(key, [&] {
+    miss = true;
+    ir::CostModel cost;
+    auto value = std::make_shared<CachedConversion>();
+    value->converted = driver::convert(source, cost, popts);
+    value->pipeline = popts.pipeline;
+    return std::shared_ptr<const CachedConversion>(std::move(value));
+  });
+  if (hit) *hit = !miss;
+  return cached;
+}
+
+std::string Service::do_compile(const Request& request) {
+  bool hit = false;
+  auto cached = convert_cached(request, request.source, &hit);
+  const core::ConvertResult& conv = cached->converted.conversion;
+  return cat("\"pipeline\": ", string_array(cached->pipeline),
+             ", \"cache\": ", quoted(hit ? "hit" : "miss"),
+             ", \"meta_states\": ", conv.automaton.num_states(),
+             ", \"automaton\": ", quoted(conv.automaton.dump()),
+             ", \"stats\": ", quoted(core::to_json(conv.stats)));
+}
+
+std::string Service::do_run(const Request& request) {
+  bool hit = false;
+  auto cached = convert_cached(request, request.source, &hit);
+  const driver::Converted& converted = cached->converted;
+
+  const mimd::RunConfig config = run_config(request);
+  ir::CostModel cost;
+  // The cached SimdProgram is immutable; each run builds its own machine
+  // over it, so concurrent runs of one program never share mutable state.
+  auto machine = simd::make_machine(*converted.prog, cost, config);
+  driver::seed_machine(*machine, converted.compiled, config, request.seed);
+  if (request.profile) machine->enable_profiling();
+  machine->run();
+
+  const driver::Observed observed =
+      driver::observe_simd(*machine, converted.compiled, config);
+  return cat("\"pipeline\": ", string_array(cached->pipeline),
+             ", \"cache\": ", quoted(hit ? "hit" : "miss"),
+             ", \"engine\": ", quoted(simd::engine_name(config.engine)),
+             ", \"observed\": ", quoted(observed.to_string()),
+             ", \"simd\": ", quoted(simd::to_json(*machine)));
+}
+
+std::string Service::do_coschedule(const Request& request) {
+  // Mirrors mscc's run_coschedule: each kernel's conversion goes through
+  // the shared cache (identical kernel mixes across tenants compile
+  // once), then fresh machines time-share one simulated array.
+  std::vector<std::shared_ptr<const CachedConversion>> converted;
+  std::vector<kernels::VerifiedCase> cases;
+  std::vector<mimd::RunConfig> configs;
+  simd::CoScheduler cs;
+  ir::CostModel cost;
+  for (const std::string& spec : request.programs) {
+    kernels::VerifiedParams params;
+    params.input_seed = request.seed;
+    kernels::VerifiedCase c = kernels::parse_case(spec, params);
+    auto cached = convert_cached(request, c.source, nullptr);
+
+    mimd::RunConfig config = run_config(request);
+    config.nprocs = c.config.nprocs;
+    config.initial_active = c.config.initial_active;
+    config.reuse_halted_pes = c.config.reuse_halted_pes;
+    auto machine = simd::make_machine(*cached->converted.prog, cost, config);
+    driver::seed_machine(*machine, cached->converted.compiled, config,
+                         request.seed);
+    if (request.profile) machine->enable_profiling();
+    cs.add_program(spec, std::move(machine));
+    converted.push_back(std::move(cached));
+    cases.push_back(std::move(c));
+    configs.push_back(config);
+  }
+
+  simd::CoOptions co;
+  co.policy = request.policy;
+  co.quantum = request.quantum;
+  co.seed = request.seed;
+  const simd::CoResult r = cs.run(co);
+
+  std::vector<std::string> verdicts;
+  for (std::size_t i = 0; i < r.programs.size(); ++i) {
+    const driver::Observed obs = driver::observe_simd(
+        cs.machine(i), converted[i]->converted.compiled, configs[i]);
+    const std::string verdict = kernels::check(cases[i], obs);
+    verdicts.push_back(verdict.empty() ? "ok" : verdict);
+  }
+
+  return cat("\"policy\": ", quoted(simd::copolicy_name(r.policy)),
+             ", \"quantum\": ", r.quantum,
+             ", \"machine_pes\": ", r.machine_pes,
+             ", \"verdicts\": ", string_array(verdicts),
+             ", \"cosched\": ", quoted(simd::to_json(r)));
+}
+
+std::string Service::do_stats(const Request& request) {
+  const ConversionCache::Stats cs = cache_.stats();
+  std::string out = cat(
+      "\"service\": {\"requests\": {\"ok\": ", requests_ok_.load(),
+      ", \"error\": ", requests_error_.load(),
+      "}, \"cache\": {\"hits\": ", cs.hits, ", \"misses\": ", cs.misses,
+      ", \"inflight_waits\": ", cs.inflight_waits,
+      ", \"evictions\": ", cs.evictions, ", \"entries\": ", cs.entries,
+      "}, \"quota\": {\"block_budget\": ", admission_.quota().block_budget,
+      ", \"explosion_quota\": ", admission_.quota().explosion_quota,
+      "}, \"tenants\": [");
+  const std::vector<TenantStats> tenants = admission_.stats();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantStats& t = tenants[i];
+    if (i) out += ", ";
+    out += cat("{\"tenant\": ", quoted(t.tenant),
+               ", \"inflight_blocks\": ", t.inflight_blocks,
+               ", \"explosions\": ", t.explosions,
+               ", \"admitted\": ", t.admitted,
+               ", \"rejected\": ", t.rejected, "}");
+  }
+  out += "]}";
+  if (request.metrics)
+    out += cat(", \"metrics\": ",
+               quoted(telemetry::MetricsRegistry::global().to_json()));
+  return out;
+}
+
+}  // namespace msc::service

@@ -51,8 +51,23 @@ struct Value {
   const std::string& as_string() const;
 };
 
+/// Resource bounds enforced while parsing. The defaults are generous
+/// enough for every document the toolchain itself emits (trace files,
+/// profiles, bench reports); services parsing *hostile* input (mscd's
+/// wire frames) pass tighter limits so a malicious client can neither
+/// OOM the process with a huge document nor overflow the parser's
+/// recursion with a deeply nested one.
+struct ParseLimits {
+  /// Maximum input size in bytes; 0 = unlimited.
+  std::size_t max_bytes = 0;
+  /// Maximum container nesting depth (each '[' or '{' adds one level).
+  int max_depth = 512;
+};
+
 /// Parse a complete JSON document (trailing whitespace allowed, anything
-/// else after the value is an error). Throws ParseError.
+/// else after the value is an error). Throws ParseError, including when
+/// `limits` are exceeded.
+Value parse(const std::string& text, const ParseLimits& limits);
 Value parse(const std::string& text);
 
 }  // namespace msc::json

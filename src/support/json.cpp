@@ -16,9 +16,14 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Value parse_document() {
+    if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes)
+      throw ParseError(cat("JSON document of ", text_.size(),
+                           " bytes exceeds the ", limits_.max_bytes,
+                           "-byte limit"));
     Value v = parse_value();
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after document");
@@ -87,7 +92,19 @@ class Parser {
     return v;
   }
 
+  /// One '['/'{' level of nesting; fails past ParseLimits::max_depth.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > p_.limits_.max_depth)
+        p_.fail(cat("nesting exceeds the depth limit of ",
+                    p_.limits_.max_depth));
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
   Value parse_object() {
+    DepthGuard depth(*this);
     expect('{');
     Value v;
     v.kind = Value::Kind::Object;
@@ -113,6 +130,7 @@ class Parser {
   }
 
   Value parse_array() {
+    DepthGuard depth(*this);
     expect('[');
     Value v;
     v.kind = Value::Kind::Array;
@@ -245,7 +263,9 @@ class Parser {
   }
 
   const std::string& text_;
+  const ParseLimits& limits_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -279,8 +299,10 @@ const std::string& Value::as_string() const {
   return str;
 }
 
-Value parse(const std::string& text) {
-  return Parser(text).parse_document();
+Value parse(const std::string& text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
 }
+
+Value parse(const std::string& text) { return parse(text, ParseLimits{}); }
 
 }  // namespace msc::json

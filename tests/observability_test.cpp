@@ -202,6 +202,42 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(json::parse("[1 2]"), json::ParseError);
 }
 
+TEST(Json, SizeLimitIsAnExactBoundary) {
+  // A hostile client must not be able to make the daemon buffer-parse an
+  // arbitrarily large document (mscd passes its frame limit here).
+  const std::string doc = "[1, 2, 3]";
+  json::ParseLimits limits;
+  limits.max_bytes = doc.size();
+  EXPECT_NO_THROW(json::parse(doc, limits));  // exactly at the limit
+  limits.max_bytes = doc.size() - 1;
+  EXPECT_THROW(json::parse(doc, limits), json::ParseError);
+  limits.max_bytes = 0;  // 0 = unlimited (the default-overload behavior)
+  EXPECT_NO_THROW(json::parse(doc, limits));
+}
+
+TEST(Json, DepthLimitIsAnExactBoundary) {
+  auto nested = [](int depth) {
+    std::string s;
+    for (int i = 0; i < depth; ++i) s += "[";
+    s += "1";
+    for (int i = 0; i < depth; ++i) s += "]";
+    return s;
+  };
+  json::ParseLimits limits;
+  limits.max_depth = 8;
+  EXPECT_NO_THROW(json::parse(nested(8), limits));  // exactly at the limit
+  EXPECT_THROW(json::parse(nested(9), limits), json::ParseError);
+  // Mixed nesting counts objects too.
+  EXPECT_THROW(json::parse("{\"a\": [[[[[[[[1]]]]]]]]}", limits),
+               json::ParseError);
+  EXPECT_NO_THROW(json::parse("{\"a\": [[[[[[[1]]]]]]]}", limits));
+
+  // The default limit still accepts every document the toolchain emits,
+  // but a pathological 10k-deep bomb dies instead of overflowing the
+  // parser's recursion.
+  EXPECT_THROW(json::parse(nested(10'000)), json::ParseError);
+}
+
 // --------------------------------------------------- corpus profile sweep
 
 std::vector<std::string> corpus_sources() {

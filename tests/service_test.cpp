@@ -1,0 +1,355 @@
+// Protocol conformance for mscd (DESIGN.md §13): every request kind
+// round-trips over a real Unix-domain socket; compile/run payloads are
+// byte-identical to what the standalone mscc binary emits for the same
+// inputs; and hostile frames — malformed JSON, unknown fields, wrong
+// types, oversized frames, nesting bombs, mid-request disconnects —
+// produce typed error responses, never a crash or a hang.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "msc/service/client.hpp"
+#include "msc/service/daemon.hpp"
+#include "msc/support/json.hpp"
+#include "msc/support/str.hpp"
+
+using namespace msc;
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return cat(MSCC_TMPDIR, "/", name);
+}
+
+/// Short socket paths: sun_path caps at ~107 bytes and the build dir can
+/// be deep, so sockets go to /tmp keyed by pid.
+std::string socket_path(const std::string& tag) {
+  return cat("/tmp/msc_svc_", tag, "_", ::getpid(), ".sock");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string run_mscc(const std::string& args) {
+  const std::string cmd = cat(MSCC_BINARY, " ", args, " 2>/dev/null");
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return out;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    out.append(buf.data(), n);
+  pclose(pipe);
+  return out;
+}
+
+std::string quoted(const std::string& s) {
+  return cat("\"", json_escape(s), "\"");
+}
+
+/// Daemon + connected client for one test.
+struct Server {
+  service::Daemon daemon;
+  service::Client client;
+
+  explicit Server(const std::string& tag,
+                  service::ServiceOptions service = {})
+      : daemon([&] {
+          service::DaemonOptions o;
+          o.socket_path = socket_path(tag);
+          o.workers = 4;
+          o.service = service;
+          return o;
+        }()) {
+    daemon.start();
+    client.connect(daemon.socket_path());
+  }
+  ~Server() { daemon.request_stop(); daemon.wait(); }
+
+  json::Value request(const std::string& frame) {
+    return json::parse(client.request(frame, 60'000));
+  }
+};
+
+void expect_error(const json::Value& doc, const std::string& kind) {
+  ASSERT_TRUE(doc.find("ok") != nullptr);
+  EXPECT_FALSE(doc.at("ok").b);
+  ASSERT_TRUE(doc.find("error") != nullptr);
+  EXPECT_EQ(doc.at("error").at("kind").as_string(), kind);
+  EXPECT_FALSE(doc.at("error").at("message").as_string().empty());
+}
+
+const char* kSource =
+    "poly int x;\n"
+    "poly int out;\n"
+    "int main() {\n"
+    "  out = x * 2 + procid();\n"
+    "  return out;\n"
+    "}\n";
+
+}  // namespace
+
+TEST(ServiceProtocol, CompileRoundTrip) {
+  Server s("compile");
+  json::Value doc = s.request(
+      cat("{\"op\": \"compile\", \"id\": 7, \"source\": ", quoted(kSource),
+          "}"));
+  EXPECT_TRUE(doc.at("ok").b);
+  EXPECT_EQ(doc.at("op").as_string(), "compile");
+  EXPECT_EQ(doc.at("id").as_int(), 7);
+  EXPECT_EQ(doc.at("cache").as_string(), "miss");
+  EXPECT_GT(doc.at("meta_states").as_int(), 0);
+  EXPECT_NE(doc.at("automaton").as_string().find("meta-state automaton"),
+            std::string::npos);
+  // The convert-stats payload is itself a JSON document.
+  json::Value stats = json::parse(doc.at("stats").as_string());
+  EXPECT_GT(stats.at("meta_states").as_int(), 0);
+
+  // The identical compile is a cache hit with the same automaton.
+  json::Value again = s.request(
+      cat("{\"op\": \"compile\", \"id\": \"two\", \"source\": ",
+          quoted(kSource), "}"));
+  EXPECT_EQ(again.at("id").as_string(), "two");
+  EXPECT_EQ(again.at("cache").as_string(), "hit");
+  EXPECT_EQ(again.at("automaton").as_string(),
+            doc.at("automaton").as_string());
+}
+
+TEST(ServiceProtocol, CompileMatchesStandaloneMsccOnCorpus) {
+  Server s("bytecmp");
+  const std::vector<std::string> programs = {
+      "kernel_reduce", "kernel_scan", "kernel_oddeven", "barrier_phases",
+      "loop_bounded"};
+  for (const std::string& name : programs) {
+    const std::string path = cat(MSC_CORPUS_DIR, "/", name, ".mimdc");
+    const std::string source = read_file(path);
+    ASSERT_FALSE(source.empty()) << path;
+    json::Value doc = s.request(
+        cat("{\"op\": \"compile\", \"source\": ", quoted(source), "}"));
+    ASSERT_TRUE(doc.at("ok").b) << name;
+    EXPECT_EQ(doc.at("automaton").as_string(),
+              run_mscc(cat("--emit meta ", path)))
+        << name;
+
+    // The convert-stats document embeds wall-clock phase timings, so the
+    // comparison is field-wise over the deterministic members.
+    const std::string trace = tmp_path(cat("svc_trace_", name, ".json"));
+    run_mscc(cat("--emit meta --trace-convert ", trace, " ", path));
+    json::Value daemon_stats = json::parse(doc.at("stats").as_string());
+    json::Value local_stats = json::parse(read_file(trace));
+    for (const char* field : {"meta_states", "arcs", "reach_calls",
+                              "splits_performed", "restarts", "threads",
+                              "batches"})
+      EXPECT_EQ(daemon_stats.at(field).as_int(), local_stats.at(field).as_int())
+          << name << " " << field;
+  }
+}
+
+TEST(ServiceProtocol, RunProfileMatchesStandaloneMscc) {
+  Server s("runcmp");
+  const std::string path = cat(MSC_CORPUS_DIR, "/kernel_reduce.mimdc");
+  const std::string source = read_file(path);
+  json::Value doc = s.request(
+      cat("{\"op\": \"run\", \"source\": ", quoted(source),
+          ", \"nprocs\": 8, \"seed\": 3, \"profile\": true}"));
+  ASSERT_TRUE(doc.at("ok").b);
+  EXPECT_EQ(doc.at("engine").as_string(), "fast");
+
+  const std::string prof = tmp_path("svc_run_profile.json");
+  run_mscc(cat("--run --nprocs 8 --seed 3 --profile-simd ", prof, " ", path));
+  EXPECT_EQ(doc.at("simd").as_string(), read_file(prof));
+
+  // Determinism: the same request twice gives the same response payload.
+  json::Value doc2 = s.request(
+      cat("{\"op\": \"run\", \"source\": ", quoted(source),
+          ", \"nprocs\": 8, \"seed\": 3, \"profile\": true}"));
+  EXPECT_EQ(doc2.at("simd").as_string(), doc.at("simd").as_string());
+  EXPECT_EQ(doc2.at("observed").as_string(), doc.at("observed").as_string());
+  EXPECT_EQ(doc2.at("cache").as_string(), "hit");
+}
+
+TEST(ServiceProtocol, CoscheduleRoundTrip) {
+  Server s("cosched");
+  json::Value doc = s.request(
+      "{\"op\": \"coschedule\", \"programs\": [\"reduce@8\", \"scan@8\"], "
+      "\"policy\": \"rr\", \"quantum\": 2}");
+  ASSERT_TRUE(doc.at("ok").b);
+  EXPECT_EQ(doc.at("policy").as_string(), "rr");
+  EXPECT_EQ(doc.at("machine_pes").as_int(), 16);
+  for (const json::Value& v : doc.at("verdicts").elems)
+    EXPECT_EQ(v.as_string(), "ok");
+  json::Value cosched = json::parse(doc.at("cosched").as_string());
+  EXPECT_EQ(cosched.at("programs").elems.size(), 2u);
+}
+
+TEST(ServiceProtocol, StatsAndMetrics) {
+  Server s("stats");
+  json::Value doc = s.request("{\"op\": \"stats\", \"metrics\": true}");
+  ASSERT_TRUE(doc.at("ok").b);
+  const json::Value& svc = doc.at("service");
+  EXPECT_GE(svc.at("cache").at("misses").as_int(), 0);
+  EXPECT_GE(svc.at("quota").at("block_budget").as_int(), 0);
+  // The metrics member is the registry's own JSON document.
+  json::Value metrics = json::parse(doc.at("metrics").as_string());
+  EXPECT_TRUE(metrics.is_object());
+}
+
+TEST(ServiceProtocol, ShutdownStopsTheDaemon) {
+  service::DaemonOptions o;
+  o.socket_path = socket_path("shutdown");
+  o.workers = 2;
+  service::Daemon daemon(o);
+  daemon.start();
+  service::Client client;
+  client.connect(daemon.socket_path());
+  json::Value doc = json::parse(client.request("{\"op\": \"shutdown\"}"));
+  EXPECT_TRUE(doc.at("ok").b);
+  daemon.wait();  // returns only when every thread is joined
+  // The socket file is gone; connecting again fails.
+  service::Client again;
+  EXPECT_THROW(again.connect(daemon.socket_path(), 100), std::runtime_error);
+}
+
+TEST(ServiceProtocol, MalformedFramesGetTypedErrors) {
+  Server s("hostile");
+  expect_error(s.request("this is not json"), "parse-error");
+  expect_error(s.request("{\"op\": \"compile\", }"), "parse-error");
+  expect_error(s.request("[1, 2, 3]"), "protocol-error");
+  expect_error(s.request("{\"source\": \"int main() { return 0; }\"}"),
+               "protocol-error");  // missing op
+  expect_error(s.request("{\"op\": \"transmogrify\"}"), "protocol-error");
+  expect_error(s.request("{\"op\": \"compile\"}"), "protocol-error");
+  expect_error(
+      s.request("{\"op\": \"compile\", \"source\": \"x\", \"wat\": 1}"),
+      "protocol-error");  // unknown field
+  expect_error(
+      s.request("{\"op\": \"stats\", \"nprocs\": 4}"),
+      "protocol-error");  // field from another op
+  expect_error(
+      s.request("{\"op\": \"run\", \"source\": \"x\", \"nprocs\": \"8\"}"),
+      "protocol-error");  // wrong type
+  expect_error(
+      s.request("{\"op\": \"run\", \"source\": \"x\", \"nprocs\": 0}"),
+      "protocol-error");  // out of range
+  expect_error(
+      s.request(
+          "{\"op\": \"run\", \"source\": \"x\", \"nprocs\": 4, \"active\": 9}"),
+      "protocol-error");  // active > nprocs
+  expect_error(
+      s.request("{\"op\": \"compile\", \"source\": \"x\", \"tenant\": \"\"}"),
+      "protocol-error");
+  expect_error(s.request("{\"op\": \"coschedule\", \"programs\": []}"),
+               "protocol-error");
+
+  // Compile errors in valid requests are their own kind.
+  expect_error(
+      s.request("{\"op\": \"compile\", \"source\": \"int main( {\"}"),
+      "compile-error");
+  // Tiny explosion guard trips the typed explosion error.
+  const std::string source = read_file(cat(MSC_CORPUS_DIR,
+                                           "/barrier_phases.mimdc"));
+  expect_error(
+      s.request(cat("{\"op\": \"compile\", \"source\": ", quoted(source),
+                    ", \"max_meta_states\": 1}")),
+      "explosion");
+
+  // After all that abuse the daemon still serves.
+  json::Value doc = s.request("{\"op\": \"stats\"}");
+  EXPECT_TRUE(doc.at("ok").b);
+}
+
+TEST(ServiceProtocol, NestingBombIsAParseError) {
+  Server s("bomb");
+  std::string bomb = "{\"op\": ";
+  for (int i = 0; i < 200; ++i) bomb += "[";
+  for (int i = 0; i < 200; ++i) bomb += "]";
+  bomb += "}";
+  expect_error(s.request(bomb), "parse-error");
+}
+
+TEST(ServiceProtocol, OversizedFrameErrorsAndDropsTheConnection) {
+  service::ServiceOptions opts;
+  opts.limits.max_frame_bytes = 4096;
+  Server s("oversize", opts);
+
+  // A full oversized frame (with newline) gets the typed error.
+  std::string huge = cat("{\"op\": \"compile\", \"source\": \"",
+                         std::string(8192, 'x'), "\"}");
+  std::string response;
+  s.client.send_line(huge);
+  ASSERT_TRUE(s.client.recv_line(response, 60'000));
+  expect_error(json::parse(response), "frame-too-large");
+
+  // A fresh connection still works: the daemon dropped only that client.
+  service::Client fresh;
+  fresh.connect(s.daemon.socket_path());
+  json::Value doc = json::parse(fresh.request("{\"op\": \"stats\"}"));
+  EXPECT_TRUE(doc.at("ok").b);
+}
+
+TEST(ServiceProtocol, MidRequestDisconnectLeavesDaemonServing) {
+  Server s("disconnect");
+  // Half a frame, no newline, then hang up.
+  service::Client half;
+  half.connect(s.daemon.socket_path());
+  half.send_line("{\"op\": \"compile\", \"source\""); // send_line adds \n; so
+  // also model a cut before the newline:
+  service::Client cut;
+  cut.connect(s.daemon.socket_path());
+  cut.shutdown_write();
+  half.close();
+  cut.close();
+
+  json::Value doc = s.request("{\"op\": \"stats\"}");
+  EXPECT_TRUE(doc.at("ok").b);
+}
+
+TEST(ServiceProtocol, PipelinedRequestsEachGetOneResponse) {
+  Server s("pipelined");
+  for (int i = 0; i < 8; ++i)
+    s.client.send_line(cat("{\"op\": \"stats\", \"id\": ", i, "}"));
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 8; ++i) {
+    std::string line;
+    ASSERT_TRUE(s.client.recv_line(line, 60'000));
+    json::Value doc = json::parse(line);
+    EXPECT_TRUE(doc.at("ok").b);
+    seen[static_cast<std::size_t>(doc.at("id").as_int())] = true;
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
+TEST(ServiceProtocol, ReqlogCorpusReplays) {
+  // Every checked-in request log must replay to exactly one response per
+  // frame, with no crash — fuzzer findings land here as regressions.
+  Server s("reqlog");
+  const std::vector<std::string> logs = {
+      cat(MSC_CORPUS_DIR, "/service_smoke.reqlog"),
+      cat(MSC_CORPUS_DIR, "/service_hostile.reqlog"),
+  };
+  for (const std::string& log : logs) {
+    std::ifstream in(log);
+    ASSERT_TRUE(in.good()) << log;
+    std::string frame;
+    int frames = 0;
+    while (std::getline(in, frame)) {
+      if (frame.empty()) continue;
+      std::string response = s.client.request(frame, 60'000);
+      json::Value doc;
+      ASSERT_NO_THROW(doc = json::parse(response)) << frame;
+      ASSERT_TRUE(doc.find("ok") != nullptr) << frame;
+      ++frames;
+    }
+    EXPECT_GT(frames, 0) << log;
+  }
+}

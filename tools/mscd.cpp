@@ -1,0 +1,106 @@
+// mscd — the multi-tenant conversion-and-execution daemon (DESIGN.md §13).
+// Serves the mscc front half over a Unix-domain socket: newline-delimited
+// JSON requests in (compile / run / coschedule / stats / shutdown), one
+// JSON response line out per request. All connections share one
+// conversion cache and one admission controller; see mscli for the
+// client.
+//
+// Exit codes: 0 clean shutdown, 1 startup failure, 2 bad usage.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "msc/service/daemon.hpp"
+#include "msc/support/str.hpp"
+
+using namespace msc;
+
+namespace {
+
+service::Daemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon) g_daemon->request_stop();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mscd --socket PATH [options]\n"
+      "\n"
+      "  --socket PATH        Unix-domain socket to listen on (required)\n"
+      "  --workers N          worker threads (default 4; 0 = one per core)\n"
+      "  --max-frame BYTES    per-request frame limit (default 1048576)\n"
+      "  --max-depth N        JSON nesting limit per frame (default 64)\n"
+      "  --block-budget N     per-tenant in-flight block budget\n"
+      "                       (default 64000000; 0 = unlimited)\n"
+      "  --explosion-quota N  ExplosionErrors a tenant may provoke before\n"
+      "                       admission rejects it (default 16; 0 = off)\n"
+      "  --cache-capacity N   conversion-cache entries (default 64)\n"
+      "\n"
+      "Protocol: one JSON object per line; see DESIGN.md §13 and mscli.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::DaemonOptions options;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mscd: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") options.socket_path = next(i);
+    else if (arg == "--workers")
+      options.workers = static_cast<std::size_t>(std::atoll(next(i)));
+    else if (arg == "--max-frame")
+      options.service.limits.max_frame_bytes =
+          static_cast<std::size_t>(std::atoll(next(i)));
+    else if (arg == "--max-depth")
+      options.service.limits.max_json_depth = std::atoi(next(i));
+    else if (arg == "--block-budget")
+      options.service.quota.block_budget = std::atoll(next(i));
+    else if (arg == "--explosion-quota")
+      options.service.quota.explosion_quota = std::atoll(next(i));
+    else if (arg == "--cache-capacity")
+      options.service.cache_capacity =
+          static_cast<std::size_t>(std::atoll(next(i)));
+    else if (arg == "--help" || arg == "-h") return usage();
+    else {
+      std::fprintf(stderr, "mscd: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (options.socket_path.empty()) return usage();
+  if (options.service.limits.max_frame_bytes < 16 ||
+      options.service.limits.max_json_depth < 1 ||
+      options.service.cache_capacity < 1) {
+    std::fprintf(stderr, "mscd: limits out of range\n");
+    return usage();
+  }
+
+  try {
+    service::Daemon daemon(options);
+    g_daemon = &daemon;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    daemon.start();
+    std::fprintf(stderr, "mscd: serving on %s (%zu workers)\n",
+                 daemon.socket_path().c_str(), options.workers);
+    daemon.wait();
+    g_daemon = nullptr;
+    std::fprintf(stderr, "mscd: stopped\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mscd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
 // mscfuzz — coverage-guided differential fuzzer for the MSC pipeline.
 //
 //   mscfuzz [--time-budget SEC] [--seed N] [--out DIR] ...   fuzzing loop
+//   mscfuzz --target service ...                             wire-format fuzz
 //   mscfuzz --replay manifest.json                           replay a repro
+//   mscfuzz --replay-log frames.reqlog                       replay a reqlog
 //   mscfuzz --shrink-only manifest.json                      re-shrink one
 //
 // Exit codes: 0 = clean (or replay behaved as recorded), 2 = findings
@@ -14,6 +16,7 @@
 
 #include "msc/fuzz/fuzz.hpp"
 #include "msc/fuzz/manifest.hpp"
+#include "msc/fuzz/service_fuzz.hpp"
 
 namespace {
 
@@ -28,13 +31,20 @@ void usage(std::ostream& os) {
         "  --no-shrink         keep findings unshrunk\n"
         "  --no-spawn          generate spawn-free programs only\n"
         "  --replay FILE       replay a manifest instead of fuzzing\n"
-        "  --shrink-only FILE  shrink a manifest's source and print it\n";
+        "  --shrink-only FILE  shrink a manifest's source and print it\n"
+        "  --target T          pipeline (default) | service: fuzz the mscd\n"
+        "                      wire format against an in-process daemon;\n"
+        "                      findings shrink to replayable request logs\n"
+        "  --replay-log FILE   replay a request log (one frame per line)\n"
+        "                      against a fresh in-process service\n";
 }
 
 struct Cli {
   msc::fuzz::FuzzOptions fuzz;
   std::string replay_path;
   std::string shrink_path;
+  std::string target = "pipeline";
+  std::string replay_log_path;
 };
 
 bool parse_args(int argc, char** argv, Cli& cli) {
@@ -76,6 +86,16 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     } else if (arg == "--shrink-only") {
       if (!(v = need(i))) return false;
       cli.shrink_path = v;
+    } else if (arg == "--target") {
+      if (!(v = need(i))) return false;
+      cli.target = v;
+      if (cli.target != "pipeline" && cli.target != "service") {
+        std::cerr << "mscfuzz: unknown target '" << cli.target << "'\n";
+        return false;
+      }
+    } else if (arg == "--replay-log") {
+      if (!(v = need(i))) return false;
+      cli.replay_log_path = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -138,6 +158,49 @@ int shrink_only(const std::string& path) {
   return 0;
 }
 
+int replay_log(const std::string& path) {
+  using namespace msc::fuzz;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mscfuzz: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::vector<std::string> frames;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) frames.push_back(line);
+  ServiceFuzzOptions defaults;
+  std::string detail;
+  if (replay_request_log(frames, defaults.max_frame_bytes, &detail)) {
+    std::cout << "replay-log: " << frames.size()
+              << " frame(s), contract holds\n";
+    return 0;
+  }
+  std::cerr << "replay-log: contract violated: " << detail << "\n";
+  return 2;
+}
+
+int fuzz_service_target(const Cli& cli) {
+  using namespace msc::fuzz;
+  ServiceFuzzOptions opts;
+  opts.seed = cli.fuzz.seed;
+  opts.time_budget_seconds = cli.fuzz.time_budget_seconds;
+  opts.max_iterations = cli.fuzz.max_iterations;
+  opts.max_findings = cli.fuzz.max_findings;
+  opts.shrink = cli.fuzz.shrink;
+  opts.out_dir = cli.fuzz.out_dir;
+  ServiceFuzzResult res = fuzz_service(opts);
+  std::cout << "[mscfuzz] service: " << res.iterations << " sequences, pool "
+            << res.corpus_size << ", " << res.total_features
+            << " coverage features, " << res.findings.size()
+            << " finding(s)\n";
+  for (const ServiceFinding& f : res.findings) {
+    std::cout << "--- protocol violation: " << f.detail << " ---\n";
+    for (const std::string& frame : f.frames) std::cout << frame << "\n";
+  }
+  return res.findings.empty() ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,7 +214,9 @@ int main(int argc, char** argv) {
 
   try {
     if (!cli.replay_path.empty()) return replay(cli.replay_path);
+    if (!cli.replay_log_path.empty()) return replay_log(cli.replay_log_path);
     if (!cli.shrink_path.empty()) return shrink_only(cli.shrink_path);
+    if (cli.target == "service") return fuzz_service_target(cli);
 
     msc::fuzz::FuzzResult res = msc::fuzz::run_fuzzer(cli.fuzz);
     std::cout << "[mscfuzz] done: " << res.iterations << " iterations, "
