@@ -50,8 +50,7 @@ class NullBus final : public ir::MemoryBus {
 Value fold_unary(const Instr& in, Value a) {
   static NullBus bus;
   std::vector<Value> stack{a};
-  std::vector<Value> local;
-  ir::PeContext ctx{&local, &stack, /*proc_id=*/0, /*nprocs=*/1};
+  ir::PeContext ctx{ir::LocalView{}, &stack, /*proc_id=*/0, /*nprocs=*/1};
   ir::exec_instr(in, ctx, bus);
   return stack.back();
 }

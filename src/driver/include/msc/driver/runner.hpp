@@ -38,14 +38,26 @@ struct Observed {
 std::int64_t seed_input(std::uint64_t seed, std::int64_t pe);
 
 /// Write seeds/initial values into a machine via the layout. M is
-/// MimdMachine or SimdMachine (same poke interface).
+/// MimdMachine or SimdMachine (lane-major stores: one bulk fill_lane per
+/// seeded variable) or InterpMachine (per-PE poke fallback). Both paths
+/// are byte-identical: fill_lane(addr, vals) == nprocs pokes of
+/// Value::of_int(vals[p]) (lane_store_test pins it).
 template <typename M>
 void seed_machine(M& machine, const Compiled& compiled,
                   const mimd::RunConfig& config, std::uint64_t seed) {
   const auto* slot = compiled.layout.find("x");
   if (!slot || slot->storage != frontend::Storage::PolyStatic) return;
-  for (std::int64_t p = 0; p < config.nprocs; ++p)
-    machine.poke(p, slot->addr, Value::of_int(seed_input(seed, p)));
+  if constexpr (requires(std::vector<std::int64_t> v) {
+                  machine.fill_lane(slot->addr, v);
+                }) {
+    std::vector<std::int64_t> vals(static_cast<std::size_t>(config.nprocs));
+    for (std::int64_t p = 0; p < config.nprocs; ++p)
+      vals[static_cast<std::size_t>(p)] = seed_input(seed, p);
+    machine.fill_lane(slot->addr, vals);
+  } else {
+    for (std::int64_t p = 0; p < config.nprocs; ++p)
+      machine.poke(p, slot->addr, Value::of_int(seed_input(seed, p)));
+  }
 }
 
 /// Write a pre-rendered JSON document to `path` ("-" = stdout); `what`

@@ -99,7 +99,7 @@ class InterpMachine : public ir::MemoryBus {
     std::int64_t pc = -1;  ///< word index; -1 = not in any process
     bool waiting = false;
     bool ever_ran = false;
-    std::vector<Value> local;
+    ir::SoaLocal local;
     std::vector<Value> stack;
   };
 

@@ -86,7 +86,7 @@ InterpMachine::InterpMachine(const ir::StateGraph& graph, const ir::CostModel& c
   pes_.resize(static_cast<std::size_t>(config_.nprocs));
   for (std::int64_t i = 0; i < config_.nprocs; ++i) {
     Pe& pe = pes_[static_cast<std::size_t>(i)];
-    pe.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
+    pe.local.assign(config_.local_mem_cells);
     if (i < config_.active()) {
       pe.pc = image_.entry;
       pe.ever_ran = true;
@@ -105,12 +105,12 @@ void InterpMachine::check_local(std::int64_t proc, std::int64_t addr) const {
 
 void InterpMachine::poke(std::int64_t proc, std::int64_t addr, Value v) {
   check_local(proc, addr);
-  pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)] = v;
+  pes_[static_cast<std::size_t>(proc)].local.set(addr, v);
 }
 
 Value InterpMachine::peek(std::int64_t proc, std::int64_t addr) const {
   check_local(proc, addr);
-  return pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)];
+  return pes_[static_cast<std::size_t>(proc)].local.get(addr);
 }
 
 void InterpMachine::poke_mono(std::int64_t addr, Value v) {
@@ -141,7 +141,7 @@ void InterpMachine::exec_one(std::int64_t pid, std::int64_t op, std::int64_t a,
     ir::Instr in;
     in.op = static_cast<Opcode>(op);
     in.imm = in.op == Opcode::PushF ? Value::of_float(f) : Value::of_int(a);
-    ir::PeContext ctx{&pe.local, &pe.stack, pid, config_.nprocs};
+    ir::PeContext ctx{pe.local.view(), &pe.stack, pid, config_.nprocs};
     ir::exec_instr(in, ctx, *this);
     pe.pc += 3;
     return;
@@ -174,7 +174,7 @@ void InterpMachine::exec_one(std::int64_t pid, std::int64_t op, std::int64_t a,
       if (child < 0)
         throw MachineFault("spawn failed: no free processing element");
       Pe& ch = pes_[static_cast<std::size_t>(child)];
-      ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
+      ch.local.assign(config_.local_mem_cells);
       ch.stack.clear();
       ch.pc = a;
       ch.waiting = false;

@@ -9,15 +9,15 @@ namespace msc::ir {
 namespace {
 
 Value local_load(PeContext& pe, std::int64_t addr) {
-  if (addr < 0 || static_cast<std::size_t>(addr) >= pe.local->size())
+  if (addr < 0 || addr >= pe.local.cells)
     throw MachineFault(cat("local load out of range: ", addr));
-  return (*pe.local)[static_cast<std::size_t>(addr)];
+  return pe.local.get(addr);
 }
 
 void local_store(PeContext& pe, std::int64_t addr, Value v) {
-  if (addr < 0 || static_cast<std::size_t>(addr) >= pe.local->size())
+  if (addr < 0 || addr >= pe.local.cells)
     throw MachineFault(cat("local store out of range: ", addr));
-  (*pe.local)[static_cast<std::size_t>(addr)] = v;
+  pe.local.put(addr, v);
 }
 
 bool either_float(const Value& a, const Value& b) {
@@ -80,6 +80,14 @@ Value arith(Opcode op, const Value& a, const Value& b) {
 }
 
 }  // namespace
+
+void SoaLocal::assign(std::int64_t cells) {
+  const auto n = static_cast<std::size_t>(cells);
+  tag_.assign(n, 0);
+  ival_.assign(n, 0);
+  fval_.assign(n, 0.0);
+  cells_ = cells;
+}
 
 Value eval_binary(Opcode op, const Value& a, const Value& b) {
   if (op == Opcode::LAnd) return Value::of_int(a.truthy() && b.truthy());

@@ -24,9 +24,63 @@ class MemoryBus {
   virtual void route_store(std::int64_t proc, std::int64_t addr, Value v) = 0;
 };
 
+/// Structure-of-arrays window onto one PE's local memory. The backing
+/// store keeps kind tags, integer payloads and float payloads in three
+/// separate arrays so the SIMD engines can lay all PEs' copies of a
+/// variable out as one contiguous lane; `stride` is the element distance
+/// between consecutive addresses (1 for the per-PE machines, the padded
+/// lane width for the lane-major store). A default view has zero cells,
+/// so every access faults like an empty local memory.
+struct LocalView {
+  std::uint8_t* tag = nullptr;
+  std::int64_t* ival = nullptr;
+  double* fval = nullptr;
+  std::size_t stride = 1;
+  std::int64_t cells = 0;
+
+  Value get(std::int64_t addr) const {
+    Value v;
+    v.kind = static_cast<Value::Kind>(tag[static_cast<std::size_t>(addr) * stride]);
+    v.i = ival[static_cast<std::size_t>(addr) * stride];
+    v.f = fval[static_cast<std::size_t>(addr) * stride];
+    return v;
+  }
+  void put(std::int64_t addr, const Value& v) {
+    const std::size_t at = static_cast<std::size_t>(addr) * stride;
+    tag[at] = static_cast<std::uint8_t>(v.kind);
+    ival[at] = v.i;
+    fval[at] = v.f;
+  }
+};
+
+/// Owning stride-1 SoA local memory for the per-PE machines (MIMD oracle,
+/// interpreter); the SIMD engines use the shared lane-major store instead.
+class SoaLocal {
+ public:
+  /// Reset to `cells` zeroed cells (Value{} == integer 0).
+  void assign(std::int64_t cells);
+  Value get(std::int64_t addr) const { return view_const().get(addr); }
+  void set(std::int64_t addr, const Value& v) { view().put(addr, v); }
+  std::int64_t cells() const { return cells_; }
+  LocalView view() {
+    return {tag_.data(), ival_.data(), fval_.data(), 1, cells_};
+  }
+
+ private:
+  LocalView view_const() const {
+    return {const_cast<std::uint8_t*>(tag_.data()),
+            const_cast<std::int64_t*>(ival_.data()),
+            const_cast<double*>(fval_.data()), 1, cells_};
+  }
+  std::vector<std::uint8_t> tag_;
+  std::vector<std::int64_t> ival_;
+  std::vector<double> fval_;
+  std::int64_t cells_ = 0;
+};
+
 /// One PE's mutable execution state as seen by exec_instr.
 struct PeContext {
-  std::vector<Value>* local;  ///< PE-local memory
+  LocalView local;            ///< PE-local memory window
   std::vector<Value>* stack;  ///< persistent operand stack
   std::int64_t proc_id;
   std::int64_t nprocs;

@@ -65,10 +65,9 @@ class NoBus final : public MemoryBus {
 /// Evaluate a pure op over constants with the *real* interpreter, so the
 /// folded result is bit-identical to runtime (total division included).
 Value fold(const Instr& op, std::initializer_list<Value> args) {
-  std::vector<Value> local;
   std::vector<Value> stack(args);
   NoBus bus;
-  PeContext pe{&local, &stack, 0, 1};
+  PeContext pe{LocalView{}, &stack, 0, 1};
   exec_instr(op, pe, bus);
   return stack.back();
 }

@@ -8,6 +8,7 @@
 #include "msc/ir/cost.hpp"
 #include "msc/ir/exec.hpp"
 #include "msc/ir/graph.hpp"
+#include "msc/support/simd_isa.hpp"
 
 namespace msc::mimd {
 
@@ -44,6 +45,10 @@ struct RunConfig {
   bool reuse_halted_pes = false;
   /// SIMD simulator engine built by simd::make_machine / driver::run_simd.
   SimdEngine engine = SimdEngine::Fast;
+  /// Host ISA for whole-lane PE evaluation (simulated semantics are
+  /// ISA-independent; this only selects the host execution backend).
+  /// Resolved at machine construction; unavailable explicit requests fault.
+  SimdIsa simd_isa = SimdIsa::Auto;
 
   std::int64_t active() const { return initial_active < 0 ? nprocs : initial_active; }
 };
@@ -82,6 +87,9 @@ class MimdMachine : public ir::MemoryBus {
   // Pre/post-run raw memory access (the driver layers names on top).
   void poke(std::int64_t proc, std::int64_t addr, Value v);
   Value peek(std::int64_t proc, std::int64_t addr) const;
+  /// Seed one local cell across all PEs from a per-PE integer vector
+  /// (vals.size() == nprocs); same observable effect as nprocs pokes.
+  void fill_lane(std::int64_t addr, const std::vector<std::int64_t>& vals);
   void poke_mono(std::int64_t addr, Value v);
   Value peek_mono(std::int64_t addr) const;
 
@@ -108,7 +116,7 @@ class MimdMachine : public ir::MemoryBus {
     std::int64_t clock = 0;
     Status status = Status::Free;
     bool ever_ran = false;
-    std::vector<Value> local;
+    ir::SoaLocal local;
     std::vector<Value> stack;
   };
 

@@ -20,7 +20,7 @@ MimdMachine::MimdMachine(const ir::StateGraph& graph, const ir::CostModel& cost,
   pes_.resize(static_cast<std::size_t>(config_.nprocs));
   for (std::int64_t i = 0; i < config_.nprocs; ++i) {
     Pe& pe = pes_[static_cast<std::size_t>(i)];
-    pe.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
+    pe.local.assign(config_.local_mem_cells);
     if (i < config_.active()) {
       pe.pc = graph_.start;
       pe.status = Status::Running;
@@ -39,12 +39,20 @@ void MimdMachine::check_local(std::int64_t proc, std::int64_t addr) const {
 
 void MimdMachine::poke(std::int64_t proc, std::int64_t addr, Value v) {
   check_local(proc, addr);
-  pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)] = v;
+  pes_[static_cast<std::size_t>(proc)].local.set(addr, v);
 }
 
 Value MimdMachine::peek(std::int64_t proc, std::int64_t addr) const {
   check_local(proc, addr);
-  return pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)];
+  return pes_[static_cast<std::size_t>(proc)].local.get(addr);
+}
+
+void MimdMachine::fill_lane(std::int64_t addr,
+                            const std::vector<std::int64_t>& vals) {
+  check_local(0, addr);
+  for (std::int64_t p = 0; p < config_.nprocs; ++p)
+    pes_[static_cast<std::size_t>(p)].local.set(
+        addr, Value::of_int(vals[static_cast<std::size_t>(p)]));
 }
 
 void MimdMachine::poke_mono(std::int64_t addr, Value v) {
@@ -92,7 +100,7 @@ void MimdMachine::exec_block(std::int64_t pid) {
     return;
   }
 
-  ir::PeContext ctx{&pe.local, &pe.stack, pid, config_.nprocs};
+  ir::PeContext ctx{pe.local.view(), &pe.stack, pid, config_.nprocs};
   for (const ir::Instr& in : b.body) ir::exec_instr(in, ctx, *this);
   pe.clock += cost_.block_cost(b);
   stats_.busy_cycles += cost_.block_cost(b);
@@ -127,7 +135,7 @@ void MimdMachine::exec_block(std::int64_t pid) {
         throw MachineFault("spawn failed: no free processing element "
                            "(§3.2.5 assumes processes ≤ processors)");
       Pe& ch = pes_[static_cast<std::size_t>(child)];
-      ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
+      ch.local.assign(config_.local_mem_cells);
       ch.stack.clear();
       ch.pc = b.target;
       ch.clock = pe.clock;

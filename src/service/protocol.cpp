@@ -180,6 +180,14 @@ Request parse_request(const std::string& line,
       }
       continue;
     }
+    if ((req.op == Op::Run || req.op == Op::Coschedule) && key == "simd_isa") {
+      try {
+        req.simd_isa = parse_simd_isa(string_field(value, key));
+      } catch (const std::invalid_argument& e) {
+        bad(e.what());
+      }
+      continue;
+    }
     if (req.op == Op::Run && key == "reuse_halted_pes") {
       req.reuse_halted_pes = bool_field(value, key);
       continue;

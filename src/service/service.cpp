@@ -55,6 +55,7 @@ mimd::RunConfig run_config(const Request& request) {
   config.initial_active = request.initial_active;
   config.reuse_halted_pes = request.reuse_halted_pes;
   config.engine = request.engine;
+  config.simd_isa = request.simd_isa;
   config.max_blocks = request.max_blocks;
   return config;
 }

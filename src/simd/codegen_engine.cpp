@@ -17,6 +17,13 @@
 // cross-PE side effects bit-identical to the reference engine: the n-th
 // broadcast reaches PE i before PE j > i, and no PE sees broadcast n+1
 // until every PE saw n.
+//
+// Under a vector host ISA the folded stream of each TGroup is additionally
+// lowered once (lanes.cpp) into whole-lane code: the group charge is
+// unchanged, the enable set becomes the OR of the guard's occ_ words, and
+// LaneExecutor evaluates each folded op across all enabled PEs at a time.
+// Low-occupancy groups (enabled*8 < lane width) fall back to the flat-list
+// path above, which is the same observable machine.
 #include "msc/simd/machine.hpp"
 
 #include "msc/support/str.hpp"
@@ -27,6 +34,7 @@ using codegen::MetaCode;
 using codegen::TGroup;
 using codegen::TOp;
 using codegen::TOpKind;
+using codegen::TransState;
 using core::MetaId;
 using ir::kNoState;
 using ir::MachineFault;
@@ -81,7 +89,11 @@ void CodegenSimdMachine::gather_enabled(
 }
 
 void CodegenSimdMachine::exec_state(const MetaCode& mc) {
-  const codegen::TransState& ts = trans_->states[static_cast<std::size_t>(mc.id)];
+  const TransState& ts = trans_->states[static_cast<std::size_t>(mc.id)];
+  if (isa_ != SimdIsa::Scalar) {
+    exec_state_lanes(mc, ts);
+    return;
+  }
   for (const TGroup& g : ts.groups) {
     // One charge per group visit: the aggregates were computed from the
     // ORIGINAL ops, so the totals equal the interpretive engines' per-op
@@ -92,14 +104,61 @@ void CodegenSimdMachine::exec_state(const MetaCode& mc) {
     gather_enabled(g.guard_states);
     stats_.busy_pe_cycles +=
         g.cost_sum * static_cast<std::int64_t>(enabled_scratch_.size());
-    if (!enabled_scratch_.empty() && !g.code.empty()) run_group(g);
+    if (!enabled_scratch_.empty() && !g.code.empty())
+      run_ops(g.code.data(), g.code.data() + g.code.size());
   }
   commit();
 }
 
-void CodegenSimdMachine::run_group(const TGroup& g) {
-  const TOp* op = g.code.data();
-  const TOp* const end = op + g.code.size();
+const LanePlan& CodegenSimdMachine::plan_for(MetaId id, const TransState& ts) {
+  if (lane_plans_.size() != trans_->states.size())
+    lane_plans_.resize(trans_->states.size());
+  auto& slot = lane_plans_[static_cast<std::size_t>(id)];
+  if (!slot) slot = std::make_unique<LanePlan>(build_lane_plan(ts));
+  return *slot;
+}
+
+void CodegenSimdMachine::exec_state_lanes(const MetaCode& mc,
+                                          const TransState& ts) {
+  const LanePlan& plan = plan_for(mc.id, ts);
+  for (std::size_t gi = 0; gi < ts.groups.size(); ++gi) {
+    const TGroup& g = ts.groups[gi];
+    // Identical charges to the flat-list path: the aggregates cover the
+    // group regardless of which backend executes it.
+    stats_.control_cycles += g.control_cost;
+    ++stats_.guard_switches;
+    stats_.offered_pe_cycles += g.cost_sum * alive_;
+    const std::int64_t enabled = build_lane_mask(g.guard_states);
+    stats_.busy_pe_cycles += g.cost_sum * enabled;
+    if (enabled == 0 || g.code.empty()) continue;
+    cur_group_ = &g;
+    if (enabled * 8 < lanes_.width()) {
+      // Sparse occupancy: whole-lane work would touch mostly-disabled
+      // elements; the flat-list path is the same observable machine.
+      lane_scalar_span(0, static_cast<std::int32_t>(g.code.size()),
+                       lane_mask_.data(), lane_mask_.size());
+    } else {
+      lane_executor().run(plan.runs[gi], lane_mask_.data(), *this);
+    }
+  }
+  cur_group_ = nullptr;
+  commit();
+}
+
+void CodegenSimdMachine::lane_scalar_span(std::int32_t first, std::int32_t end,
+                                          const std::uint64_t* mask,
+                                          std::size_t nwords) {
+  // Gather the mask into the flat ascending PE list the op-major
+  // dispatcher wants, then run the source subrange through it.
+  enabled_scratch_.clear();
+  for_each_lane_bit(mask, nwords, [&](std::size_t k) {
+    enabled_scratch_.push_back(static_cast<std::int64_t>(k));
+  });
+  run_ops(cur_group_->code.data() + first, cur_group_->code.data() + end);
+}
+
+void CodegenSimdMachine::run_ops(const TOp* op, const TOp* const end) {
+  if (op == end) return;
   const std::int64_t* const pe_begin = enabled_scratch_.data();
   const std::int64_t* const pe_end = pe_begin + enabled_scratch_.size();
 
@@ -125,8 +184,8 @@ void CodegenSimdMachine::run_group(const TGroup& g) {
 
   MSC_TOP(Exec) {
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
-      Pe& pe = pes_[static_cast<std::size_t>(*p)];
-      ir::PeContext ctx{&pe.local, &pe.stack, *p, config_.nprocs};
+      ir::PeContext ctx{lanes_.pe_view(*p), &lanes_.stack(*p), *p,
+                        config_.nprocs};
       ir::exec_instr(op->instr, ctx, *this);
     }
   }
@@ -136,7 +195,7 @@ void CodegenSimdMachine::run_group(const TGroup& g) {
   MSC_TOP(PushF) {
     const Value v = op->instr.imm;
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p)
-      pes_[static_cast<std::size_t>(*p)].stack.push_back(v);
+      lanes_.stack(*p).push_back(v);
   }
   MSC_NEXT();
 
@@ -146,22 +205,19 @@ void CodegenSimdMachine::run_group(const TGroup& g) {
     // faults at the first enabled PE either way.
     if (addr < 0 || addr >= config_.local_mem_cells)
       throw MachineFault(cat("local load out of range: ", addr));
-    for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
-      Pe& pe = pes_[static_cast<std::size_t>(*p)];
-      pe.stack.push_back(pe.local[static_cast<std::size_t>(addr)]);
-    }
+    for (const std::int64_t* p = pe_begin; p != pe_end; ++p)
+      lanes_.stack(*p).push_back(lanes_.load(*p, addr));
   }
   MSC_NEXT();
 
   MSC_TOP(StLImm) {
     const std::int64_t addr = op->instr.imm.as_int();
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
-      Pe& pe = pes_[static_cast<std::size_t>(*p)];
       // Underflow precedes the range check, as in the unfused pop order.
-      Value v = ir::stack_pop(pe.stack);
+      Value v = ir::stack_pop(lanes_.stack(*p));
       if (addr < 0 || addr >= config_.local_mem_cells)
         throw MachineFault(cat("local store out of range: ", addr));
-      pe.local[static_cast<std::size_t>(addr)] = v;
+      lanes_.store(*p, addr, v);
     }
   }
   MSC_NEXT();
@@ -170,14 +226,14 @@ void CodegenSimdMachine::run_group(const TGroup& g) {
     // No side effects and no stores in between: one load serves all PEs.
     const Value v = mono_load(op->instr.imm.as_int());
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p)
-      pes_[static_cast<std::size_t>(*p)].stack.push_back(v);
+      lanes_.stack(*p).push_back(v);
   }
   MSC_NEXT();
 
   MSC_TOP(StMImm) {
     const std::int64_t addr = op->instr.imm.as_int();
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
-      Value v = ir::stack_pop(pes_[static_cast<std::size_t>(*p)].stack);
+      Value v = ir::stack_pop(lanes_.stack(*p));
       mono_store(addr, v);
     }
   }
@@ -187,7 +243,7 @@ void CodegenSimdMachine::run_group(const TGroup& g) {
     const Value imm = op->instr.imm;
     const ir::Opcode opc = op->instr.op;
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
-      auto& st = pes_[static_cast<std::size_t>(*p)].stack;
+      auto& st = lanes_.stack(*p);
       if (st.empty()) throw MachineFault("operand stack underflow");
       st.back() = ir::eval_binary(opc, st.back(), imm);
     }
@@ -204,9 +260,9 @@ void CodegenSimdMachine::run_group(const TGroup& g) {
 
   MSC_TOP(CondSetPc) {
     for (const std::int64_t* p = pe_begin; p != pe_end; ++p) {
-      Pe& pe = pes_[static_cast<std::size_t>(*p)];
-      Value cond = ir::stack_pop(pe.stack);
-      pe.next_pc = cond.truthy() ? op->a : op->b;
+      Value cond = ir::stack_pop(lanes_.stack(*p));
+      pes_[static_cast<std::size_t>(*p)].next_pc = cond.truthy() ? op->a
+                                                                 : op->b;
       moved_.push_back(*p);
     }
   }

@@ -10,6 +10,16 @@
 //    maintained at the pc commit of each meta state instead of by the
 //    reference engine's full scans per step.
 //
+// Under a vector host ISA (RunConfig::simd_isa resolved ≠ scalar) the
+// engine executes whole lanes instead: each meta state's code is lowered
+// once into maximal same-guard runs (lanes.cpp) whose enable mask is the
+// OR of the guard's occ_ words, and LaneExecutor evaluates the run across
+// all enabled PEs per op. Stats are charged per run with totals identical
+// to the per-op path (guard/op costs aggregate over the run; alive_ and
+// the enabled count are constant within a meta state). Low-occupancy runs
+// (enabled*8 < lane width) fall back to the per-PE span path so sparse
+// workloads never regress.
+//
 // Within exec_state, pcs are frozen (lockstep semantics) — only next_pc
 // changes, and each changed PE is recorded once in moved_.
 #include "msc/simd/machine.hpp"
@@ -23,13 +33,11 @@ using core::MetaId;
 using ir::kNoState;
 using ir::StateId;
 
-void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
-                              std::int64_t i) {
+void FastSimdMachine::exec_op(const SOp& op, std::int64_t i) {
   Pe& pe = pes_[static_cast<std::size_t>(i)];
-  stats_.busy_pe_cycles += op_cost;
   switch (op.kind) {
     case SOpKind::Data: {
-      ir::PeContext ctx{&pe.local, &pe.stack, i, config_.nprocs};
+      ir::PeContext ctx{lanes_.pe_view(i), &lanes_.stack(i), i, config_.nprocs};
       ir::exec_instr(op.instr, ctx, *this);
       break;
     }
@@ -38,7 +46,7 @@ void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
       moved_.push_back(i);
       break;
     case SOpKind::CondSetPc: {
-      Value cond = ir::stack_pop(pe.stack);
+      Value cond = ir::stack_pop(lanes_.stack(i));
       pe.next_pc = cond.truthy() ? op.a : op.b;
       moved_.push_back(i);
       break;
@@ -54,6 +62,10 @@ void FastSimdMachine::exec_op(const SOp& op, std::int64_t op_cost,
 }
 
 void FastSimdMachine::exec_state(const MetaCode& mc) {
+  if (isa_ != SimdIsa::Scalar) {
+    exec_state_lanes(mc);
+    return;
+  }
   for (const SOp& op : mc.code) {
     // Enable-mask reprogramming boundaries are precomputed by codegen
     // (SOp::new_guard); the reference engine re-derives them at runtime.
@@ -86,7 +98,10 @@ void FastSimdMachine::exec_state(const MetaCode& mc) {
       const DynBitset& pes = occ_[s];
       std::size_t i = pes.first();
       for (std::int64_t left = occ_count_[s];;) {
-        exec_op(op, op_cost, static_cast<std::int64_t>(i));
+        // Charge before executing, per PE — bit-identical to the reference
+        // engine's accounting even if the op faults mid-broadcast.
+        stats_.busy_pe_cycles += op_cost;
+        exec_op(op, static_cast<std::int64_t>(i));
         if (--left == 0) break;
         i = pes.next(i);
       }
@@ -106,7 +121,8 @@ void FastSimdMachine::exec_state(const MetaCode& mc) {
         for (std::size_t k = 1; k < cursor_scratch_.size(); ++k)
           if (cursor_scratch_[k].pos < cursor_scratch_[best].pos) best = k;
         OccCursor& c = cursor_scratch_[best];
-        exec_op(op, op_cost, static_cast<std::int64_t>(c.pos));
+        stats_.busy_pe_cycles += op_cost;
+        exec_op(op, static_cast<std::int64_t>(c.pos));
         if (--c.left == 0) {
           cursor_scratch_.erase(cursor_scratch_.begin() +
                                 static_cast<std::ptrdiff_t>(best));
@@ -117,6 +133,52 @@ void FastSimdMachine::exec_state(const MetaCode& mc) {
     }
   }
   commit();
+}
+
+const LanePlan& FastSimdMachine::plan_for(const MetaCode& mc) {
+  if (plans_.size() != prog_.states.size()) plans_.resize(prog_.states.size());
+  auto& slot = plans_[static_cast<std::size_t>(mc.id)];
+  if (!slot) slot = std::make_unique<LanePlan>(build_lane_plan(mc.code, cost_));
+  return *slot;
+}
+
+void FastSimdMachine::exec_state_lanes(const MetaCode& mc) {
+  const LanePlan& plan = plan_for(mc);
+  cur_code_ = &mc.code;
+  for (const LaneRun& run : plan.runs) {
+    // Per-run charge, identical totals to the per-op path: each run is one
+    // maximal same-guard span (first op carries new_guard), and alive_ /
+    // the enabled count cannot change while a meta state executes.
+    stats_.control_cycles += cost_.guard_switch + run.cost_sum;
+    ++stats_.guard_switches;
+    stats_.offered_pe_cycles += run.cost_sum * alive_;
+    const SOp& lead = mc.code[static_cast<std::size_t>(run.first)];
+    const std::int64_t enabled = build_lane_mask(lead.guard_states);
+    if (enabled == 0) continue;  // nobody enabled: PEs idle
+    stats_.busy_pe_cycles += run.cost_sum * enabled;
+    if (enabled * 8 < lanes_.width()) {
+      // Sparse occupancy: whole-lane work would touch mostly-disabled
+      // elements; the per-PE span path is the same observable machine.
+      lane_scalar_span(run.first, run.end, lane_mask_.data(),
+                       lane_mask_.size());
+    } else {
+      lane_executor().run(run, lane_mask_.data(), *this);
+    }
+  }
+  cur_code_ = nullptr;
+  commit();
+}
+
+void FastSimdMachine::lane_scalar_span(std::int32_t first, std::int32_t end,
+                                       const std::uint64_t* mask,
+                                       std::size_t nwords) {
+  // Op-outer / PE-inner in ascending PE id: the reference scan order.
+  for (std::int32_t j = first; j < end; ++j) {
+    const SOp& op = (*cur_code_)[static_cast<std::size_t>(j)];
+    for_each_lane_bit(mask, nwords, [&](std::size_t k) {
+      exec_op(op, static_cast<std::int64_t>(k));
+    });
+  }
 }
 
 MetaId FastSimdMachine::next_state(const MetaCode& mc, DynBitset* apc) {

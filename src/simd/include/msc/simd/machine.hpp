@@ -12,6 +12,8 @@
 #include "msc/ir/cost.hpp"
 #include "msc/ir/exec.hpp"
 #include "msc/mimd/machine.hpp"  // RunConfig, SimdEngine, Timeout
+#include "msc/simd/lanes.hpp"
+#include "msc/support/simd_isa.hpp"
 
 namespace msc::telemetry {
 class TraceSink;
@@ -121,6 +123,10 @@ class SimdMachine : public ir::MemoryBus {
 
   void poke(std::int64_t proc, std::int64_t addr, Value v);
   Value peek(std::int64_t proc, std::int64_t addr) const;
+  /// Seed one local cell across all PEs from a per-PE integer vector
+  /// (vals.size() == nprocs): one memcpy into the int lane, byte-identical
+  /// to nprocs scalar pokes of Value::of_int.
+  void fill_lane(std::int64_t addr, const std::vector<std::int64_t>& vals);
   void poke_mono(std::int64_t addr, Value v);
   Value peek_mono(std::int64_t addr) const;
 
@@ -163,6 +169,9 @@ class SimdMachine : public ir::MemoryBus {
   /// Machine width (RunConfig::nprocs) — partition bookkeeping for the
   /// co-scheduler and reporting tools.
   std::int64_t nprocs() const { return config_.nprocs; }
+  /// Resolved host ISA executing whole-lane broadcasts. Always Scalar for
+  /// the reference engine (it is the scalar differential oracle).
+  SimdIsa isa() const { return isa_; }
 
   /// "fast", "reference", or "codegen" (--trace-simd, bench labels).
   virtual const char* engine_name() const = 0;
@@ -181,12 +190,13 @@ class SimdMachine : public ir::MemoryBus {
   void route_store(std::int64_t proc, std::int64_t addr, Value v) override;
 
  protected:
+  /// Per-PE control state only: local memory and operand stacks moved to
+  /// the shared lane-major store (lanes_), so the engines no longer own PE
+  /// memory and whole-lane execution needs no per-PE indirection.
   struct Pe {
     ir::StateId pc = ir::kNoState;
     ir::StateId next_pc = ir::kNoState;
     bool ever_ran = false;
-    std::vector<Value> local;
-    std::vector<Value> stack;
   };
 
   bool alive(const Pe& pe) const { return pe.pc != ir::kNoState; }
@@ -212,9 +222,16 @@ class SimdMachine : public ir::MemoryBus {
   DynBitset aggregate_pc() const;
   void check_local(std::int64_t proc, std::int64_t addr) const;
 
+  /// Validate nprocs/initial_active before any allocation (MachineFault on
+  /// bad configs, matching the historical construction order).
+  static std::int64_t validated_nprocs(const mimd::RunConfig& config);
+
   const codegen::SimdProgram& prog_;
   const ir::CostModel& cost_;
   mimd::RunConfig config_;
+  /// Lane-major SoA local memories + per-PE operand stacks (all engines).
+  LaneStore lanes_;
+  SimdIsa isa_ = SimdIsa::Scalar;
   std::vector<Pe> pes_;
   std::vector<Value> mono_;
   SimdStats stats_;
@@ -268,7 +285,7 @@ class ReferenceSimdMachine final : public SimdMachine {
 ///   exactly the PEs a spawn may claim. Within exec_state, pcs are frozen
 ///   (lockstep semantics) — only next_pc changes, each changed PE recorded
 ///   once in moved_.
-class OccupancySimdMachine : public SimdMachine {
+class OccupancySimdMachine : public SimdMachine, protected LaneHost {
  public:
   OccupancySimdMachine(const codegen::SimdProgram& program,
                        const ir::CostModel& cost,
@@ -278,6 +295,15 @@ class OccupancySimdMachine : public SimdMachine {
  protected:
   bool any_alive() const override { return alive_ > 0; }
   DynBitset occupancy() const override { return apc_; }
+
+  /// LaneHost: next-pc write with moved_ bookkeeping (shared by the lane
+  /// executors of both occupancy engines).
+  void lane_set_next_pc(std::int64_t pe, ir::StateId target) override;
+  /// OR the occ_ words of the occupied `guard_states` into lane_mask_;
+  /// returns the enabled-PE count (Σ occ_count_ over those states).
+  std::int64_t build_lane_mask(const std::vector<ir::StateId>& guard_states);
+  /// Per-machine executor, built on first whole-lane run.
+  LaneExecutor& lane_executor();
 
   /// Apply the next_pc of every PE in moved_, maintaining occ_/apc_/
   /// alive_/free_ incrementally (end of each meta state).
@@ -312,6 +338,11 @@ class OccupancySimdMachine : public SimdMachine {
   // Scratch reused across broadcasts (no per-op allocation).
   std::vector<ir::StateId> occupied_scratch_;
   std::vector<OccCursor> cursor_scratch_;
+  /// Whole-lane enable mask (lanes_.mask_words() words), rebuilt per run.
+  std::vector<std::uint64_t> lane_mask_;
+
+ private:
+  std::unique_ptr<LaneExecutor> lane_exec_;
 };
 
 /// Occupancy-indexed interpretive engine: each broadcast iterates only the
@@ -326,9 +357,22 @@ class FastSimdMachine final : public OccupancySimdMachine {
   void exec_state(const codegen::MetaCode& mc) override;
   core::MetaId next_state(const codegen::MetaCode& mc,
                           DynBitset* apc) override;
+  /// LaneHost: execute SOps [first, end) of the current state's code for
+  /// every masked PE, op-outer / PE-inner (the reference scan order).
+  void lane_scalar_span(std::int32_t first, std::int32_t end,
+                        const std::uint64_t* mask,
+                        std::size_t nwords) override;
 
  private:
-  void exec_op(const codegen::SOp& op, std::int64_t op_cost, std::int64_t pe);
+  void exec_op(const codegen::SOp& op, std::int64_t pe);
+  /// Whole-lane body (vector ISAs): one lowered run per same-guard span,
+  /// stats charged per run with identical totals to the per-op path.
+  void exec_state_lanes(const codegen::MetaCode& mc);
+  const LanePlan& plan_for(const codegen::MetaCode& mc);
+
+  /// Lazily lowered lane plans, indexed by meta-state id.
+  std::vector<std::unique_ptr<LanePlan>> plans_;
+  const std::vector<codegen::SOp>* cur_code_ = nullptr;  ///< span source
 };
 
 /// Translation-cache engine (DESIGN.md §11): at construction the program
@@ -351,15 +395,30 @@ class CodegenSimdMachine final : public OccupancySimdMachine {
   void exec_state(const codegen::MetaCode& mc) override;
   core::MetaId next_state(const codegen::MetaCode& mc,
                           DynBitset* apc) override;
+  /// LaneHost: execute TOps [first, end) of the current group for every
+  /// masked PE, op-outer / PE-inner.
+  void lane_scalar_span(std::int32_t first, std::int32_t end,
+                        const std::uint64_t* mask,
+                        std::size_t nwords) override;
 
  private:
   /// Fill enabled_scratch_ with the PEs occupying `guard_states`, in
   /// ascending PE id (the reference engine's 0..nprocs scan order).
   void gather_enabled(const std::vector<ir::StateId>& guard_states);
-  void run_group(const codegen::TGroup& g);
+  /// Dispatch folded host ops [op, end) over enabled_scratch_ (the whole
+  /// group on the scalar path; a ScalarSpan subrange on the lane path).
+  void run_ops(const codegen::TOp* op, const codegen::TOp* end);
+  /// Whole-lane body (vector ISAs): one lowered run per TGroup.
+  void exec_state_lanes(const codegen::MetaCode& mc,
+                        const codegen::TransState& ts);
+  const LanePlan& plan_for(core::MetaId id, const codegen::TransState& ts);
 
   std::shared_ptr<const codegen::TransProgram> trans_;
   std::vector<std::int64_t> enabled_scratch_;
+  /// Lazily lowered lane plans, indexed by meta-state id (per machine —
+  /// the shared translation cache stays RunConfig/ISA-independent).
+  std::vector<std::unique_ptr<LanePlan>> lane_plans_;
+  const codegen::TGroup* cur_group_ = nullptr;  ///< span source
 };
 
 /// Build the engine selected by `config.engine`.

@@ -20,17 +20,30 @@ using core::MetaId;
 using ir::kNoState;
 using ir::MachineFault;
 
+std::int64_t SimdMachine::validated_nprocs(const mimd::RunConfig& config) {
+  if (config.nprocs <= 0) throw MachineFault("nprocs must be positive");
+  if (config.active() > config.nprocs)
+    throw MachineFault("initial_active exceeds nprocs");
+  return config.nprocs;
+}
+
 SimdMachine::SimdMachine(const codegen::SimdProgram& program,
                          const ir::CostModel& cost, const mimd::RunConfig& config)
-    : prog_(program), cost_(cost), config_(config) {
-  if (config_.nprocs <= 0) throw MachineFault("nprocs must be positive");
-  if (config_.active() > config_.nprocs)
-    throw MachineFault("initial_active exceeds nprocs");
+    : prog_(program),
+      cost_(cost),
+      config_(config),
+      lanes_(validated_nprocs(config), config.local_mem_cells) {
+  // Resolve the host execution backend up front so an unavailable explicit
+  // request faults at construction, like any other bad RunConfig.
+  try {
+    isa_ = resolve_simd_isa(config_.simd_isa);
+  } catch (const std::invalid_argument& e) {
+    throw MachineFault(e.what());
+  }
   pes_.resize(static_cast<std::size_t>(config_.nprocs));
   visits_.assign(prog_.states.size(), 0);
   for (std::int64_t i = 0; i < config_.nprocs; ++i) {
     Pe& pe = pes_[static_cast<std::size_t>(i)];
-    pe.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
     if (i < config_.active()) {
       // All initial PEs begin in the MIMD start state (SPMD restriction).
       // The start meta state has exactly that one member.
@@ -51,12 +64,18 @@ void SimdMachine::check_local(std::int64_t proc, std::int64_t addr) const {
 
 void SimdMachine::poke(std::int64_t proc, std::int64_t addr, Value v) {
   check_local(proc, addr);
-  pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)] = v;
+  lanes_.store(proc, addr, v);
 }
 
 Value SimdMachine::peek(std::int64_t proc, std::int64_t addr) const {
   check_local(proc, addr);
-  return pes_[static_cast<std::size_t>(proc)].local[static_cast<std::size_t>(addr)];
+  return lanes_.load(proc, addr);
+}
+
+void SimdMachine::fill_lane(std::int64_t addr,
+                            const std::vector<std::int64_t>& vals) {
+  check_local(0, addr);
+  lanes_.fill_int_lane(addr, vals.data(), config_.nprocs);
 }
 
 void SimdMachine::poke_mono(std::int64_t addr, Value v) {
@@ -269,6 +288,8 @@ void SimdMachine::publish_metrics() {
   static Counter& rescues = reg.counter("simd.rescue_transitions");
   static Histogram& util = reg.histogram(
       "simd.utilization_pct", {10, 20, 30, 40, 50, 60, 70, 80, 90});
+  static telemetry::Gauge& isa_width = reg.gauge("simd.isa_lane_width");
+  isa_width.set(simd_isa_lane_width(isa_));
   runs.add();
   transitions.add(stats_.meta_transitions);
   control.add(stats_.control_cycles);
@@ -314,6 +335,8 @@ std::string to_json(const SimdMachine& machine) {
   std::string json = cat(
       "{\n"
       "  \"engine\": \"", machine.engine_name(), "\",\n"
+      "  \"isa\": \"", simd_isa_name(machine.isa()), "\",\n"
+      "  \"isa_lane_width\": ", simd_isa_lane_width(machine.isa()), ",\n"
       "  \"meta_states\": ", machine.state_visits().size(), ",\n"
       "  \"meta_transitions\": ", s.meta_transitions, ",\n"
       "  \"control_cycles\": ", s.control_cycles, ",\n"

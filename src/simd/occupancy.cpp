@@ -5,6 +5,9 @@
 // on the class declaration.
 #include "msc/simd/machine.hpp"
 
+#include <algorithm>
+#include <memory>
+
 #include "msc/support/coverage.hpp"
 
 namespace msc::simd {
@@ -44,14 +47,46 @@ void OccupancySimdMachine::spawn_pe(Pe& parent, std::int64_t parent_id,
   free_.reset(child);
   Pe& ch = pes_[child];
   if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
-  ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells), Value{});
-  ch.stack.clear();
+  lanes_.clear_pe(static_cast<std::int64_t>(child));
   ch.next_pc = child_entry;
   ch.ever_ran = true;
   moved_.push_back(static_cast<std::int64_t>(child));
   ++stats_.spawns;
   parent.next_pc = cont;
   moved_.push_back(parent_id);
+}
+
+void OccupancySimdMachine::lane_set_next_pc(std::int64_t pe,
+                                            ir::StateId target) {
+  pes_[static_cast<std::size_t>(pe)].next_pc = target;
+  moved_.push_back(pe);
+}
+
+std::int64_t OccupancySimdMachine::build_lane_mask(
+    const std::vector<ir::StateId>& guard_states) {
+  if (lane_mask_.size() != lanes_.mask_words())
+    lane_mask_.assign(lanes_.mask_words(), 0);
+  else
+    std::fill(lane_mask_.begin(), lane_mask_.end(), 0);
+  std::int64_t enabled = 0;
+  for (ir::StateId s : guard_states) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (occ_count_[si] == 0) continue;
+    enabled += occ_count_[si];
+    const DynBitset& pes = occ_[si];
+    // DynBitset words hold ceil(nprocs/64) == mask_words() words; pads
+    // beyond nprocs are never set, so pad PEs are never enabled.
+    for (std::size_t w = 0; w < pes.word_size(); ++w)
+      lane_mask_[w] |= pes.word(w);
+  }
+  return enabled;
+}
+
+LaneExecutor& OccupancySimdMachine::lane_executor() {
+  if (!lane_exec_)
+    lane_exec_ = std::make_unique<LaneExecutor>(lanes_, *this, config_.nprocs,
+                                                isa_);
+  return *lane_exec_;
 }
 
 void OccupancySimdMachine::commit() {

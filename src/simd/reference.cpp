@@ -25,6 +25,9 @@ ReferenceSimdMachine::ReferenceSimdMachine(const codegen::SimdProgram& program,
                                            const mimd::RunConfig& config)
     : SimdMachine(program, cost, config),
       free_(static_cast<std::size_t>(config_.nprocs)) {
+  // The oracle's value is being obviously correct: it never takes the
+  // whole-lane path, whatever RunConfig::simd_isa asked for.
+  isa_ = SimdIsa::Scalar;
   for (std::int64_t i = 0; i < config_.nprocs; ++i)
     if (pes_[static_cast<std::size_t>(i)].pc == kNoState)
       free_.set(static_cast<std::size_t>(i));  // never ran: spawnable
@@ -67,7 +70,8 @@ void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
       stats_.busy_pe_cycles += op_cost;
       switch (op.kind) {
         case SOpKind::Data: {
-          ir::PeContext ctx{&pe.local, &pe.stack, i, config_.nprocs};
+          ir::PeContext ctx{lanes_.pe_view(i), &lanes_.stack(i), i,
+                            config_.nprocs};
           ir::exec_instr(op.instr, ctx, *this);
           break;
         }
@@ -75,7 +79,7 @@ void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
           pe.next_pc = op.a;
           break;
         case SOpKind::CondSetPc: {
-          Value cond = ir::stack_pop(pe.stack);
+          Value cond = ir::stack_pop(lanes_.stack(i));
           pe.next_pc = cond.truthy() ? op.a : op.b;
           break;
         }
@@ -92,9 +96,7 @@ void ReferenceSimdMachine::exec_state(const MetaCode& mc) {
           free_.reset(child);
           Pe& ch = pes_[child];
           if (ch.ever_ran) coverage_hit(cov::kSimdSpawnReuse, 1);
-          ch.local.assign(static_cast<std::size_t>(config_.local_mem_cells),
-                          Value{});
-          ch.stack.clear();
+          lanes_.clear_pe(static_cast<std::int64_t>(child));
           ch.next_pc = op.a;
           ch.ever_ran = true;
           ++stats_.spawns;

@@ -87,6 +87,11 @@ class DynBitset {
   /// Used as the aggregate-pc word handed to the multiway-branch hasher.
   std::uint64_t fold64() const;
 
+  /// Backing-word access for whole-lane mask assembly (bit i lives in
+  /// word i/64, bit i%64). Words past the last significant bit are zero.
+  std::size_t word_size() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+
   std::size_t hash() const;
 
   /// Members as a sorted vector, e.g. {2, 6, 9}.

@@ -1,0 +1,75 @@
+#include "msc/support/simd_isa.hpp"
+
+#include <stdexcept>
+
+namespace msc {
+
+bool simd_isa_compiled() {
+#if defined(MSC_SIMD_ISA_SCALAR)
+  return false;
+#else
+  return true;
+#endif
+}
+
+SimdIsa detect_simd_isa() {
+#if defined(MSC_SIMD_ISA_SCALAR)
+  return SimdIsa::Scalar;
+#elif defined(__aarch64__)
+  return SimdIsa::Neon;  // AdvSIMD is architecturally mandatory on AArch64.
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") ? SimdIsa::Avx2 : SimdIsa::Scalar;
+#else
+  return SimdIsa::Scalar;
+#endif
+}
+
+SimdIsa resolve_simd_isa(SimdIsa requested) {
+  switch (requested) {
+    case SimdIsa::Auto:
+      return detect_simd_isa();
+    case SimdIsa::Scalar:
+      return SimdIsa::Scalar;
+    case SimdIsa::Avx2:
+    case SimdIsa::Neon:
+      if (!simd_isa_compiled())
+        throw std::invalid_argument(
+            std::string("SIMD ISA '") + simd_isa_name(requested) +
+            "' is not compiled in (built with -DMSC_SIMD_ISA=scalar)");
+      if (detect_simd_isa() != requested)
+        throw std::invalid_argument(std::string("SIMD ISA '") +
+                                    simd_isa_name(requested) +
+                                    "' is unavailable on this host");
+      return requested;
+  }
+  throw std::invalid_argument("unknown SIMD ISA value");
+}
+
+SimdIsa parse_simd_isa(const std::string& text) {
+  if (text == "auto") return SimdIsa::Auto;
+  if (text == "scalar") return SimdIsa::Scalar;
+  if (text == "avx2") return SimdIsa::Avx2;
+  if (text == "neon") return SimdIsa::Neon;
+  throw std::invalid_argument("unknown SIMD ISA '" + text +
+                              "' (expected auto|scalar|avx2|neon)");
+}
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::Auto: return "auto";
+    case SimdIsa::Scalar: return "scalar";
+    case SimdIsa::Avx2: return "avx2";
+    case SimdIsa::Neon: return "neon";
+  }
+  return "?";
+}
+
+int simd_isa_lane_width(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::Avx2: return 4;
+    case SimdIsa::Neon: return 2;
+    default: return 1;
+  }
+}
+
+}  // namespace msc

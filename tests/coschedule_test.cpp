@@ -194,13 +194,23 @@ TEST(CoScheduleTest, DeterministicAndEngineIndependent) {
   };
   const std::string a = render(mimd::SimdEngine::Fast);
   EXPECT_EQ(a, render(mimd::SimdEngine::Fast));
-  // The engine name appears inside each embedded run document; strip it
-  // before comparing across engines.
+  // The engine name and the resolved host ISA appear inside each embedded
+  // run document; both are legitimately engine-dependent (the reference
+  // engine always reports scalar), so strip them before comparing.
   const auto neutral = [](std::string s) {
     for (const char* e : {"\"fast\"", "\"reference\"", "\"codegen\""}) {
       std::size_t pos;
       while ((pos = s.find(e)) != std::string::npos)
         s.replace(pos, std::string(e).size(), "\"E\"");
+    }
+    for (const char* line : {"\"isa\": ", "\"isa_lane_width\": "}) {
+      std::size_t pos = 0;
+      while ((pos = s.find(line, pos)) != std::string::npos) {
+        const std::size_t from = pos + std::string(line).size();
+        const std::size_t to = s.find_first_of(",\n", from);
+        s.replace(from, to - from, "X");
+        pos = from;
+      }
     }
     return s;
   };

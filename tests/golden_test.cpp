@@ -36,11 +36,14 @@ TEST(Golden, Listing4MplSnapshot) {
 
 // The --trace-simd JSON dump for listing1 (fast engine, nprocs 4, seed 1)
 // must be byte-identical to tests/golden/listing1_trace.json. This pins the
-// execution-stats schema (engine name, every cycle counter, utilization
-// formatting, per-meta-state visits) and — because the counters themselves
-// are part of the snapshot — the engine's cost accounting. Regenerate with:
+// execution-stats schema (engine name, resolved ISA, every cycle counter,
+// utilization formatting, per-meta-state visits) and — because the
+// counters themselves are part of the snapshot — the engine's cost
+// accounting. The ISA is pinned to scalar so the snapshot is
+// host-independent. Regenerate with:
 //   ./build/tools/mscc --kernel listing1 --emit meta --nprocs 4 --seed 1
-//       --trace-simd tests/golden/listing1_trace.json > /dev/null
+//       --simd-isa scalar --trace-simd tests/golden/listing1_trace.json
+//       > /dev/null
 // (single command line; wrapped here for width)
 TEST(Golden, TraceSimdJsonSnapshot) {
   std::ifstream in(MSC_GOLDEN_DIR "/listing1_trace.json");
@@ -54,6 +57,7 @@ TEST(Golden, TraceSimdJsonSnapshot) {
   auto prog = codegen::generate(conv.automaton, conv.graph, cost, {});
   mimd::RunConfig config;
   config.nprocs = 4;
+  config.simd_isa = SimdIsa::Scalar;  // host-independent snapshot
   auto machine = simd::make_machine(prog, cost, config);
   driver::seed_machine(*machine, compiled, config, 1);
   machine->run();

@@ -26,10 +26,14 @@ class TestBus : public MemoryBus {
 
 class ExecTest : public testing::Test {
  protected:
-  std::vector<Value> local = std::vector<Value>(16);
+  SoaLocal local_mem = [] {
+    SoaLocal m;
+    m.assign(16);
+    return m;
+  }();
   std::vector<Value> stack;
   TestBus bus;
-  PeContext pe{&local, &stack, 2, 4};
+  PeContext pe{local_mem.view(), &stack, 2, 4};
 
   void run(std::initializer_list<Instr> instrs) {
     for (const Instr& in : instrs) exec_instr(in, pe, bus);
@@ -107,7 +111,7 @@ TEST_F(ExecTest, Casts) {
 
 TEST_F(ExecTest, LocalLoadStore) {
   run({Instr::push_i(42), Instr::push_i(5), Instr::of(Opcode::StL)});
-  EXPECT_EQ(local[5], Value::of_int(42));
+  EXPECT_EQ(local_mem.get(5), Value::of_int(42));
   run({Instr::push_i(5), Instr::of(Opcode::LdL)});
   EXPECT_EQ(top(), Value::of_int(42));
 }

@@ -1,0 +1,228 @@
+// Unit tests for the lane-major PE state store (simd/lanes.hpp) at the
+// PE counts where the 64-PE word geometry has edges — 1, 63, 64, 65,
+// 127, 1000 — plus the seeded-input regression that pins fill_int_lane
+// byte-identical to the per-PE poke path it replaced. Machine-level
+// companions (tail masks never enable pad PEs, spawn free-list /
+// reuse_halted_pes on the lane store) run the real engines at the same
+// PE counts and compare scalar vs host-vector execution.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "msc/driver/pipeline.hpp"
+#include "msc/driver/runner.hpp"
+#include "msc/simd/lanes.hpp"
+#include "msc/simd/machine.hpp"
+#include "msc/support/str.hpp"
+#include "msc/workload/kernels.hpp"
+
+using namespace msc;
+using simd::LaneStore;
+
+namespace {
+
+const std::int64_t kPeCounts[] = {1, 63, 64, 65, 127, 1000};
+
+ir::CostModel kCost;
+
+TEST(LaneStore, GeometryAndWordAlignment) {
+  for (std::int64_t n : kPeCounts) {
+    SCOPED_TRACE(n);
+    LaneStore ls(n, 3);
+    EXPECT_EQ(ls.nprocs(), n);
+    EXPECT_EQ(ls.cells(), 3);
+    // width is nprocs rounded up to a whole number of 64-bit mask words.
+    EXPECT_EQ(ls.width(), (n + 63) / 64 * 64);
+    EXPECT_EQ(ls.width() % 64, 0);
+    EXPECT_EQ(ls.mask_words(), static_cast<std::size_t>(ls.width()) / 64);
+    EXPECT_GE(ls.width(), n);
+    EXPECT_LT(ls.width() - n, 64);
+  }
+}
+
+TEST(LaneStore, AddrMajorLayoutRoundTrips) {
+  for (std::int64_t n : kPeCounts) {
+    SCOPED_TRACE(n);
+    LaneStore ls(n, 4);
+    for (std::int64_t pe = 0; pe < n; ++pe) {
+      ls.store(pe, 0, Value::of_int(pe * 3 + 1));
+      ls.store(pe, 2, Value::of_float(0.5 * static_cast<double>(pe)));
+    }
+    for (std::int64_t pe = 0; pe < n; ++pe) {
+      // Scalar view and raw lanes agree on the same element.
+      EXPECT_EQ(ls.load(pe, 0).as_int(), pe * 3 + 1);
+      EXPECT_EQ(ls.int_lane(0)[pe], pe * 3 + 1);
+      EXPECT_EQ(ls.load(pe, 2).as_double(), 0.5 * static_cast<double>(pe));
+      EXPECT_EQ(ls.float_lane(2)[pe], 0.5 * static_cast<double>(pe));
+    }
+    // Untouched addresses and every pad element stay default-initialized.
+    for (std::int64_t pe = 0; pe < ls.width(); ++pe) {
+      EXPECT_EQ(ls.tag_lane(1)[pe], ls.tag_lane(3)[pe]);
+      EXPECT_EQ(ls.int_lane(1)[pe], 0);
+      EXPECT_EQ(ls.float_lane(1)[pe], 0.0);
+    }
+    for (std::int64_t pe = n; pe < ls.width(); ++pe) {
+      EXPECT_EQ(ls.int_lane(0)[pe], 0) << "pad lane written at pe " << pe;
+      EXPECT_EQ(ls.float_lane(2)[pe], 0.0) << "pad lane written at pe " << pe;
+    }
+  }
+}
+
+TEST(LaneStore, FillIntLaneByteIdenticalToScalarStores) {
+  for (std::int64_t n : kPeCounts) {
+    SCOPED_TRACE(n);
+    std::vector<std::int64_t> vals(static_cast<std::size_t>(n));
+    for (std::int64_t p = 0; p < n; ++p)
+      vals[static_cast<std::size_t>(p)] = driver::seed_input(42, p);
+
+    LaneStore bulk(n, 2), scalar(n, 2);
+    bulk.fill_int_lane(1, vals.data(), n);
+    for (std::int64_t p = 0; p < n; ++p)
+      scalar.store(p, 1, Value::of_int(vals[static_cast<std::size_t>(p)]));
+
+    const std::size_t w = static_cast<std::size_t>(bulk.width());
+    EXPECT_EQ(0, std::memcmp(bulk.tag_lane(1), scalar.tag_lane(1), w));
+    EXPECT_EQ(0, std::memcmp(bulk.int_lane(1), scalar.int_lane(1),
+                             w * sizeof(std::int64_t)));
+    EXPECT_EQ(0, std::memcmp(bulk.float_lane(1), scalar.float_lane(1),
+                             w * sizeof(double)));
+    // Neighbouring lanes untouched.
+    for (std::int64_t p = 0; p < bulk.width(); ++p)
+      EXPECT_EQ(bulk.int_lane(0)[p], 0);
+  }
+}
+
+TEST(LaneStore, ClearPeResetsOneColumnOnly) {
+  LaneStore ls(65, 3);
+  for (std::int64_t pe = 0; pe < 65; ++pe)
+    for (std::int64_t a = 0; a < 3; ++a)
+      ls.store(pe, a, Value::of_int(100 * pe + a));
+  ls.stack(64).push_back(Value::of_int(9));
+  ls.clear_pe(64);
+  EXPECT_TRUE(ls.stack(64).empty());
+  for (std::int64_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(ls.load(64, a).as_int(), 0);
+    EXPECT_EQ(ls.load(63, a).as_int(), 100 * 63 + a) << "neighbour clobbered";
+    EXPECT_EQ(ls.load(0, a).as_int(), a) << "neighbour clobbered";
+  }
+}
+
+TEST(LaneStore, StacksAreIndependentPerPe) {
+  LaneStore ls(127, 1);
+  for (std::int64_t pe = 0; pe < 127; ++pe)
+    for (std::int64_t d = 0; d <= pe % 3; ++d)
+      ls.stack(pe).push_back(Value::of_int(pe * 10 + d));
+  for (std::int64_t pe = 0; pe < 127; ++pe) {
+    ASSERT_EQ(ls.stack(pe).size(), static_cast<std::size_t>(pe % 3 + 1));
+    EXPECT_EQ(ls.stack(pe).back().as_int(), pe * 10 + pe % 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-input regression (satellite of the lane-store refactor): the
+// bulk fill_lane seeding path must produce exactly the values the
+// per-PE poke loop produced before the refactor. The constants below
+// are the pre-refactor golden seed_input values — if seed_input or the
+// fill path drifts, machine inputs silently change and every downstream
+// differential loses its anchor.
+
+TEST(LaneSeeding, SeedInputGoldenValues) {
+  const std::int64_t want42[] = {6, 1, 88, 58, 48, 90, 18, 65};
+  const std::int64_t want1[] = {37, 18, 79, 33, 14, 10, 45, 31};
+  for (std::int64_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(driver::seed_input(42, p), want42[p]) << "pe " << p;
+    EXPECT_EQ(driver::seed_input(1, p), want1[p]) << "pe " << p;
+  }
+}
+
+TEST(LaneSeeding, FillLaneMatchesPokeLoopOnRealMachine) {
+  auto compiled = driver::compile(workload::kernel("listing1").source);
+  const auto* slot = compiled.layout.find("x");
+  ASSERT_NE(slot, nullptr);
+  auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+  auto prog = codegen::generate(conv.automaton, conv.graph, kCost, {});
+  for (std::int64_t n : kPeCounts) {
+    SCOPED_TRACE(n);
+    mimd::RunConfig config;
+    config.nprocs = n;
+    auto bulk = simd::make_machine(prog, kCost, config);
+    auto poked = simd::make_machine(prog, kCost, config);
+    driver::seed_machine(*bulk, compiled, config, 42);  // fill_lane path
+    for (std::int64_t p = 0; p < n; ++p)
+      poked->poke(p, slot->addr, Value::of_int(driver::seed_input(42, p)));
+    for (std::int64_t p = 0; p < n; ++p) {
+      const Value a = bulk->peek(p, slot->addr);
+      const Value b = poked->peek(p, slot->addr);
+      EXPECT_TRUE(a == b) << "pe " << p << ": " << a.to_string() << " vs "
+                          << b.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level edges: tail masks and the spawn free-list, at the same
+// PE counts, under both the scalar and the host-vector path.
+
+void expect_scalar_vector_identical(const driver::Compiled& compiled,
+                                    const core::ConvertResult& conv,
+                                    mimd::RunConfig config,
+                                    std::uint64_t seed) {
+  const SimdIsa host = resolve_simd_isa(SimdIsa::Auto);
+  for (auto engine : {mimd::SimdEngine::Reference, mimd::SimdEngine::Fast,
+                      mimd::SimdEngine::Codegen}) {
+    SCOPED_TRACE(simd::engine_name(engine));
+    config.engine = engine;
+    config.simd_isa = SimdIsa::Scalar;
+    simd::SimdStats s_stats;
+    std::vector<std::int64_t> s_visits;
+    auto scalar = driver::run_simd(compiled, conv, config, seed, kCost, {},
+                                   &s_stats, &s_visits);
+    if (host == SimdIsa::Scalar) continue;  // no vector ISA on this host
+    config.simd_isa = host;
+    simd::SimdStats v_stats;
+    std::vector<std::int64_t> v_visits;
+    auto vector = driver::run_simd(compiled, conv, config, seed, kCost, {},
+                                   &v_stats, &v_visits);
+    EXPECT_TRUE(scalar == vector)
+        << "scalar: " << scalar.to_string() << "\nvector: "
+        << vector.to_string();
+    EXPECT_TRUE(s_stats == v_stats);
+    EXPECT_EQ(s_visits, v_visits);
+  }
+}
+
+TEST(LaneMachine, TailMasksNeverEnablePadPes) {
+  // At 63/65/127/1000 PEs the last mask word is partial: a stray pad bit
+  // would corrupt results or over-count busy cycles. Run a branchy
+  // kernel at every edge count and demand scalar/vector bit-identity on
+  // all three engines.
+  auto compiled = driver::compile(workload::kernel("listing1").source);
+  auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+  for (std::int64_t n : kPeCounts) {
+    SCOPED_TRACE(n);
+    mimd::RunConfig config;
+    config.nprocs = n;
+    expect_scalar_vector_identical(compiled, conv, config, 42);
+  }
+}
+
+TEST(LaneMachine, SpawnFreeListAndReuseAcrossWordBoundaries) {
+  // spawn_tree allocates PEs through the free list (clear_pe on the lane
+  // store); reuse_halted_pes re-routes allocation through halted
+  // columns. Both policies must stay bit-identical across ISAs exactly
+  // at the word-boundary PE counts.
+  auto compiled = driver::compile(workload::kernel("spawn_tree").source);
+  auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+  for (std::int64_t n : {63ll, 64ll, 65ll}) {
+    for (bool reuse : {false, true}) {
+      SCOPED_TRACE(cat("n", n, reuse ? "/reuse" : "/fresh"));
+      mimd::RunConfig config;
+      config.nprocs = n;
+      config.initial_active = 2;
+      config.reuse_halted_pes = reuse;
+      expect_scalar_vector_identical(compiled, conv, config, 7);
+    }
+  }
+}
+
+}  // namespace

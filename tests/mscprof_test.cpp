@@ -62,8 +62,12 @@ std::string make_profile(const std::string& name, const std::string& flags) {
   return file;
 }
 
-const char* kListing1N4 = "--kernel listing1 --emit meta --nprocs 4 --seed 1";
-const char* kListing1N8 = "--kernel listing1 --emit meta --nprocs 8 --seed 1";
+// --simd-isa scalar pins the report's "simd isa" line (and the profile's
+// isa header) so the goldens are host-independent.
+const char* kListing1N4 =
+    "--kernel listing1 --emit meta --nprocs 4 --seed 1 --simd-isa scalar";
+const char* kListing1N8 =
+    "--kernel listing1 --emit meta --nprocs 8 --seed 1 --simd-isa scalar";
 
 /// Extract the summary lines that must agree between a profile input and
 /// the Chrome-trace aggregation of the same run.
@@ -116,6 +120,7 @@ TEST(Mscprof, GoldenCoscheduleReport) {
   CliResult gen = run_cmd(std::string(MSCC_BINARY) +
                           " --coschedule reduce@16,scan@16"
                           " --cosched-policy greedy --seed 1"
+                          " --simd-isa scalar"
                           " --profile-simd " +
                           MSCC_TMPDIR + "/" + file);
   ASSERT_EQ(gen.exit_code, 0) << gen.output;
@@ -126,7 +131,7 @@ TEST(Mscprof, GoldenCoscheduleReport) {
   ASSERT_FALSE(golden.empty())
       << "missing golden; regenerate with:\n"
          "  mscc --coschedule reduce@16,scan@16 --cosched-policy greedy"
-         " --seed 1 --profile-simd mscprof_cosched.json\n"
+         " --seed 1 --simd-isa scalar --profile-simd mscprof_cosched.json\n"
          "  mscprof mscprof_cosched.json";
   EXPECT_EQ(r.output, golden)
       << "mscprof co-schedule output drifted; regenerate if intentional";

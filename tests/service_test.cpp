@@ -178,6 +178,28 @@ TEST(ServiceProtocol, RunProfileMatchesStandaloneMscc) {
   EXPECT_EQ(doc2.at("cache").as_string(), "hit");
 }
 
+TEST(ServiceProtocol, RunHonoursSimdIsaField) {
+  // "simd_isa": "scalar" must reach RunConfig: the embedded simd payload
+  // (the mscc --profile-simd schema) reports the resolved ISA.
+  Server s("runisa");
+  const std::string path = cat(MSC_CORPUS_DIR, "/kernel_reduce.mimdc");
+  const std::string source = read_file(path);
+  json::Value doc = s.request(
+      cat("{\"op\": \"run\", \"source\": ", quoted(source),
+          ", \"nprocs\": 8, \"seed\": 3, \"simd_isa\": \"scalar\", "
+          "\"profile\": true}"));
+  ASSERT_TRUE(doc.at("ok").b);
+  json::Value simd = json::parse(doc.at("simd").as_string());
+  EXPECT_EQ(simd.at("isa").as_string(), "scalar");
+  EXPECT_EQ(simd.at("isa_lane_width").as_int(), 1);
+
+  // An unknown ISA is a protocol error, not a crash.
+  json::Value bad = s.request(
+      cat("{\"op\": \"run\", \"source\": ", quoted(source),
+          ", \"simd_isa\": \"mmx\"}"));
+  ASSERT_FALSE(bad.at("ok").b);
+}
+
 TEST(ServiceProtocol, CoscheduleRoundTrip) {
   Server s("cosched");
   json::Value doc = s.request(

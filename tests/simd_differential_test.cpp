@@ -109,6 +109,48 @@ TEST_P(SimdDifferentialTest, EnginesBitIdenticalAcrossSeedsAndModes) {
 INSTANTIATE_TEST_SUITE_P(AllKernels, SimdDifferentialTest,
                          testing::ValuesIn(all_cases()), case_name);
 
+TEST(SimdDifferential, ScalarVsVectorBitIdenticalOnAllEngines) {
+  // The lane-major store executes whole-lane op runs under the host
+  // vector ISA; forcing --simd-isa scalar takes the per-PE path over the
+  // same store. Both paths must produce bit-identical memories, stats
+  // and visit counts on every suite workload × engine. Skip-pass when
+  // the host has no vector ISA (the forced-scalar CI leg).
+  const SimdIsa host = resolve_simd_isa(SimdIsa::Auto);
+  if (host == SimdIsa::Scalar)
+    GTEST_SKIP() << "host has no vector ISA; scalar == scalar trivially";
+  for (const Case& c : all_cases()) {
+    SCOPED_TRACE(c.name);
+    auto compiled = driver::compile(c.source);
+    auto conv = core::meta_state_convert(compiled.graph, kCost, {});
+    for (std::int64_t nprocs : {8ll, 65ll}) {
+      SCOPED_TRACE(nprocs);
+      mimd::RunConfig config;
+      config.nprocs = nprocs;
+      if (c.spawn) config.initial_active = 2;
+      for (auto engine : {mimd::SimdEngine::Reference, mimd::SimdEngine::Fast,
+                          mimd::SimdEngine::Codegen}) {
+        SCOPED_TRACE(simd::engine_name(engine));
+        config.engine = engine;
+        config.simd_isa = SimdIsa::Scalar;
+        simd::SimdStats s_stats;
+        std::vector<std::int64_t> s_visits;
+        auto scalar = driver::run_simd(compiled, conv, config, 42, kCost, {},
+                                       &s_stats, &s_visits);
+        config.simd_isa = host;
+        simd::SimdStats v_stats;
+        std::vector<std::int64_t> v_visits;
+        auto vector = driver::run_simd(compiled, conv, config, 42, kCost, {},
+                                       &v_stats, &v_visits);
+        EXPECT_TRUE(scalar == vector)
+            << "scalar: " << scalar.to_string()
+            << "\nvector: " << vector.to_string();
+        EXPECT_TRUE(s_stats == v_stats);
+        EXPECT_EQ(s_visits, v_visits);
+      }
+    }
+  }
+}
+
 TEST(SimdDifferential, SpawnReusePolicyIdentical) {
   // reuse_halted_pes re-routes spawn allocation through the halted-PE
   // path of the free pool — the exact paths the fast engine's free list

@@ -40,6 +40,7 @@
 #include "msc/simd/coschedule.hpp"
 #include "msc/simd/machine.hpp"
 #include "msc/support/metrics.hpp"
+#include "msc/support/simd_isa.hpp"
 #include "msc/support/str.hpp"
 #include "msc/support/trace.hpp"
 #include "msc/workload/kernels.hpp"
@@ -103,6 +104,10 @@ int usage() {
       "                      reference = the scalar oracle, codegen = the\n"
       "                      translation-cached specialized engine; results\n"
       "                      and stats are bit-identical in every case\n"
+      "  --simd-isa I        auto = best host ISA (default), scalar = force\n"
+      "                      the portable path, avx2|neon = require that\n"
+      "                      ISA (error if the host lacks it); results and\n"
+      "                      stats are bit-identical in every case\n"
       "  --trace-simd F      implies --run; write SIMD execution stats JSON\n"
       "                      (engine, cycle counters, utilization, router\n"
       "                      ops, per-meta-state visits) to F; '-' = stdout\n"
@@ -363,6 +368,14 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
+    else if (arg == "--simd-isa") {
+      try {
+        config.simd_isa = parse_simd_isa(next());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "mscc: %s\n", e.what());
+        return usage();
+      }
+    }
     else if (arg == "--trace-simd") { run = true; trace_simd_path = next(); }
     else if (arg == "--profile-simd") { run = true; profile_simd_path = next(); }
     else if (arg == "--trace-chrome") trace_chrome_path = next();
@@ -555,9 +568,12 @@ int main(int argc, char** argv) {
           return kInternal;
         }
       }
-      std::printf("engine=%s meta states=%zu cycles=%lld utilization=%.1f%% "
-                  "global-ors=%lld\n",
-                  simd::engine_name(config.engine),
+      const SimdIsa run_isa = config.engine == mimd::SimdEngine::Reference
+                                  ? SimdIsa::Scalar
+                                  : resolve_simd_isa(config.simd_isa);
+      std::printf("engine=%s isa=%s meta states=%zu cycles=%lld "
+                  "utilization=%.1f%% global-ors=%lld\n",
+                  simd::engine_name(config.engine), simd_isa_name(run_isa),
                   conv.automaton.num_states(),
                   static_cast<long long>(stats.control_cycles),
                   100.0 * stats.utilization(),

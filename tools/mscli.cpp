@@ -51,7 +51,8 @@ int usage() {
       "  --pipeline P         explicit pass pipeline (comma-separated)\n"
       "  --compress --adaptive --time-split --prune --no-subsume\n"
       "  --max-meta-states N  explosion guard\n"
-      "  --nprocs N --active N --seed N --engine E --max-blocks N\n"
+      "  --nprocs N --active N --seed N --engine E --simd-isa I\n"
+      "  --max-blocks N\n"
       "  --reuse-halted-pes   (run)\n"
       "  --policy P --quantum N   (coschedule)\n"
       "  --profile            accumulate per-meta-state profiles\n"
@@ -189,6 +190,7 @@ int handle_response(const std::string& response, const std::string& emit,
 
 int main(int argc, char** argv) {
   std::string socket_path, op, file, tenant, id, pipeline, engine, policy;
+  std::string simd_isa;
   std::string emit, out_path;
   std::vector<std::string> specs;
   bool compress = false, adaptive = false, time_split = false, prune = false;
@@ -225,6 +227,7 @@ int main(int argc, char** argv) {
     else if (arg == "--max-blocks") max_blocks = std::atoll(next(i));
     else if (arg == "--quantum") quantum = std::atoll(next(i));
     else if (arg == "--engine") engine = next(i);
+    else if (arg == "--simd-isa") simd_isa = next(i);
     else if (arg == "--policy") policy = next(i);
     else if (arg == "--emit") emit = next(i);
     else if (arg == "--out") out_path = next(i);
@@ -297,6 +300,8 @@ int main(int argc, char** argv) {
       if (seed >= 0) frame += cat(", \"seed\": ", seed);
       if (!engine.empty())
         frame += cat(", \"engine\": \"", json_escape(engine), "\"");
+      if (!simd_isa.empty())
+        frame += cat(", \"simd_isa\": \"", json_escape(simd_isa), "\"");
       if (profile) frame += ", \"profile\": true";
     }
     if (op == "coschedule") {

@@ -81,6 +81,8 @@ struct StateRow {
 struct Run {
   std::string source;           ///< input path (headers)
   std::string engine = "?";     ///< "fast"/"reference" when known
+  std::string isa;              ///< resolved SIMD ISA ("scalar"/"avx2"/...)
+  std::int64_t isa_lane_width = 0;
   std::string kind;             ///< "profile" | "stats" | "chrome-trace"
   std::int64_t meta_states = 0;
   std::int64_t meta_transitions = 0;
@@ -111,6 +113,8 @@ Run load_profile(const json::Value& doc, const std::string& path) {
   run.source = path;
   run.kind = doc.find("profile") ? "profile" : "stats";
   if (const json::Value* e = doc.find("engine")) run.engine = e->as_string();
+  if (const json::Value* i = doc.find("isa")) run.isa = i->as_string();
+  run.isa_lane_width = get_int(doc, "isa_lane_width");
   run.meta_states = get_int(doc, "meta_states");
   run.meta_transitions = get_int(doc, "meta_transitions");
   run.control_cycles = get_int(doc, "control_cycles");
@@ -236,6 +240,9 @@ void print_summary(const Run& run) {
   std::printf("  input kind        %s\n", run.kind.c_str());
   if (run.engine != "?") std::printf("  engine            %s\n",
                                      run.engine.c_str());
+  if (!run.isa.empty())
+    std::printf("  simd isa          %s (lane width %" PRId64 ")\n",
+                run.isa.c_str(), run.isa_lane_width);
   std::int64_t visited = 0;
   for (const StateRow& r : run.states)
     if (r.visits > 0) ++visited;
