@@ -35,13 +35,30 @@ const char* kSeedFrames[] = {
     "\"reference\", \"max_blocks\": 100}",
     "{\"op\": \"coschedule\", \"programs\": [\"reduce@8\", \"scan@8\"], "
     "\"policy\": \"rr\", \"quantum\": 2}",
+    "{\"op\": \"metrics\"}",
+    "{\"op\": \"metrics\", \"tenant\": \"t1\", \"trace\": true}",
+    "{\"op\": \"slowlog\", \"id\": 9}",
+    "{\"op\": \"run\", \"source\": \"poly int x;\\nint main() { return x * "
+    "2; }\\n\", \"nprocs\": 4, \"trace\": true}",
+    "{\"op\": \"stats\", \"trace\": false}",
     "{\"op\": \"shutdown\", \"id\": \"bye\"}",
 };
 
 std::string mutate_frame(const std::string& base, Rng& rng) {
   std::string s = base;
-  const int kind = static_cast<int>(rng.next_below(8));
+  const int kind = static_cast<int>(rng.next_below(9));
   switch (kind) {
+    case 8: {  // toggle the trace flag (observability surface, §15)
+      const std::size_t at = s.find("\"trace\": true");
+      const std::size_t af = s.find("\"trace\": false");
+      if (at != std::string::npos)
+        s.replace(at, 13, "\"trace\": false");
+      else if (af != std::string::npos)
+        s.replace(af, 14, "\"trace\": true");
+      else if (!s.empty() && s.back() == '}')
+        s.insert(s.size() - 1, ", \"trace\": true");
+      break;
+    }
     case 0: {  // flip a byte
       if (s.empty()) return "{";
       s[rng.next_below(s.size())] =
@@ -144,6 +161,20 @@ std::string check_response(const std::string& frame,
                  "' instead of 'frame-too-large'");
   } else if (frame.size() > max_frame_bytes) {
     return "oversized frame was accepted";
+  }
+  // A "trace" member, when attached, is a JSON-escaped string carrying a
+  // RequestTrace document — it must round-trip and name its request.
+  if (const json::Value* trace = doc.find("trace")) {
+    if (!trace->is_string()) return "\"trace\" member is not a string";
+    json::Value rt;
+    try {
+      rt = json::parse(trace->as_string());
+    } catch (const json::ParseError& e) {
+      return cat("\"trace\" member is not embedded JSON: ", e.what());
+    }
+    if (!rt.is_object() || !rt.find("request_id") ||
+        !rt.find("phase_micros"))
+      return "\"trace\" document lacks request_id/phase_micros";
   }
   return "";
 }

@@ -37,15 +37,18 @@ ConversionCache::ConversionCache(std::size_t capacity)
 
 std::shared_ptr<const CachedConversion> ConversionCache::get_or_compute(
     const std::string& key,
-    const std::function<std::shared_ptr<const CachedConversion>()>& compute) {
+    const std::function<std::shared_ptr<const CachedConversion>()>& compute,
+    Outcome* outcome) {
   std::shared_ptr<Slot> slot;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       slot = it->second;
+      if (outcome) *outcome = Outcome::Hit;
       if (!slot->ready) {
         ++stats_.inflight_waits;
+        if (outcome) *outcome = Outcome::InflightWait;
         cv_.wait(lock, [&] { return slot->ready; });
       }
       ++stats_.hits;
@@ -59,6 +62,7 @@ std::shared_ptr<const CachedConversion> ConversionCache::get_or_compute(
     slot = std::make_shared<Slot>();
     map_.emplace(key, slot);
     ++stats_.misses;
+    if (outcome) *outcome = Outcome::Miss;
   }
 
   // Compute outside the lock; other threads asking for the same key park

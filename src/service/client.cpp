@@ -41,7 +41,9 @@ void Client::connect(const std::string& socket_path, int timeout_ms) {
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
   // Retry while the daemon binds: ENOENT/ECONNREFUSED until listen().
-  for (int waited = 0;; waited += 10) {
+  // EINTR retries immediately and burns none of the deadline — a signal
+  // is not evidence the daemon is absent.
+  for (int waited = 0;;) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0)
       throw std::runtime_error(cat("client: socket(): ", std::strerror(errno)));
@@ -50,11 +52,18 @@ void Client::connect(const std::string& socket_path, int timeout_ms) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
+    if (err == EINTR) continue;
     if (waited >= timeout_ms)
       throw std::runtime_error(cat("client: connect('", socket_path,
                                    "'): ", std::strerror(err)));
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    waited += 10;
   }
+}
+
+void Client::adopt(int fd) {
+  close();
+  fd_ = fd;
 }
 
 void Client::close() {
@@ -70,6 +79,7 @@ void Client::send_line(const std::string& line) {
   while (sent < out.size()) {
     const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0)
       throw std::runtime_error(cat("client: send(): ", std::strerror(errno)));
     sent += static_cast<std::size_t>(n);
@@ -77,6 +87,12 @@ void Client::send_line(const std::string& line) {
 }
 
 bool Client::recv_line(std::string& line, int timeout_ms) {
+  // The deadline is absolute: poll() interrupted by a signal (EINTR) is
+  // not a timeout — it re-arms with the remaining budget, so a client
+  // sharing a process with interval timers (or a debugger) never fails a
+  // request that the daemon answered in time.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   while (true) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -85,12 +101,22 @@ bool Client::recv_line(std::string& line, int timeout_ms) {
       return true;
     }
     if (timeout_ms >= 0) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      const int budget =
+          remaining.count() > 0 ? static_cast<int>(remaining.count()) : 0;
       pollfd p{fd_, POLLIN, 0};
-      const int rc = ::poll(&p, 1, timeout_ms);
-      if (rc <= 0) return false;  // timeout or poll error
+      const int rc = ::poll(&p, 1, budget);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return false;  // poll error
+      }
+      if (rc == 0) return false;  // genuine timeout
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;  // EOF
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }

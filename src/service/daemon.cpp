@@ -8,10 +8,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
 #include "msc/support/str.hpp"
+#include "msc/support/trace.hpp"
 
 namespace msc::service {
 
@@ -20,6 +23,22 @@ namespace {
 void close_quietly(int& fd) {
   if (fd >= 0) ::close(fd);
   fd = -1;
+}
+
+/// Whole-file write through a temp name + rename, so scrapers polling the
+/// metrics snapshot never read a torn document.
+bool write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = cat(path, ".tmp");
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+  std::fclose(f);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return ::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 }  // namespace
@@ -70,10 +89,14 @@ void Daemon::start() {
     throw std::runtime_error(cat("daemon: pipe(): ", std::strerror(errno)));
   }
 
+  service_.set_daemon_info_source([this] { return status(); });
+
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  if (options_.metrics_interval_ms > 0 && !options_.metrics_path.empty())
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
 }
 
 void Daemon::accept_loop() {
@@ -92,6 +115,8 @@ void Daemon::accept_loop() {
     }
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
+    conn->id = conns_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    conns_active_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
@@ -106,7 +131,7 @@ void Daemon::read_loop(const std::shared_ptr<Conn>& conn) {
   char chunk[4096];
   while (true) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return;  // disconnect (mid-frame bytes are discarded)
+    if (n <= 0) break;  // disconnect (mid-frame bytes are discarded)
     buffer.append(chunk, static_cast<std::size_t>(n));
 
     std::size_t start = 0;
@@ -115,7 +140,12 @@ void Daemon::read_loop(const std::shared_ptr<Conn>& conn) {
       std::string frame = buffer.substr(start, nl - start);
       if (!frame.empty() && frame.back() == '\r') frame.pop_back();
       start = nl + 1;
-      enqueue({conn, std::move(frame)});
+      // The id is drawn here, not in the worker: this reader is the only
+      // thread splitting this connection's stream and the queue is FIFO,
+      // so ids are monotonic per connection (access-log golden tests pin
+      // this) even though workers complete out of order.
+      enqueue({conn, std::move(frame), service_.next_request_id(),
+               service_.now_us()});
     }
     buffer.erase(0, start);
 
@@ -127,9 +157,10 @@ void Daemon::read_loop(const std::shared_ptr<Conn>& conn) {
                                cat("request frame exceeds the ", max_frame,
                                    "-byte limit")));
       ::shutdown(conn->fd, SHUT_RDWR);
-      return;
+      break;
     }
   }
+  conns_active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Daemon::enqueue(Task task) {
@@ -150,8 +181,24 @@ void Daemon::worker_loop() {
       queue_.pop_front();
     }
     if (!task.conn) return;  // poison pill
-    const std::string response = service_.handle_line(task.frame);
-    send_line(*task.conn, response);
+    RequestTrace rt;
+    rt.request_id = task.request_id;
+    rt.conn_id = task.conn->id;
+    rt.accepted_us = task.accepted_us;
+    const std::string response = service_.handle_line(task.frame, rt);
+    rt.bytes_out = static_cast<std::int64_t>(response.size());
+    {
+      // Commit after the write so the trace covers the full lifecycle and
+      // the labeled counters never run ahead of what the client saw. The
+      // write lock is held across write + commit so a request/response
+      // client's next frame on this connection cannot commit first —
+      // access-log lines stay id-ordered per connection.
+      std::lock_guard<std::mutex> lock(task.conn->write_mu);
+      const std::int64_t w0 = service_.now_us();
+      send_line_unlocked(*task.conn, response);
+      rt.phases.write = service_.now_us() - w0;
+      service_.finish(rt);
+    }
     if (service_.shutdown_requested()) {
       // Wake wait() so the stop sequence starts; workers keep draining
       // the queue until their poison pill arrives.
@@ -162,8 +209,50 @@ void Daemon::worker_loop() {
   }
 }
 
+void Daemon::metrics_loop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.metrics_interval_ms);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    lock.unlock();
+    write_metrics_snapshot();
+    lock.lock();
+  }
+}
+
+DaemonInfo Daemon::status() {
+  DaemonInfo d;
+  d.workers = static_cast<std::int64_t>(options_.workers);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    d.queue_depth = static_cast<std::int64_t>(queue_.size());
+  }
+  d.connections_accepted = conns_accepted_.load(std::memory_order_relaxed);
+  d.connections_active = conns_active_.load(std::memory_order_relaxed);
+  return d;
+}
+
+void Daemon::write_metrics_snapshot() {
+  if (options_.metrics_path.empty()) return;
+  write_file_atomic(options_.metrics_path, service_.metrics_json());
+}
+
+void Daemon::write_trace_chrome() {
+  if (options_.trace_chrome_path.empty()) return;
+  telemetry::TraceSink sink;
+  sink.name_process(telemetry::TraceSink::kServicePid, "mscd requests");
+  for (const RequestTrace& rt : service_.slowlog_snapshot())
+    append_chrome_spans(rt, sink);
+  write_file_atomic(options_.trace_chrome_path, sink.to_json());
+}
+
 bool Daemon::send_line(Conn& conn, const std::string& line) {
   std::lock_guard<std::mutex> lock(conn.write_mu);
+  return send_line_unlocked(conn, line);
+}
+
+bool Daemon::send_line_unlocked(Conn& conn, const std::string& line) {
   std::string out = line;
   out += '\n';
   std::size_t sent = 0;
@@ -204,6 +293,7 @@ void Daemon::stop() {
     stopped_ = true;
     stop_requested_ = true;
   }
+  stop_cv_.notify_all();  // wakes the metrics snapshot thread too
   // 1. Stop accepting: wake the poll and join the acceptor.
   if (wake_pipe_[1] >= 0) {
     const char byte = 's';
@@ -232,6 +322,13 @@ void Daemon::stop() {
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
+
+  // 4. Final observability flush: the snapshot after the last worker
+  // exits covers every committed request; the chrome dump exports the
+  // slowlog ring.
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  write_metrics_snapshot();
+  write_trace_chrome();
 
   for (auto& conn : conns) close_quietly(conn->fd);
   close_quietly(wake_pipe_[0]);

@@ -43,6 +43,11 @@ std::string conversion_cache_key(const std::string& source,
 /// of the key) is published, then shares it. Ready entries are LRU-bounded.
 class ConversionCache {
  public:
+  /// How one get_or_compute() call was satisfied (the per-request view
+  /// behind Stats: a wait counts as a hit there, but RequestTrace needs
+  /// the three-way distinction).
+  enum class Outcome : std::uint8_t { Hit, Miss, InflightWait };
+
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
@@ -57,10 +62,12 @@ class ConversionCache {
 
   /// Look up `key`; on miss, run `compute` exactly once (across all
   /// threads) and publish the result. Throws whatever `compute` threw —
-  /// to the computing thread and every waiter alike.
+  /// to the computing thread and every waiter alike. `outcome`, when
+  /// non-null, reports how this call was satisfied (set before any throw).
   std::shared_ptr<const CachedConversion> get_or_compute(
       const std::string& key,
-      const std::function<std::shared_ptr<const CachedConversion>()>& compute);
+      const std::function<std::shared_ptr<const CachedConversion>()>& compute,
+      Outcome* outcome = nullptr);
 
   Stats stats() const;
   /// Drop every entry and zero the counters (tests).

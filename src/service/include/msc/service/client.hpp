@@ -23,6 +23,9 @@ class Client {
   /// is still binding (tests, mscli right after spawning mscd) converge.
   /// Throws std::runtime_error when the socket stays unreachable.
   void connect(const std::string& socket_path, int timeout_ms = 2000);
+  /// Take ownership of an already-connected stream fd (tests drive the
+  /// line protocol over a socketpair without a daemon).
+  void adopt(int fd);
   bool connected() const { return fd_ >= 0; }
   void close();
 

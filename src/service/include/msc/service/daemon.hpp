@@ -1,6 +1,7 @@
 #ifndef MSC_SERVICE_DAEMON_HPP
 #define MSC_SERVICE_DAEMON_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,6 +20,15 @@ struct DaemonOptions {
   /// Worker threads executing requests. 0 = one per hardware thread.
   std::size_t workers = 4;
   ServiceOptions service;
+
+  /// Snapshot Service::metrics_json() to `metrics_path` every
+  /// `metrics_interval_ms` milliseconds (atomic tmp+rename, plus one
+  /// final snapshot at shutdown). 0 = disabled.
+  std::int64_t metrics_interval_ms = 0;
+  std::string metrics_path;
+  /// Dump the slowlog ring as pid-3 Chrome spans to this file at
+  /// shutdown; empty = disabled.
+  std::string trace_chrome_path;
 };
 
 /// The socket front half of mscd: acceptor → per-connection readers →
@@ -66,6 +76,8 @@ class Daemon {
  private:
   struct Conn {
     int fd = -1;
+    /// 1-based accept order; the RequestTrace conn id (viewer lane).
+    std::int64_t id = 0;
     std::mutex write_mu;
     std::thread reader;
   };
@@ -73,17 +85,31 @@ class Daemon {
   struct Task {
     std::shared_ptr<Conn> conn;  ///< null = poison pill
     std::string frame;
+    /// Assigned by the reader at frame-read time — readers are
+    /// single-threaded per connection and the queue is FIFO, so request
+    /// ids stay monotonic per connection no matter how workers interleave.
+    std::int64_t request_id = 0;
+    std::int64_t accepted_us = 0;
   };
 
   void accept_loop();
   void read_loop(const std::shared_ptr<Conn>& conn);
   void worker_loop();
+  void metrics_loop();
   void enqueue(Task task);
   void stop();
   bool send_line(Conn& conn, const std::string& line);
+  bool send_line_unlocked(Conn& conn, const std::string& line);
+  DaemonInfo status();
+  void write_metrics_snapshot();
+  void write_trace_chrome();
 
   DaemonOptions options_;
   Service service_;
+
+  std::atomic<std::int64_t> conns_accepted_{0};
+  std::atomic<std::int64_t> conns_active_{0};
+  std::thread metrics_thread_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};

@@ -41,7 +41,15 @@ const char* to_string(ErrorKind kind);
 ErrorKind parse_error_kind(const std::string& name);
 
 /// Request kinds accepted by the daemon.
-enum class Op : std::uint8_t { Compile, Run, Coschedule, Stats, Shutdown };
+enum class Op : std::uint8_t {
+  Compile,
+  Run,
+  Coschedule,
+  Stats,
+  Metrics,   ///< labeled per-tenant/per-op telemetry (schema-2 payload)
+  Slowlog,   ///< ring-buffered worst-request traces
+  Shutdown,
+};
 const char* to_string(Op op);
 
 /// A validated request. parse_request() is the only way to build one from
@@ -85,6 +93,12 @@ struct Request {
 
   // stats
   bool metrics = false;  ///< include the process metrics registry JSON
+
+  // any op
+  /// Attach the request's RequestTrace to the response as a JSON-escaped
+  /// "trace" string member (DESIGN.md §15). The trace holds wall-clock
+  /// timings, so byte-identity comparisons exclude it.
+  bool trace = false;
 };
 
 /// Thrown by parse_request() on a structurally valid JSON object that is
@@ -105,6 +119,15 @@ class ProtocolError : public std::runtime_error {
 /// malformed JSON (within `limits`) and ProtocolError on anything that
 /// parses but does not validate.
 Request parse_request(const std::string& line, const json::ParseLimits& limits);
+
+/// Best-effort tenant/op attribution for a frame that failed validation,
+/// so its error still lands on the right labeled series (DESIGN.md §15).
+/// Writes only what a structurally valid object carries with the right
+/// type: `tenant` bounded like the validated path, `op` only when it is
+/// one of the known op names (never attacker-chosen label values). Never
+/// throws; leaves the outputs untouched when nothing qualifies.
+void attribute_frame(const std::string& line, const json::ParseLimits& limits,
+                     std::string* tenant, std::string* op);
 
 /// Render the standard response envelope. `payload` is a pre-rendered
 /// sequence of `"key": value` members spliced after "ok" (may be empty);

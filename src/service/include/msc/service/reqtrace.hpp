@@ -1,0 +1,119 @@
+#ifndef MSC_SERVICE_REQTRACE_HPP
+#define MSC_SERVICE_REQTRACE_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "msc/support/trace.hpp"
+
+namespace msc::service {
+
+/// One request's lifecycle record (DESIGN.md §15). Filled by
+/// Service::handle_line() as the frame moves through
+/// accept → parse → admission → cache → convert → run → serialize → write,
+/// committed exactly once by Service::finish() — which is the single place
+/// labeled metrics, the access log, and the slowlog observe a request, so
+/// per-tenant counters sum exactly to the globals by construction.
+///
+/// Timestamps are microseconds on the owning Service's steady clock
+/// (Service::now_us(), 0 = service construction). Phase durations are a
+/// fixed set so the JSON field order is stable for golden tests; phases a
+/// request never enters stay 0. `serialize` is defined as the handler time
+/// not attributed to any earlier phase, so the phase durations sum to the
+/// in-handler time exactly.
+struct RequestTrace {
+  std::int64_t request_id = 0;
+  /// Daemon connection the frame arrived on; 0 for in-process callers.
+  std::int64_t conn_id = 0;
+  std::string tenant = "unknown";
+  /// Wire op name; "invalid" until the frame parses.
+  std::string op = "invalid";
+  /// "ok" or "error".
+  std::string outcome = "ok";
+  /// Typed error kind wire string; empty when outcome is "ok".
+  std::string error_kind;
+  /// "none" (op has no conversion), "hit", "miss", or "inflight-wait".
+  std::string cache_state = "none";
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+  /// When the daemon reader accepted the frame; 0 for in-process callers
+  /// (the accept phase then has zero duration).
+  std::int64_t accepted_us = 0;
+  /// When handle_line() started on the frame.
+  std::int64_t start_us = 0;
+  /// accept + handler + write: set by Service::finish().
+  std::int64_t total_us = 0;
+  /// True when the client asked for the trace in the response.
+  bool wanted = false;
+
+  struct Phases {
+    std::int64_t accept = 0;     ///< frame read → handler start (queue wait)
+    std::int64_t parse = 0;      ///< frame limit check + JSON parse + validate
+    std::int64_t admission = 0;  ///< quota check
+    std::int64_t cache = 0;      ///< conversion-cache lookup / in-flight wait
+    std::int64_t convert = 0;    ///< front-half compute on a cache miss
+    std::int64_t run = 0;        ///< machine execution (run / coschedule)
+    std::int64_t serialize = 0;  ///< response rendering (handler remainder)
+    std::int64_t write = 0;      ///< socket write (daemon only)
+  } phases;
+
+  /// One line, stable field order (the access-log line format; also the
+  /// response "trace" member and the slowlog entries). Newline excluded.
+  std::string to_json() const;
+};
+
+/// Export one request as pid-kServicePid spans: an enclosing "request"
+/// span plus one child span per non-zero phase, laid back-to-back on the
+/// service clock, one viewer lane (tid) per connection.
+void append_chrome_spans(const RequestTrace& rt, telemetry::TraceSink& sink);
+
+/// Thread-safe JSONL appender: one RequestTrace::to_json() line per
+/// request, flushed per line so scrapers and crash forensics see every
+/// committed request. Never enabled unless open() succeeded.
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Open (append) the log file. Returns false on failure.
+  bool open(const std::string& path);
+  bool enabled() const { return file_ != nullptr; }
+  void append(const RequestTrace& rt);
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Bounded worst-offenders ring: keeps the full RequestTrace of the
+/// slowest requests at or above the threshold. Disabled until configured
+/// with a positive threshold. Linear insert/evict — capacity is tens, the
+/// cost is noise next to a request.
+class SlowLog {
+ public:
+  SlowLog() = default;
+
+  void configure(std::int64_t threshold_us, std::size_t capacity);
+  bool enabled() const { return threshold_us_ > 0; }
+  std::int64_t threshold_us() const { return threshold_us_; }
+
+  void offer(const RequestTrace& rt);
+
+  /// Slowest first; ties broken by request id (older first).
+  std::vector<RequestTrace> snapshot() const;
+
+ private:
+  std::int64_t threshold_us_ = 0;
+  std::size_t capacity_ = 32;
+  mutable std::mutex mu_;
+  std::vector<RequestTrace> entries_;
+};
+
+}  // namespace msc::service
+
+#endif  // MSC_SERVICE_REQTRACE_HPP

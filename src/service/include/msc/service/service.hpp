@@ -2,12 +2,18 @@
 #define MSC_SERVICE_SERVICE_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "msc/service/admission.hpp"
 #include "msc/service/cache.hpp"
 #include "msc/service/protocol.hpp"
+#include "msc/service/reqtrace.hpp"
+#include "msc/support/metrics.hpp"
 
 namespace msc::service {
 
@@ -20,10 +26,37 @@ struct ServiceLimits {
   int max_json_depth = 64;
 };
 
+/// Serving-tier observability knobs (DESIGN.md §15). All off by default:
+/// the labeled registry always accumulates (it is the metrics op's data),
+/// but the access log and slowlog only engage when configured.
+struct ObservabilityOptions {
+  /// JSONL access log path; empty = disabled. Service construction throws
+  /// when the file cannot be opened — silently dropping an operator's
+  /// audit trail is worse than failing to start.
+  std::string access_log_path;
+  /// Keep the full RequestTrace of requests at/above this many
+  /// microseconds; 0 = slowlog disabled.
+  std::int64_t slow_micros = 0;
+  std::size_t slowlog_capacity = 32;
+  /// Cardinality bound per labeled metric family; past it, new {tenant,
+  /// op} series fold into the "other" overflow tenant.
+  std::size_t max_label_series = 64;
+};
+
 struct ServiceOptions {
   ServiceLimits limits;
   QuotaOptions quota;
   std::size_t cache_capacity = 64;
+  ObservabilityOptions observability;
+};
+
+/// Daemon-level numbers the stats op reports when the Service runs under
+/// a Daemon (absent for in-process callers).
+struct DaemonInfo {
+  std::int64_t workers = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t connections_accepted = 0;
+  std::int64_t connections_active = 0;
 };
 
 /// The protocol engine: one frame in, one response line out. Owns the
@@ -37,45 +70,106 @@ struct ServiceOptions {
 /// per request: the "automaton" / "simd" / "observed" / "cosched" payload
 /// members are byte-identical to what the standalone driver produces for
 /// the same inputs (service_test pins this against the mscc binary), and
-/// only the "cache" member reflects cross-request state.
+/// only the "cache" member and the optional "trace" member reflect
+/// cross-request state / wall-clock timings.
+///
+/// Observability contract (DESIGN.md §15): every request is committed
+/// exactly once through finish() — global outcome counters, the labeled
+/// {tenant, op} families, the access log, and the slowlog all observe the
+/// request there and only there, so per-tenant series sum exactly to the
+/// globals. The two-argument handle_line() overload leaves the commit to
+/// the caller (the daemon, which first writes the response so the trace
+/// includes the write phase and the true bytes_out); the one-argument form
+/// commits before returning.
 class Service {
  public:
+  /// Throws std::runtime_error when the configured access log cannot be
+  /// opened.
   explicit Service(const ServiceOptions& options = {});
 
   /// Handle one request frame (newline not included) and render the
-  /// response line (newline not included).
+  /// response line (newline not included). Commits the request.
   std::string handle_line(const std::string& line);
+
+  /// As above, but fills `rt` and does NOT commit: the caller must call
+  /// finish(rt) exactly once after the response is written. An unset
+  /// rt.request_id is assigned on entry; a daemon reader that assigned
+  /// ids at frame-read time (keeping them monotonic per connection)
+  /// pre-fills request_id and accepted_us.
+  std::string handle_line(const std::string& line, RequestTrace& rt);
+
+  /// Commit one request: outcome counters, labeled metrics, access log,
+  /// slowlog. Sets rt.total_us from the service clock.
+  void finish(RequestTrace& rt);
+
+  /// Monotonic request-id source (first id is 1).
+  std::int64_t next_request_id() {
+    return request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Microseconds since construction — the clock every RequestTrace
+  /// timestamp is on.
+  std::int64_t now_us() const;
+
+  /// The schema-2 labeled telemetry document (the metrics op's payload;
+  /// also what --metrics-interval snapshots to a file).
+  std::string metrics_json() const;
+
+  std::vector<RequestTrace> slowlog_snapshot() const {
+    return slowlog_.snapshot();
+  }
+
+  /// Installed by the Daemon so the stats op can report socket-side
+  /// state; must be callable from any worker thread.
+  void set_daemon_info_source(std::function<DaemonInfo()> source) {
+    daemon_info_ = std::move(source);
+  }
 
   /// True once a shutdown request has been accepted; the daemon's wait()
   /// observes this and stops the serving loop. Subsequent requests get
-  /// "shutting-down" errors.
+  /// "shutting-down" errors (stats/metrics/slowlog stay serviceable).
   bool shutdown_requested() const {
     return shutdown_.load(std::memory_order_acquire);
   }
 
   ConversionCache& cache() { return cache_; }
   AdmissionControl& admission() { return admission_; }
+  telemetry::LabeledRegistry& labeled() { return labeled_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
-  std::string dispatch(const Request& request);
-  std::string do_compile(const Request& request);
-  std::string do_run(const Request& request);
-  std::string do_coschedule(const Request& request);
+  std::string dispatch(const Request& request, RequestTrace& rt);
+  std::string do_compile(const Request& request, RequestTrace& rt);
+  std::string do_run(const Request& request, RequestTrace& rt);
+  std::string do_coschedule(const Request& request, RequestTrace& rt);
   std::string do_stats(const Request& request);
+  std::string do_metrics(const Request& request);
+  std::string do_slowlog(const Request& request);
+
+  /// Record the error outcome on `rt` and render the response.
+  std::string fail(RequestTrace& rt, const std::string& id_json,
+                   std::optional<Op> op, ErrorKind kind,
+                   const std::string& message);
 
   /// Fetch (or compute, single-miss) the conversion for a compile-like
-  /// request. Sets `*hit` to whether this request found the entry ready
-  /// or in flight. Throws CompileError / ExplosionError / PipelineError.
+  /// request. Accumulates the cache/convert phases and the cache state
+  /// onto `rt`. Throws CompileError / ExplosionError / PipelineError.
   std::shared_ptr<const CachedConversion> convert_cached(
-      const Request& request, const std::string& source, bool* hit);
+      const Request& request, const std::string& source, RequestTrace& rt);
 
   ServiceOptions options_;
   ConversionCache cache_;
   AdmissionControl admission_;
+  telemetry::LabeledRegistry labeled_;
+  AccessLog access_log_;
+  SlowLog slowlog_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::function<DaemonInfo()> daemon_info_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::int64_t> request_ids_{0};
 
-  // Served-request counters, by outcome (stats op).
+  // Served-request counters, by outcome (stats op). Only finish() writes
+  // these, so the labeled "requests" family sums exactly to them.
   std::atomic<std::int64_t> requests_ok_{0};
   std::atomic<std::int64_t> requests_error_{0};
 };

@@ -80,9 +80,36 @@ const char* to_string(Op op) {
     case Op::Run: return "run";
     case Op::Coschedule: return "coschedule";
     case Op::Stats: return "stats";
+    case Op::Metrics: return "metrics";
+    case Op::Slowlog: return "slowlog";
     case Op::Shutdown: return "shutdown";
   }
   return "stats";
+}
+
+void attribute_frame(const std::string& line, const json::ParseLimits& limits,
+                     std::string* tenant, std::string* op) {
+  json::Value doc;
+  try {
+    doc = json::parse(line, limits);
+  } catch (const json::ParseError&) {
+    return;  // malformed JSON carries no trustworthy labels
+  }
+  if (!doc.is_object()) return;
+  if (const json::Value* t = doc.find("tenant"))
+    if (t->is_string() && !t->str.empty() && t->str.size() <= 64)
+      *tenant = t->str;
+  if (const json::Value* o = doc.find("op"))
+    if (o->is_string()) {
+      static const char* kOps[] = {"compile", "run",     "coschedule",
+                                   "stats",   "metrics", "slowlog",
+                                   "shutdown"};
+      for (const char* known : kOps)
+        if (o->str == known) {
+          *op = o->str;
+          break;
+        }
+    }
 }
 
 Request parse_request(const std::string& line,
@@ -99,6 +126,8 @@ Request parse_request(const std::string& line,
   else if (opname == "run") req.op = Op::Run;
   else if (opname == "coschedule") req.op = Op::Coschedule;
   else if (opname == "stats") req.op = Op::Stats;
+  else if (opname == "metrics") req.op = Op::Metrics;
+  else if (opname == "slowlog") req.op = Op::Slowlog;
   else if (opname == "shutdown") req.op = Op::Shutdown;
   else bad(cat("unknown op '", opname, "'"));
 
@@ -120,6 +149,10 @@ Request parse_request(const std::string& line,
       req.tenant = string_field(value, key);
       if (req.tenant.empty() || req.tenant.size() > 64)
         bad("field 'tenant' must be 1..64 characters");
+      continue;
+    }
+    if (key == "trace") {
+      req.trace = bool_field(value, key);
       continue;
     }
 

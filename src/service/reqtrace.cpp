@@ -1,0 +1,110 @@
+#include "msc/service/reqtrace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msc/support/str.hpp"
+
+namespace msc::service {
+
+std::string RequestTrace::to_json() const {
+  std::ostringstream os;
+  os << "{\"request_id\": " << request_id << ", \"conn\": " << conn_id
+     << ", \"tenant\": \"" << json_escape(tenant) << "\", \"op\": \""
+     << json_escape(op) << "\", \"outcome\": \"" << json_escape(outcome)
+     << "\", \"error_kind\": \"" << json_escape(error_kind)
+     << "\", \"cache\": \"" << json_escape(cache_state)
+     << "\", \"bytes_in\": " << bytes_in << ", \"bytes_out\": " << bytes_out
+     << ", \"start_us\": " << start_us << ", \"total_us\": " << total_us
+     << ", \"phase_micros\": {\"accept\": " << phases.accept
+     << ", \"parse\": " << phases.parse
+     << ", \"admission\": " << phases.admission
+     << ", \"cache\": " << phases.cache << ", \"convert\": " << phases.convert
+     << ", \"run\": " << phases.run << ", \"serialize\": " << phases.serialize
+     << ", \"write\": " << phases.write << "}}";
+  return os.str();
+}
+
+void append_chrome_spans(const RequestTrace& rt, telemetry::TraceSink& sink) {
+  const std::int64_t tid = rt.conn_id;
+  const std::int64_t begin =
+      rt.accepted_us > 0 ? rt.accepted_us : rt.start_us;
+  sink.complete(cat("request #", rt.request_id), "service",
+                telemetry::TraceSink::kServicePid, tid, begin, rt.total_us,
+                {{"bytes_in", rt.bytes_in}, {"bytes_out", rt.bytes_out}},
+                {{"tenant", rt.tenant},
+                 {"op", rt.op},
+                 {"outcome", rt.outcome},
+                 {"cache", rt.cache_state}});
+  // Phases are recorded as durations; lay them back-to-back in lifecycle
+  // order (the daemon executes them sequentially, so this reconstructs the
+  // real timeline up to sub-phase interleaving in coschedule requests).
+  const std::pair<const char*, std::int64_t> phases[] = {
+      {"accept", rt.phases.accept},       {"parse", rt.phases.parse},
+      {"admission", rt.phases.admission}, {"cache", rt.phases.cache},
+      {"convert", rt.phases.convert},     {"run", rt.phases.run},
+      {"serialize", rt.phases.serialize}, {"write", rt.phases.write}};
+  std::int64_t ts = begin;
+  for (const auto& [name, dur] : phases) {
+    if (dur > 0)
+      sink.complete(name, "service.phase", telemetry::TraceSink::kServicePid,
+                    tid, ts, dur);
+    ts += dur;
+  }
+}
+
+AccessLog::~AccessLog() {
+  if (file_) std::fclose(file_);
+}
+
+bool AccessLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "a");
+  return file_ != nullptr;
+}
+
+void AccessLog::append(const RequestTrace& rt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  const std::string line = rt.to_json();
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void SlowLog::configure(std::int64_t threshold_us, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_us_ = threshold_us;
+  capacity_ = capacity == 0 ? 1 : capacity;
+  entries_.clear();
+}
+
+void SlowLog::offer(const RequestTrace& rt) {
+  if (threshold_us_ <= 0 || rt.total_us < threshold_us_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(rt);
+  if (entries_.size() > capacity_) {
+    auto fastest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const RequestTrace& a, const RequestTrace& b) {
+          // The newest entry loses ties so long-lived offenders stick.
+          return a.total_us != b.total_us ? a.total_us < b.total_us
+                                          : a.request_id > b.request_id;
+        });
+    entries_.erase(fastest);
+  }
+}
+
+std::vector<RequestTrace> SlowLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTrace> out = entries_;
+  std::sort(out.begin(), out.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.total_us != b.total_us ? a.total_us > b.total_us
+                                              : a.request_id < b.request_id;
+            });
+  return out;
+}
+
+}  // namespace msc::service

@@ -64,6 +64,69 @@ class Histogram {
   std::atomic<std::int64_t> sum_{0};
 };
 
+/// Labeled metric families for the serving tier (DESIGN.md §15). Each
+/// family is a named set of series keyed by {tenant, op}; the value type
+/// (counter/gauge/histogram) is fixed per family on first use, like the
+/// typed names in MetricsRegistry. Cardinality is bounded: once a family
+/// holds `max_series_per_family` distinct series, samples for new
+/// {tenant, op} pairs fold into the {"other", op} overflow series (ops are
+/// a closed protocol-level set, so the bound effectively caps tenants),
+/// and folded_samples() counts every redirected attribution. Lookup takes
+/// a mutex; returned references are stable for the registry lifetime and
+/// the values themselves are relaxed atomics, so hot paths can cache a
+/// series reference. to_json() renders a schema-2 document with families
+/// and series in sorted (family, tenant, op) order — byte-deterministic
+/// for a given set of values.
+class LabeledRegistry {
+ public:
+  explicit LabeledRegistry(std::size_t max_series_per_family = 64);
+
+  Counter& counter(const std::string& family, const std::string& tenant,
+                   const std::string& op);
+  Gauge& gauge(const std::string& family, const std::string& tenant,
+               const std::string& op);
+  Histogram& histogram(const std::string& family,
+                       const std::vector<std::int64_t>& bounds,
+                       const std::string& tenant, const std::string& op);
+
+  /// Attributions redirected into the "other" overflow tenant so far.
+  std::int64_t folded_samples() const { return folded_.value(); }
+
+  /// Zero every value; series (and references to them) stay valid.
+  void reset();
+
+  /// `extra_members`, when non-empty, is a pre-rendered `"key": value`
+  /// member sequence spliced right after "schema" — how the serving tier
+  /// folds uptime and global request counts into one document.
+  std::string to_json(const std::string& extra_members = "") const;
+
+  /// Tenant label that absorbs series past the cardinality bound.
+  static constexpr const char* kOverflowTenant = "other";
+
+ private:
+  using SeriesKey = std::pair<std::string, std::string>;  // {tenant, op}
+  struct Family {
+    char kind = 0;  // 'c' | 'g' | 'h'
+    std::vector<std::int64_t> bounds;  // histograms only
+    std::map<SeriesKey, std::unique_ptr<Counter>> counters;
+    std::map<SeriesKey, std::unique_ptr<Gauge>> gauges;
+    std::map<SeriesKey, std::unique_ptr<Histogram>> histograms;
+    std::size_t series() const {
+      return counters.size() + gauges.size() + histograms.size();
+    }
+  };
+
+  Family& family_for(const std::string& name, char kind,
+                     const std::vector<std::int64_t>* bounds);
+  SeriesKey key_for(Family& fam, const std::string& tenant,
+                    const std::string& op);
+
+  mutable std::mutex mu_;
+  std::size_t max_series_;
+  std::map<std::string, Family> families_;
+  Counter folded_;
+};
+
 /// Process-wide named-metric registry. Registration (the name lookup)
 /// takes a mutex; the returned references are stable for the process
 /// lifetime, so hot paths resolve a metric once (function-local static)

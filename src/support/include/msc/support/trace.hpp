@@ -19,6 +19,9 @@ namespace msc::telemetry {
 ///   pid kSimdPid — the simulated machines' deterministic timeline, one
 ///     "microsecond" per control-unit cycle, so per-meta-state events are
 ///     byte-stable across hosts and reruns.
+///   pid kServicePid — mscd request lifecycles (DESIGN.md §15): one lane
+///     per connection, phase spans exported from RequestTrace on the
+///     daemon's own microsecond clock.
 ///
 /// Appends take a mutex; nothing in the toolchain emits from more than one
 /// thread at a time, so the lock is uncontended — it exists so a sink can
@@ -30,6 +33,7 @@ class TraceSink {
  public:
   static constexpr std::int64_t kToolchainPid = 1;
   static constexpr std::int64_t kSimdPid = 2;
+  static constexpr std::int64_t kServicePid = 3;
 
   using Args = std::vector<std::pair<std::string, std::int64_t>>;
   using StrArgs = std::vector<std::pair<std::string, std::string>>;

@@ -54,6 +54,157 @@ void check_untyped(const Map& map, const std::string& name,
 
 }  // namespace
 
+LabeledRegistry::LabeledRegistry(std::size_t max_series_per_family)
+    : max_series_(max_series_per_family) {}
+
+LabeledRegistry::Family& LabeledRegistry::family_for(
+    const std::string& name, char kind,
+    const std::vector<std::int64_t>* bounds) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family fam;
+    fam.kind = kind;
+    if (bounds) fam.bounds = *bounds;
+    it = families_.emplace(name, std::move(fam)).first;
+    return it->second;
+  }
+  Family& fam = it->second;
+  if (fam.kind != kind)
+    throw std::logic_error(
+        cat("labeled family '", name, "' already registered with a "
+            "different kind"));
+  if (kind == 'h' && bounds && fam.bounds != *bounds)
+    throw std::logic_error(cat("labeled histogram '", name,
+                               "' re-registered with different bounds"));
+  return fam;
+}
+
+LabeledRegistry::SeriesKey LabeledRegistry::key_for(Family& fam,
+                                                    const std::string& tenant,
+                                                    const std::string& op) {
+  SeriesKey key{tenant, op};
+  const bool exists = fam.counters.count(key) || fam.gauges.count(key) ||
+                      fam.histograms.count(key);
+  if (exists || fam.series() < max_series_) return key;
+  // Family is full and this {tenant, op} is new: fold into the overflow
+  // tenant. The overflow series itself may be created past the bound —
+  // there is at most one per op, so it stays small.
+  folded_.add(1);
+  return SeriesKey{kOverflowTenant, op};
+}
+
+Counter& LabeledRegistry::counter(const std::string& family,
+                                  const std::string& tenant,
+                                  const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(family, 'c', nullptr);
+  const SeriesKey key = key_for(fam, tenant, op);
+  auto it = fam.counters.find(key);
+  if (it == fam.counters.end())
+    it = fam.counters.emplace(key, std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& LabeledRegistry::gauge(const std::string& family,
+                              const std::string& tenant,
+                              const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(family, 'g', nullptr);
+  const SeriesKey key = key_for(fam, tenant, op);
+  auto it = fam.gauges.find(key);
+  if (it == fam.gauges.end())
+    it = fam.gauges.emplace(key, std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& LabeledRegistry::histogram(const std::string& family,
+                                      const std::vector<std::int64_t>& bounds,
+                                      const std::string& tenant,
+                                      const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(family, 'h', &bounds);
+  const SeriesKey key = key_for(fam, tenant, op);
+  auto it = fam.histograms.find(key);
+  if (it == fam.histograms.end())
+    it = fam.histograms.emplace(key, std::make_unique<Histogram>(bounds))
+             .first;
+  return *it->second;
+}
+
+void LabeledRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [key, c] : fam.counters) c->reset();
+    for (auto& [key, g] : fam.gauges) g->reset();
+    for (auto& [key, h] : fam.histograms) h->reset();
+  }
+  folded_.reset();
+}
+
+namespace {
+
+void append_series_prefix(std::ostringstream& os, bool first,
+                          const std::pair<std::string, std::string>& key) {
+  os << (first ? "\n" : ",\n") << "        {\"tenant\": \""
+     << json_escape(key.first) << "\", \"op\": \"" << json_escape(key.second)
+     << "\", ";
+}
+
+}  // namespace
+
+std::string LabeledRegistry::to_json(const std::string& extra_members) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"schema\": 2,\n";
+  if (!extra_members.empty()) os << "  " << extra_members << ",\n";
+  os << "  \"folded_samples\": " << folded_.value() << ",\n";
+  os << "  \"families\": {";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    os << (first_fam ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": {";
+    first_fam = false;
+    if (fam.kind == 'c') {
+      os << "\"kind\": \"counter\", \"series\": [";
+      bool first = true;
+      for (const auto& [key, c] : fam.counters) {
+        append_series_prefix(os, first, key);
+        os << "\"value\": " << c->value() << "}";
+        first = false;
+      }
+      os << (first ? "" : "\n      ") << "]}";
+    } else if (fam.kind == 'g') {
+      os << "\"kind\": \"gauge\", \"series\": [";
+      bool first = true;
+      for (const auto& [key, g] : fam.gauges) {
+        append_series_prefix(os, first, key);
+        os << "\"value\": " << g->value() << "}";
+        first = false;
+      }
+      os << (first ? "" : "\n      ") << "]}";
+    } else {
+      os << "\"kind\": \"histogram\", \"bounds\": [";
+      for (std::size_t i = 0; i < fam.bounds.size(); ++i)
+        os << (i ? ", " : "") << fam.bounds[i];
+      os << "], \"series\": [";
+      bool first = true;
+      for (const auto& [key, h] : fam.histograms) {
+        append_series_prefix(os, first, key);
+        os << "\"count\": " << h->count() << ", \"sum\": " << h->sum()
+           << ", \"counts\": [";
+        const std::vector<std::int64_t> counts = h->counts();
+        for (std::size_t i = 0; i < counts.size(); ++i)
+          os << (i ? ", " : "") << counts[i];
+        os << "]}";
+        first = false;
+      }
+      os << (first ? "" : "\n      ") << "]}";
+    }
+  }
+  os << (first_fam ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);

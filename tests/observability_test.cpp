@@ -17,6 +17,7 @@
 #include "msc/driver/runner.hpp"
 #include "msc/support/json.hpp"
 #include "msc/support/metrics.hpp"
+#include "msc/support/str.hpp"
 #include "msc/support/trace.hpp"
 #include "msc/workload/kernels.hpp"
 
@@ -119,6 +120,118 @@ TEST(Metrics, GlobalRegistryCarriesToolchainMetrics) {
   EXPECT_GE(doc.at("counters").at("simd.control_cycles").as_int(), 1);
   EXPECT_GE(doc.at("histograms").at("convert.meta_states").at("count")
                 .as_int(), 1);
+}
+
+// --------------------------------------------------------- labeled metrics
+
+TEST(LabeledMetrics, SeriesAreKeyedByTenantAndOp) {
+  telemetry::LabeledRegistry reg;
+  reg.counter("requests", "alice", "run").add(3);
+  reg.counter("requests", "alice", "compile").add();
+  reg.counter("requests", "bob", "run").add(2);
+  EXPECT_EQ(&reg.counter("requests", "alice", "run"),
+            &reg.counter("requests", "alice", "run"))
+      << "same key must yield the same series";
+  EXPECT_EQ(reg.counter("requests", "alice", "run").value(), 3);
+  EXPECT_EQ(reg.counter("requests", "bob", "run").value(), 2);
+  EXPECT_EQ(reg.folded_samples(), 0);
+}
+
+TEST(LabeledMetrics, CardinalityOverflowFoldsIntoOther) {
+  // Bound 4: the first four tenants get their own series, every later
+  // tenant folds into the shared "other" tenant (per op), and each fold
+  // is counted — the daemon survives a tenant-id cardinality attack with
+  // bounded memory and an explicit signal that folding happened.
+  telemetry::LabeledRegistry reg(4);
+  for (int t = 0; t < 10; ++t)
+    reg.counter("requests", cat("tenant", t), "run").add();
+  EXPECT_EQ(reg.folded_samples(), 6);
+  EXPECT_EQ(reg.counter("requests",
+                        telemetry::LabeledRegistry::kOverflowTenant, "run")
+                .value(),
+            6);
+  // Existing keys keep resolving to their own series past the bound.
+  reg.counter("requests", "tenant0", "run").add();
+  EXPECT_EQ(reg.counter("requests", "tenant0", "run").value(), 2);
+
+  // The fold is per family: a fresh family starts with fresh capacity.
+  reg.counter("errors.internal", "tenant9", "run").add();
+  EXPECT_EQ(reg.counter("errors.internal", "tenant9", "run").value(), 1);
+
+  json::Value doc = json::parse(reg.to_json());
+  EXPECT_EQ(doc.at("schema").as_int(), 2);
+  EXPECT_EQ(doc.at("folded_samples").as_int(), 6);
+  const json::Value& series = doc.at("families").at("requests").at("series");
+  // 4 real tenants + "other"; series are sorted by (tenant, op).
+  ASSERT_EQ(series.elems.size(), 5u);
+  std::string prev;
+  bool other_seen = false;
+  for (const json::Value& s : series.elems) {
+    const std::string key =
+        cat(s.at("tenant").as_string(), "\x1f", s.at("op").as_string());
+    EXPECT_GT(key, prev) << "series must be sorted for deterministic JSON";
+    prev = key;
+    if (s.at("tenant").as_string() ==
+        telemetry::LabeledRegistry::kOverflowTenant) {
+      other_seen = true;
+      EXPECT_EQ(s.at("value").as_int(), 6);
+    }
+  }
+  EXPECT_TRUE(other_seen);
+}
+
+TEST(LabeledMetrics, HistogramFamiliesCarryBoundsAndFoldToo) {
+  telemetry::LabeledRegistry reg(2);
+  const std::vector<std::int64_t> bounds{10, 100};
+  reg.histogram("latency_us", bounds, "a", "run").record(5);
+  reg.histogram("latency_us", bounds, "b", "run").record(50);
+  reg.histogram("latency_us", bounds, "c", "run").record(5000);  // folds
+  EXPECT_EQ(reg.folded_samples(), 1);
+
+  json::Value doc = json::parse(reg.to_json());
+  const json::Value& fam = doc.at("families").at("latency_us");
+  EXPECT_EQ(fam.at("kind").as_string(), "histogram");
+  ASSERT_EQ(fam.at("bounds").elems.size(), 2u);
+  std::int64_t count = 0;
+  for (const json::Value& s : fam.at("series").elems) {
+    count += s.at("count").as_int();
+    EXPECT_EQ(s.at("counts").elems.size(), 3u);  // + overflow bucket
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(LabeledMetrics, KindAndBoundsConflictsThrow) {
+  telemetry::LabeledRegistry reg;
+  reg.counter("f", "a", "run");
+  EXPECT_THROW(reg.gauge("f", "a", "run"), std::logic_error);
+  EXPECT_THROW(reg.histogram("f", {1}, "a", "run"), std::logic_error);
+  reg.histogram("h", {1, 2}, "a", "run");
+  EXPECT_NO_THROW(reg.histogram("h", {1, 2}, "b", "run"));
+  EXPECT_THROW(reg.histogram("h", {1, 2, 4}, "b", "run"), std::logic_error);
+}
+
+TEST(LabeledMetrics, ResetZeroesButKeepsReferencesValid) {
+  telemetry::LabeledRegistry reg(2);
+  telemetry::Counter& c = reg.counter("requests", "a", "run");
+  c.add(5);
+  reg.counter("requests", "b", "run").add();
+  reg.counter("requests", "z", "run").add();  // folds
+  EXPECT_EQ(reg.folded_samples(), 1);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(reg.folded_samples(), 0);
+  c.add(2);
+  EXPECT_EQ(reg.counter("requests", "a", "run").value(), 2);
+}
+
+TEST(LabeledMetrics, ExtraMembersLandAtTheTop) {
+  telemetry::LabeledRegistry reg;
+  reg.counter("requests", "a", "run").add();
+  json::Value doc =
+      json::parse(reg.to_json("\"uptime_micros\": 42, \"x\": {\"y\": 1}"));
+  EXPECT_EQ(doc.at("uptime_micros").as_int(), 42);
+  EXPECT_EQ(doc.at("x").at("y").as_int(), 1);
+  EXPECT_EQ(doc.at("schema").as_int(), 2);
 }
 
 // -------------------------------------------------------------------- trace

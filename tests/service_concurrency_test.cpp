@@ -261,6 +261,79 @@ TEST(ServiceConcurrency, BlockBudgetRejectsOversizedRun) {
   }
 }
 
+TEST(ServiceConcurrency, PerTenantCountersSumToGlobal) {
+  // 8 threads, one tenant each, hammering one in-process Service with a
+  // mix of ok and error requests. The single-commit-point design must
+  // make every labeled family sum exactly to the matching global — no
+  // drops, no double counts, under full contention.
+  service::Service svc;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+  Barrier barrier(kThreads);
+  std::atomic<std::int64_t> sent_ok{0}, sent_error{0}, bytes_in{0};
+  std::atomic<std::int64_t> compiles{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      const std::string tenant = cat("tenant", t);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        std::string frame;
+        switch (i % 4) {
+          case 0: frame = compile_frame(kSourceA, tenant); ++compiles; break;
+          case 1: frame = compile_frame(kSourceB, tenant); ++compiles; break;
+          case 2:
+            frame = cat("{\"op\": \"stats\", \"tenant\": \"", tenant, "\"}");
+            break;
+          case 3:  // typed error: missing source
+            frame = cat("{\"op\": \"run\", \"tenant\": \"", tenant, "\"}");
+            break;
+        }
+        bytes_in += static_cast<std::int64_t>(frame.size());
+        json::Value doc = json::parse(svc.handle_line(frame));
+        if (doc.at("ok").b) ++sent_ok; else ++sent_error;
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(sent_ok + sent_error, kThreads * kIters);
+
+  json::Value m = json::parse(svc.metrics_json());
+  EXPECT_EQ(m.at("requests").at("ok").as_int(), sent_ok.load());
+  EXPECT_EQ(m.at("requests").at("error").as_int(), sent_error.load());
+  EXPECT_EQ(m.at("folded_samples").as_int(), 0);
+
+  const auto family_sum = [&](const char* family,
+                              const char* value_key) -> std::int64_t {
+    const json::Value* fam = m.at("families").find(family);
+    if (!fam) return 0;
+    std::int64_t sum = 0;
+    for (const json::Value& s : fam->at("series").elems)
+      sum += s.at(value_key).as_int();
+    return sum;
+  };
+  // Exact equality, not >=: every request commits exactly once.
+  EXPECT_EQ(family_sum("requests", "value"), kThreads * kIters);
+  EXPECT_EQ(family_sum("errors.protocol-error", "value"), sent_error.load());
+  EXPECT_EQ(family_sum("latency_us", "count"), kThreads * kIters);
+  EXPECT_EQ(family_sum("bytes_in", "value"), bytes_in.load());
+  // Cache looks: every compile resolves to exactly one of the three
+  // states; stats/error requests never touch the cache.
+  const std::int64_t looks = family_sum("cache.hit", "value") +
+                             family_sum("cache.miss", "value") +
+                             family_sum("cache.inflight-wait", "value");
+  EXPECT_EQ(looks, compiles.load());
+
+  // Each tenant's own request count is exactly its share.
+  const json::Value& requests = m.at("families").at("requests");
+  for (int t = 0; t < kThreads; ++t) {
+    std::int64_t mine = 0;
+    for (const json::Value& s : requests.at("series").elems)
+      if (s.at("tenant").as_string() == cat("tenant", t))
+        mine += s.at("value").as_int();
+    EXPECT_EQ(mine, kIters) << "tenant" << t;
+  }
+}
+
 TEST(ServiceConcurrency, CleanShutdownWithInflightRequests) {
   service::DaemonOptions o;
   o.socket_path = socket_path("shutdown");

@@ -5,13 +5,18 @@
 // types, oversized frames, nesting bombs, mid-request disconnects —
 // produce typed error responses, never a crash or a hang.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "msc/service/client.hpp"
@@ -349,6 +354,303 @@ TEST(ServiceProtocol, PipelinedRequestsEachGetOneResponse) {
     seen[static_cast<std::size_t>(doc.at("id").as_int())] = true;
   }
   for (int i = 0; i < 8; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
+// ------------------------------------------------------------ client EINTR
+// A client sharing its process with an interval timer (profilers, GC-ish
+// runtimes, alarm-driven tools) sees poll/recv/connect interrupted
+// constantly. None of that is a timeout and none of it may tear a frame.
+
+namespace {
+
+void noop_handler(int) {}
+
+/// 2ms SIGALRM storm with SA_RESTART deliberately off, so every blocking
+/// syscall in scope actually returns EINTR. Restores state on scope exit.
+struct SignalStorm {
+  struct sigaction old_action {};
+  itimerval old_timer {};
+
+  SignalStorm() {
+    struct sigaction sa {};
+    sa.sa_handler = noop_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: syscalls must see EINTR
+    sigaction(SIGALRM, &sa, &old_action);
+    itimerval timer{};
+    timer.it_interval.tv_usec = 2000;
+    timer.it_value.tv_usec = 2000;
+    setitimer(ITIMER_REAL, &timer, &old_timer);
+  }
+  ~SignalStorm() {
+    setitimer(ITIMER_REAL, &old_timer, nullptr);
+    sigaction(SIGALRM, &old_action, nullptr);
+  }
+};
+
+}  // namespace
+
+TEST(ClientEintr, RecvLineSurvivesASignalStorm) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  service::Client client;
+  client.adopt(fds[0]);
+
+  SignalStorm storm;
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    const char line[] = "{\"ok\": true}\n";
+    ASSERT_EQ(::send(fds[1], line, sizeof(line) - 1, 0),
+              static_cast<ssize_t>(sizeof(line) - 1));
+  });
+  // ~40 interruptions before the line arrives: each one used to be
+  // mis-read as a timeout. The deadline-based loop must ride them out.
+  std::string line;
+  EXPECT_TRUE(client.recv_line(line, 10'000));
+  EXPECT_EQ(line, "{\"ok\": true}");
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(ClientEintr, RecvLineDeadlineHoldsUnderInterruption) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  service::Client client;
+  client.adopt(fds[0]);
+
+  SignalStorm storm;
+  // No data ever arrives: the genuine timeout must fire — but not early.
+  // The buggy EINTR-as-timeout path returned within the first 2ms tick.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string line;
+  EXPECT_FALSE(client.recv_line(line, 150));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 140);
+  EXPECT_LT(elapsed.count(), 5'000);
+  ::close(fds[1]);
+}
+
+TEST(ClientEintr, ConnectKeepsRetryingThroughSignals) {
+  // An unreachable socket under the storm: connect() must spend its whole
+  // retry budget (EINTR burns none of it) and then throw — not give up on
+  // the first interrupted attempt.
+  SignalStorm storm;
+  const auto t0 = std::chrono::steady_clock::now();
+  service::Client client;
+  EXPECT_THROW(client.connect(socket_path("nonexistent"), 200),
+               std::runtime_error);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 200);
+}
+
+TEST(ServiceObservability, MetricsOpRoundTrip) {
+  Server s("metricsop");
+  ASSERT_TRUE(s.request(cat("{\"op\": \"compile\", \"tenant\": \"t0\", "
+                            "\"source\": ", quoted(kSource), "}"))
+                  .at("ok")
+                  .b);
+  // A request is committed to the metrics *after* its response is written
+  // (the trace must cover the write phase), so a scraper racing its own
+  // previous request can miss it by one snapshot: poll briefly.
+  json::Value doc, m;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    doc = s.request("{\"op\": \"metrics\", \"tenant\": \"t0\"}");
+    ASSERT_TRUE(doc.at("ok").b);
+    // The payload is the labeled schema-2 document, JSON-escaped.
+    m = json::parse(doc.at("metrics").as_string());
+    if (m.at("requests").at("ok").as_int() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(m.at("schema").as_int(), 2);
+  EXPECT_GT(m.at("uptime_micros").as_int(), 0);
+  EXPECT_GE(m.at("requests").at("ok").as_int(), 1);
+  EXPECT_EQ(m.at("folded_samples").as_int(), 0);
+  const json::Value& requests = m.at("families").at("requests");
+  EXPECT_EQ(requests.at("kind").as_string(), "counter");
+  bool found = false;
+  for (const json::Value& series : requests.at("series").elems)
+    if (series.at("tenant").as_string() == "t0" &&
+        series.at("op").as_string() == "compile") {
+      EXPECT_EQ(series.at("value").as_int(), 1);
+      found = true;
+    }
+  EXPECT_TRUE(found) << doc.at("metrics").as_string();
+  // Latency histogram counts cover every request seen so far.
+  const json::Value& lat = m.at("families").at("latency_us");
+  EXPECT_EQ(lat.at("kind").as_string(), "histogram");
+  EXPECT_GT(lat.at("bounds").elems.size(), 4u);
+}
+
+TEST(ServiceObservability, TraceFieldAttachesRequestTrace) {
+  Server s("traced");
+  json::Value doc = s.request(
+      cat("{\"op\": \"compile\", \"tenant\": \"t1\", \"trace\": true, "
+          "\"source\": ", quoted(kSource), "}"));
+  ASSERT_TRUE(doc.at("ok").b);
+  json::Value rt = json::parse(doc.at("trace").as_string());
+  EXPECT_GE(rt.at("request_id").as_int(), 1);
+  EXPECT_GE(rt.at("conn").as_int(), 1);
+  EXPECT_EQ(rt.at("tenant").as_string(), "t1");
+  EXPECT_EQ(rt.at("op").as_string(), "compile");
+  EXPECT_EQ(rt.at("outcome").as_string(), "ok");
+  EXPECT_EQ(rt.at("cache").as_string(), "miss");
+  EXPECT_GT(rt.at("bytes_in").as_int(), 0);
+  const json::Value& phases = rt.at("phase_micros");
+  for (const char* p : {"accept", "parse", "admission", "cache", "convert",
+                        "run", "serialize", "write"})
+    EXPECT_GE(phases.at(p).as_int(), 0) << p;
+  EXPECT_GT(phases.at("convert").as_int(), 0) << "a miss must time convert";
+
+  // Untraced requests stay untraced — the member is strictly opt-in.
+  json::Value plain = s.request("{\"op\": \"stats\"}");
+  EXPECT_EQ(plain.find("trace"), nullptr);
+  // Post-parse errors carry the trace too. (Parse failures cannot: the
+  // trace flag lives in the frame that failed to parse.)
+  json::Value err = s.request(
+      "{\"op\": \"compile\", \"trace\": true, \"source\": \"int main( {\"}");
+  EXPECT_FALSE(err.at("ok").b);
+  json::Value errt = json::parse(err.at("trace").as_string());
+  EXPECT_EQ(errt.at("outcome").as_string(), "error");
+  EXPECT_EQ(errt.at("error_kind").as_string(), "compile-error");
+}
+
+TEST(ServiceObservability, SlowlogCapturesSlowRequests) {
+  service::ServiceOptions opts;
+  opts.observability.slow_micros = 1;  // everything is "slow"
+  opts.observability.slowlog_capacity = 4;
+  Server s("slowlog", opts);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(
+        s.request(cat("{\"op\": \"stats\", \"id\": ", i, "}")).at("ok").b);
+
+  json::Value doc = s.request("{\"op\": \"slowlog\"}");
+  ASSERT_TRUE(doc.at("ok").b);
+  EXPECT_EQ(doc.at("threshold_micros").as_int(), 1);
+  const json::Value& entries = doc.at("slowlog");
+  // Capacity bounds the ring; entries arrive slowest-first and each is a
+  // full RequestTrace. (The slowlog op itself is not yet committed when
+  // its own snapshot is taken, so at most the 6 stats land.)
+  EXPECT_EQ(doc.at("count").as_int(),
+            static_cast<std::int64_t>(entries.elems.size()));
+  ASSERT_LE(entries.elems.size(), 4u);
+  ASSERT_GE(entries.elems.size(), 1u);
+  std::int64_t prev = INT64_MAX;
+  for (const json::Value& e : entries.elems) {
+    EXPECT_LE(e.at("total_us").as_int(), prev);
+    prev = e.at("total_us").as_int();
+    EXPECT_GE(e.at("request_id").as_int(), 1);
+    EXPECT_TRUE(e.find("phase_micros") != nullptr);
+  }
+}
+
+TEST(ServiceObservability, StatsCarriesUptimeAndDaemonInfo) {
+  Server s("statsdaemon");
+  json::Value doc = s.request("{\"op\": \"stats\"}");
+  ASSERT_TRUE(doc.at("ok").b);
+  EXPECT_GT(doc.at("uptime_micros").as_int(), 0);
+  const json::Value& daemon = doc.at("service").at("daemon");
+  EXPECT_EQ(daemon.at("workers").as_int(), 4);
+  EXPECT_GE(daemon.at("queue_depth").as_int(), 0);
+  EXPECT_GE(daemon.at("connections_accepted").as_int(), 1);
+  EXPECT_GE(daemon.at("connections_active").as_int(), 1);
+
+  // Per-tenant admission snapshots appear once a tenant has been seen.
+  ASSERT_TRUE(s.request(cat("{\"op\": \"compile\", \"tenant\": \"seen\", "
+                            "\"source\": ", quoted(kSource), "}"))
+                  .at("ok")
+                  .b);
+  json::Value after = s.request("{\"op\": \"stats\"}");
+  bool found = false;
+  for (const json::Value& t : after.at("service").at("tenants").elems)
+    if (t.at("tenant").as_string() == "seen") {
+      EXPECT_GE(t.at("admitted").as_int(), 1);
+      EXPECT_EQ(t.at("rejected").as_int(), 0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServiceObservability, AccessLogGoldenLines) {
+  const std::string log_path = tmp_path(cat("access_", ::getpid(), ".jsonl"));
+  std::remove(log_path.c_str());
+  {
+    service::ServiceOptions opts;
+    opts.observability.access_log_path = log_path;
+    Server s("accesslog", opts);
+    ASSERT_TRUE(s.request(cat("{\"op\": \"compile\", \"tenant\": \"alice\", "
+                              "\"source\": ", quoted(kSource), "}"))
+                    .at("ok")
+                    .b);
+    ASSERT_TRUE(s.request("{\"op\": \"stats\"}").at("ok").b);
+    ASSERT_FALSE(s.request("{\"op\": \"run\"}").at("ok").b);
+  }  // daemon drains + joins: every committed line is on disk
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good()) << log_path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+
+  // Golden field order: one flat JSON line per request, keys in lifecycle
+  // order — consumers parse it positionally with cut/awk as well as JSON.
+  const char* kOrder[] = {"\"request_id\": ", "\"conn\": ",    "\"tenant\": ",
+                          "\"op\": ",         "\"outcome\": ", "\"error_kind\": ",
+                          "\"cache\": ",      "\"bytes_in\": ", "\"bytes_out\": ",
+                          "\"start_us\": ",   "\"total_us\": ",
+                          "\"phase_micros\": {\"accept\": "};
+  std::int64_t prev_id = 0;
+  for (const std::string& l : lines) {
+    std::size_t pos = 0;
+    for (const char* key : kOrder) {
+      const std::size_t at = l.find(key, pos);
+      ASSERT_NE(at, std::string::npos) << key << " out of order in: " << l;
+      pos = at;
+    }
+    json::Value doc = json::parse(l);
+    // One client connection drove every request: ids are monotonic.
+    EXPECT_GT(doc.at("request_id").as_int(), prev_id);
+    prev_id = doc.at("request_id").as_int();
+    EXPECT_EQ(doc.at("conn").as_int(), 1);
+  }
+  json::Value first = json::parse(lines[0]);
+  EXPECT_EQ(first.at("tenant").as_string(), "alice");
+  EXPECT_EQ(first.at("outcome").as_string(), "ok");
+  json::Value last = json::parse(lines[2]);
+  EXPECT_EQ(last.at("outcome").as_string(), "error");
+  EXPECT_EQ(last.at("error_kind").as_string(), "protocol-error");
+  std::remove(log_path.c_str());
+}
+
+TEST(ServiceObservability, MsctopOnceRendersTheTable) {
+  service::ServiceOptions opts;
+  opts.observability.slow_micros = 1;
+  Server s("msctop", opts);
+  ASSERT_TRUE(s.request(cat("{\"op\": \"compile\", \"tenant\": \"alice\", "
+                            "\"source\": ", quoted(kSource), "}"))
+                  .at("ok")
+                  .b);
+
+  const std::string cmd = cat(MSCTOP_BINARY, " --socket ",
+                              s.daemon.socket_path(), " --once 2>&1");
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    out.append(buf.data(), n);
+  const int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("per-tenant/per-op"), std::string::npos) << out;
+  EXPECT_NE(out.find("alice"), std::string::npos) << out;
+  EXPECT_NE(out.find("compile"), std::string::npos) << out;
+  EXPECT_NE(out.find("slowest requests"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\x1b["), std::string::npos)
+      << "--once must not emit ANSI control sequences";
 }
 
 TEST(ServiceProtocol, ReqlogCorpusReplays) {

@@ -1,9 +1,9 @@
 // mscd — the multi-tenant conversion-and-execution daemon (DESIGN.md §13).
 // Serves the mscc front half over a Unix-domain socket: newline-delimited
-// JSON requests in (compile / run / coschedule / stats / shutdown), one
-// JSON response line out per request. All connections share one
-// conversion cache and one admission controller; see mscli for the
-// client.
+// JSON requests in (compile / run / coschedule / stats / metrics /
+// slowlog / shutdown), one JSON response line out per request. All
+// connections share one conversion cache and one admission controller;
+// see mscli for the client, msctop for the live telemetry view.
 //
 // Exit codes: 0 clean shutdown, 1 startup failure, 2 bad usage.
 #include <csignal>
@@ -40,6 +40,21 @@ int usage() {
       "                       admission rejects it (default 16; 0 = off)\n"
       "  --cache-capacity N   conversion-cache entries (default 64)\n"
       "\n"
+      "Observability (DESIGN.md §15):\n"
+      "  --access-log PATH       append one JSON line per request\n"
+      "  --slow-micros N         keep the full trace of requests at/above\n"
+      "                          N microseconds (slowlog op; default off)\n"
+      "  --slowlog-capacity N    slowlog ring size (default 32)\n"
+      "  --metrics-interval MS   snapshot the labeled metrics document\n"
+      "                          every MS milliseconds (needs --metrics-file)\n"
+      "  --metrics-file PATH     metrics snapshot file (atomic rename;\n"
+      "                          also written once at shutdown)\n"
+      "  --trace-chrome PATH     dump the slowlog ring as pid-3 Chrome\n"
+      "                          spans at shutdown (implies --slow-micros 1\n"
+      "                          when unset)\n"
+      "  --max-label-series N    labeled-family cardinality bound before\n"
+      "                          folding into the 'other' tenant (default 64)\n"
+      "\n"
       "Protocol: one JSON object per line; see DESIGN.md §13 and mscli.\n");
   return 2;
 }
@@ -73,6 +88,22 @@ int main(int argc, char** argv) {
     else if (arg == "--cache-capacity")
       options.service.cache_capacity =
           static_cast<std::size_t>(std::atoll(next(i)));
+    else if (arg == "--access-log")
+      options.service.observability.access_log_path = next(i);
+    else if (arg == "--slow-micros")
+      options.service.observability.slow_micros = std::atoll(next(i));
+    else if (arg == "--slowlog-capacity")
+      options.service.observability.slowlog_capacity =
+          static_cast<std::size_t>(std::atoll(next(i)));
+    else if (arg == "--metrics-interval")
+      options.metrics_interval_ms = std::atoll(next(i));
+    else if (arg == "--metrics-file")
+      options.metrics_path = next(i);
+    else if (arg == "--trace-chrome")
+      options.trace_chrome_path = next(i);
+    else if (arg == "--max-label-series")
+      options.service.observability.max_label_series =
+          static_cast<std::size_t>(std::atoll(next(i)));
     else if (arg == "--help" || arg == "-h") return usage();
     else {
       std::fprintf(stderr, "mscd: unknown option '%s'\n", arg.c_str());
@@ -82,10 +113,21 @@ int main(int argc, char** argv) {
   if (options.socket_path.empty()) return usage();
   if (options.service.limits.max_frame_bytes < 16 ||
       options.service.limits.max_json_depth < 1 ||
-      options.service.cache_capacity < 1) {
+      options.service.cache_capacity < 1 ||
+      options.service.observability.slow_micros < 0 ||
+      options.metrics_interval_ms < 0 ||
+      options.service.observability.max_label_series < 1) {
     std::fprintf(stderr, "mscd: limits out of range\n");
     return usage();
   }
+  if (options.metrics_interval_ms > 0 && options.metrics_path.empty()) {
+    std::fprintf(stderr, "mscd: --metrics-interval needs --metrics-file\n");
+    return usage();
+  }
+  // A chrome dump sources the slowlog ring; make sure it captures.
+  if (!options.trace_chrome_path.empty() &&
+      options.service.observability.slow_micros == 0)
+    options.service.observability.slow_micros = 1;
 
   try {
     service::Daemon daemon(options);

@@ -8,6 +8,8 @@
 //   mscli --socket S run file.mimdc [compile/run options]
 //   mscli --socket S coschedule spec... [--policy P] [--quantum N]
 //   mscli --socket S stats [--metrics]
+//   mscli --socket S metrics        # labeled per-tenant/per-op telemetry
+//   mscli --socket S slowlog        # worst-request traces
 //   mscli --socket S shutdown
 //   mscli --socket S raw            # frames from stdin, one per line
 //
@@ -42,6 +44,8 @@ int usage() {
       "  run FILE             convert + execute on the simulated machine\n"
       "  coschedule SPEC...   time-multiplex verified kernels (name@n)\n"
       "  stats                daemon counters (cache, tenants, quota)\n"
+      "  metrics              labeled {tenant, op} telemetry (schema 2)\n"
+      "  slowlog              ring-buffered worst-request traces\n"
       "  shutdown             stop the daemon\n"
       "  raw                  relay stdin lines as frames (testing)\n"
       "\n"
@@ -57,11 +61,14 @@ int usage() {
       "  --policy P --quantum N   (coschedule)\n"
       "  --profile            accumulate per-meta-state profiles\n"
       "  --metrics            (stats) include the metrics registry\n"
+      "  --trace              attach the request's lifecycle trace to the\n"
+      "                       response (any op; render with mscprof)\n"
       "\n"
       "output options:\n"
       "  --emit M             print one payload member instead of the raw\n"
       "                       response: automaton | observed | simd |\n"
-      "                       cosched | stats (strings are decoded)\n"
+      "                       cosched | stats | metrics | trace | slowlog\n"
+      "                       (strings are decoded)\n"
       "  --out FILE           write the --emit payload to FILE (e.g. a\n"
       "                       simd/cosched profile document for mscprof)\n");
   return 2;
@@ -195,6 +202,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> specs;
   bool compress = false, adaptive = false, time_split = false, prune = false;
   bool no_subsume = false, reuse = false, profile = false, metrics = false;
+  bool trace = false;
   long long max_meta_states = -1, nprocs = -1, active = -2, seed = -1;
   long long max_blocks = -1, quantum = -1;
 
@@ -220,6 +228,7 @@ int main(int argc, char** argv) {
     else if (arg == "--reuse-halted-pes") reuse = true;
     else if (arg == "--profile") profile = true;
     else if (arg == "--metrics") metrics = true;
+    else if (arg == "--trace") trace = true;
     else if (arg == "--max-meta-states") max_meta_states = std::atoll(next(i));
     else if (arg == "--nprocs") nprocs = std::atoll(next(i));
     else if (arg == "--active") active = std::atoll(next(i));
@@ -318,6 +327,7 @@ int main(int argc, char** argv) {
       if (quantum >= 0) frame += cat(", \"quantum\": ", quantum);
     }
     if (op == "stats" && metrics) frame += ", \"metrics\": true";
+    if (trace) frame += ", \"trace\": true";
     frame += "}";
 
     const std::string response = client.request(frame, 120'000);

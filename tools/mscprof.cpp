@@ -45,6 +45,9 @@ int usage() {
       "    events are aggregated into a profile, pass spans tabulated)\n"
       "  - mscc --coschedule profile output (machine-level header plus\n"
       "    one per-program section per co-scheduled automaton)\n"
+      "  - mscd request traces (a single RequestTrace document, e.g. the\n"
+      "    \"trace\" member of a trace-armed response, or a slowlog op\n"
+      "    payload: per-phase microsecond tables per request)\n"
       "\n"
       "options:\n"
       "  --top N      rows in the per-meta-state table (default 10, 0 = all)\n"
@@ -427,6 +430,64 @@ void print_coschedule(const json::Value& doc, const std::string& path,
   }
 }
 
+/// mscd request traces (DESIGN.md §15): the serving tier's RequestTrace
+/// as emitted on the access log, by the slowlog op, and as the "trace"
+/// member of a trace-armed response. One per-phase table per request;
+/// the phase order matches the request lifecycle.
+void print_reqtrace(const json::Value& doc) {
+  std::printf("-- request #%" PRId64 " (conn %" PRId64 ") --\n",
+              get_int(doc, "request_id"), get_int(doc, "conn"));
+  const auto field = [&](const char* key) {
+    const json::Value* v = doc.find(key);
+    return v && v->is_string() && !v->as_string().empty() ? v->as_string()
+                                                          : std::string("-");
+  };
+  std::printf("  tenant %s  op %s  outcome %s  cache %s\n",
+              field("tenant").c_str(), field("op").c_str(),
+              field("outcome").c_str(), field("cache").c_str());
+  if (field("error_kind") != "-")
+    std::printf("  error kind        %s\n", field("error_kind").c_str());
+  std::printf("  bytes in/out      %" PRId64 " / %" PRId64 "\n",
+              get_int(doc, "bytes_in"), get_int(doc, "bytes_out"));
+  const std::int64_t total = get_int(doc, "total_us");
+  std::printf("  total             %" PRId64 " us\n", total);
+  if (const json::Value* phases = doc.find("phase_micros")) {
+    std::printf("  %-12s %8s %7s\n", "phase", "us", "share");
+    for (const auto& [name, v] : phases->members) {
+      const std::int64_t us = v.is_number() ? v.as_int() : 0;
+      std::printf("  %-12s %8" PRId64 " %6.1f%%\n", name.c_str(), us,
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(us) /
+                                   static_cast<double>(total));
+    }
+  }
+}
+
+/// mscd slowlog op payloads — either the full response payload
+/// (`{"threshold_micros": …, "slowlog": […]}`) or the bare trace array
+/// that `mscli --emit slowlog` extracts. Traces arrive slowest-first.
+void print_slowlog(const json::Value& doc, const std::string& path,
+                   std::size_t top) {
+  const json::Value& entries = doc.is_array() ? doc : doc.at("slowlog");
+  if (doc.is_array())
+    std::printf("== slowlog: %s (%zu captured) ==\n", path.c_str(),
+                entries.elems.size());
+  else
+    std::printf("== slowlog: %s (threshold %" PRId64 " us, %zu captured) ==\n",
+                path.c_str(), get_int(doc, "threshold_micros"),
+                entries.elems.size());
+  std::size_t shown = 0;
+  for (const json::Value& e : entries.elems) {
+    if (top > 0 && ++shown > top) {
+      std::printf("\n  (… %zu more; raise --top to see them)\n",
+                  entries.elems.size() - top);
+      break;
+    }
+    std::printf("\n");
+    print_reqtrace(e);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -460,6 +521,16 @@ int main(int argc, char** argv) {
 
   try {
     const json::Value doc = read_doc(inputs[0]);
+    if (doc.find("slowlog") ||
+        (doc.is_array() && !doc.elems.empty() &&
+         doc.elems.front().find("request_id"))) {
+      print_slowlog(doc, inputs[0], top);
+      return kOk;
+    }
+    if (doc.find("request_id") && doc.find("phase_micros")) {
+      print_reqtrace(doc);
+      return kOk;
+    }
     if (doc.find("coschedule")) {
       if (!diff_path.empty())
         throw std::runtime_error(

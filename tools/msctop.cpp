@@ -1,0 +1,332 @@
+// msctop — live telemetry view for a running mscd (DESIGN.md §15).
+// Polls the daemon's observability ops over its Unix-domain socket:
+//
+//   stats   — uptime, worker pool, connection counts, cache totals,
+//   metrics — the labeled schema-2 document (per-tenant/per-op series),
+//   slowlog — the slowest captured request traces,
+//
+// and renders a ranked per-tenant/per-op table (requests, errors,
+// admission rejections, cache hit rate, p50/p95/p99 latency estimated
+// from the fixed-bucket histogram) plus the slowest-requests tail.
+// Refreshes every --interval seconds; --once renders a single frame and
+// exits (CI smoke mode).
+//
+// Usage: msctop --socket PATH [--once] [--interval SEC] [--top N]
+// Exit codes: 0 ok, 1 connect/protocol error, 2 bad usage.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msc/service/client.hpp"
+#include "msc/support/json.hpp"
+#include "msc/support/str.hpp"
+
+using namespace msc;
+
+namespace {
+
+enum ExitCode { kOk = 0, kInternal = 1, kUsage = 2 };
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: msctop --socket PATH [options]\n"
+      "\n"
+      "  --socket PATH   mscd Unix-domain socket (required)\n"
+      "  --once          render one frame and exit (CI mode; no ANSI)\n"
+      "  --interval SEC  refresh period in loop mode (default 2)\n"
+      "  --top N         rows in the per-tenant/per-op table\n"
+      "                  (default 10, 0 = all)\n"
+      "\n"
+      "Polls the stats/metrics/slowlog ops; see mscd and DESIGN.md §15.\n"
+      "exit codes: 0 ok, 1 connect or protocol error, 2 bad usage\n");
+  return kUsage;
+}
+
+std::int64_t get_int(const json::Value& obj, const char* key,
+                     std::int64_t fallback = 0) {
+  const json::Value* v = obj.find(key);
+  return v && v->is_number() ? v->as_int() : fallback;
+}
+
+std::string get_str(const json::Value& obj, const char* key,
+                    const std::string& fallback = "") {
+  const json::Value* v = obj.find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+/// One {tenant, op} series aggregated across the labeled families.
+struct Row {
+  std::int64_t requests = 0;
+  std::int64_t errors = 0;
+  std::int64_t rejections = 0;
+  std::int64_t cache_hits = 0, cache_misses = 0, cache_waits = 0;
+  std::int64_t lat_count = 0;
+  std::vector<std::int64_t> lat_counts;  ///< bounds.size() + 1 buckets
+
+  double hit_rate() const {
+    const std::int64_t looks = cache_hits + cache_misses + cache_waits;
+    return looks == 0 ? -1.0
+                      : 100.0 * static_cast<double>(cache_hits) /
+                            static_cast<double>(looks);
+  }
+};
+
+/// One rendered frame's worth of daemon state.
+struct Frame {
+  std::int64_t uptime_us = 0;
+  std::int64_t requests_ok = 0, requests_error = 0;
+  std::int64_t folded_samples = 0;
+  bool has_daemon = false;
+  std::int64_t workers = 0, queue_depth = 0;
+  std::int64_t conns_accepted = 0, conns_active = 0;
+  std::int64_t cache_hits = 0, cache_misses = 0, cache_waits = 0;
+  std::int64_t cache_entries = 0, cache_evictions = 0;
+  std::vector<std::int64_t> lat_bounds;
+  std::map<std::pair<std::string, std::string>, Row> rows;
+  std::int64_t slow_threshold_us = 0;
+  /// (request_id, tenant, op, outcome, total_us) slowest-first.
+  std::vector<std::tuple<std::int64_t, std::string, std::string, std::string,
+                         std::int64_t>>
+      slow;
+};
+
+/// Upper-bound percentile estimate from cumulative bucket counts: the
+/// smallest bound whose cumulative count covers quantile q, or -1 when
+/// the sample lands in the overflow bucket (beyond the last bound).
+std::int64_t percentile_upper(const std::vector<std::int64_t>& bounds,
+                              const std::vector<std::int64_t>& counts,
+                              std::int64_t total, double q) {
+  if (total <= 0 || counts.empty()) return 0;
+  const double target = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target)
+      return i < bounds.size() ? bounds[i] : -1;
+  }
+  return -1;
+}
+
+/// "123us" / "4.5ms" / "1.2s"; "-" for no samples, ">1.0s"-style for the
+/// overflow bucket (value -1 with the family's last bound).
+std::string fmt_us(std::int64_t us, std::int64_t overflow_bound = 0) {
+  std::string prefix;
+  if (us < 0) {
+    us = overflow_bound;
+    prefix = ">";
+  }
+  if (us < 1000) return cat(prefix, us, "us");
+  if (us < 1000000) return cat(prefix, fmt_double(us / 1000.0, 1), "ms");
+  return cat(prefix, fmt_double(us / 1000000.0, 1), "s");
+}
+
+Frame poll(service::Client& client, int timeout_ms) {
+  Frame f;
+  std::int64_t id = 0;
+  const auto ask = [&](const char* op) {
+    const std::string response = client.request(
+        cat("{\"op\": \"", op, "\", \"id\": ", ++id,
+            ", \"tenant\": \"msctop\"}"),
+        timeout_ms);
+    json::Value doc = json::parse(response);
+    const json::Value* ok = doc.find("ok");
+    if (!ok || ok->kind != json::Value::Kind::Bool || !ok->b)
+      throw std::runtime_error(cat("daemon rejected the ", op, " op: ",
+                                   get_str(doc, "message", response)));
+    return doc;
+  };
+
+  const json::Value stats = ask("stats");
+  f.uptime_us = get_int(stats, "uptime_micros");
+  const json::Value& service = stats.at("service");
+  if (const json::Value* cache = service.find("cache")) {
+    f.cache_hits = get_int(*cache, "hits");
+    f.cache_misses = get_int(*cache, "misses");
+    f.cache_waits = get_int(*cache, "inflight_waits");
+    f.cache_entries = get_int(*cache, "entries");
+    f.cache_evictions = get_int(*cache, "evictions");
+  }
+  if (const json::Value* daemon = service.find("daemon")) {
+    f.has_daemon = true;
+    f.workers = get_int(*daemon, "workers");
+    f.queue_depth = get_int(*daemon, "queue_depth");
+    f.conns_accepted = get_int(*daemon, "connections_accepted");
+    f.conns_active = get_int(*daemon, "connections_active");
+  }
+
+  // The metrics payload is a JSON-escaped string member: parse twice.
+  const json::Value metrics_rsp = ask("metrics");
+  const json::Value metrics = json::parse(metrics_rsp.at("metrics").as_string());
+  f.folded_samples = get_int(metrics, "folded_samples");
+  if (const json::Value* reqs = metrics.find("requests")) {
+    f.requests_ok = get_int(*reqs, "ok");
+    f.requests_error = get_int(*reqs, "error");
+  }
+  if (const json::Value* families = metrics.find("families")) {
+    for (const auto& [name, fam] : families->members) {
+      const json::Value* series = fam.find("series");
+      if (!series) continue;
+      if (name == "latency_us") {
+        if (const json::Value* bounds = fam.find("bounds"))
+          for (const json::Value& b : bounds->elems)
+            f.lat_bounds.push_back(b.as_int());
+      }
+      for (const json::Value& s : series->elems) {
+        Row& row = f.rows[{get_str(s, "tenant"), get_str(s, "op")}];
+        if (name == "requests") row.requests += get_int(s, "value");
+        else if (starts_with(name, "errors."))
+          row.errors += get_int(s, "value");
+        else if (name == "admission_rejections")
+          row.rejections += get_int(s, "value");
+        else if (name == "cache.hit") row.cache_hits += get_int(s, "value");
+        else if (name == "cache.miss") row.cache_misses += get_int(s, "value");
+        else if (name == "cache.inflight-wait")
+          row.cache_waits += get_int(s, "value");
+        else if (name == "latency_us") {
+          row.lat_count += get_int(s, "count");
+          if (const json::Value* counts = s.find("counts")) {
+            if (row.lat_counts.size() < counts->elems.size())
+              row.lat_counts.resize(counts->elems.size(), 0);
+            for (std::size_t i = 0; i < counts->elems.size(); ++i)
+              row.lat_counts[i] += counts->elems[i].as_int();
+          }
+        }
+      }
+    }
+  }
+
+  const json::Value slowlog = ask("slowlog");
+  f.slow_threshold_us = get_int(slowlog, "threshold_micros");
+  if (const json::Value* entries = slowlog.find("slowlog"))
+    for (const json::Value& e : entries->elems)
+      f.slow.emplace_back(get_int(e, "request_id"), get_str(e, "tenant"),
+                          get_str(e, "op"), get_str(e, "outcome"),
+                          get_int(e, "total_us"));
+  return f;
+}
+
+void render(const Frame& f, const std::string& socket_path, std::size_t top) {
+  std::printf("== mscd @ %s  (uptime %s) ==\n", socket_path.c_str(),
+              fmt_us(f.uptime_us).c_str());
+  std::printf("  requests   ok %" PRId64 "  error %" PRId64
+              "  (folded label samples %" PRId64 ")\n",
+              f.requests_ok, f.requests_error, f.folded_samples);
+  if (f.has_daemon)
+    std::printf("  daemon     workers %" PRId64 "  queue %" PRId64
+                "  connections %" PRId64 " active / %" PRId64 " accepted\n",
+                f.workers, f.queue_depth, f.conns_active, f.conns_accepted);
+  std::printf("  cache      hits %" PRId64 "  misses %" PRId64
+              "  inflight-waits %" PRId64 "  entries %" PRId64
+              "  evictions %" PRId64 "\n",
+              f.cache_hits, f.cache_misses, f.cache_waits, f.cache_entries,
+              f.cache_evictions);
+
+  // Rank by requests, then errors, then (tenant, op) for a total order.
+  std::vector<std::pair<std::pair<std::string, std::string>, const Row*>> rows;
+  for (const auto& [key, row] : f.rows) rows.emplace_back(key, &row);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second->requests != b.second->requests)
+      return a.second->requests > b.second->requests;
+    if (a.second->errors != b.second->errors)
+      return a.second->errors > b.second->errors;
+    return a.first < b.first;
+  });
+  const std::size_t total = rows.size();
+  if (top > 0 && rows.size() > top) rows.resize(top);
+
+  std::printf("\n== per-tenant/per-op (by requests%s) ==\n",
+              top > 0 && total > top
+                  ? cat(", top ", top, " of ", total).c_str()
+                  : "");
+  std::printf("  %-12s %-10s %7s %6s %6s %6s %8s %8s %8s\n", "tenant", "op",
+              "req", "err", "rej", "hit%", "p50", "p95", "p99");
+  const std::int64_t overflow =
+      f.lat_bounds.empty() ? 0 : f.lat_bounds.back();
+  for (const auto& [key, row] : rows) {
+    const double hit = row->hit_rate();
+    const auto pct = [&](double q) {
+      return row->lat_count == 0
+                 ? std::string("-")
+                 : fmt_us(percentile_upper(f.lat_bounds, row->lat_counts,
+                                           row->lat_count, q),
+                          overflow);
+    };
+    std::printf("  %-12s %-10s %7" PRId64 " %6" PRId64 " %6" PRId64
+                " %6s %8s %8s %8s\n",
+                key.first.c_str(), key.second.c_str(), row->requests,
+                row->errors, row->rejections,
+                hit < 0 ? "-" : fmt_double(hit, 1).c_str(), pct(0.50).c_str(),
+                pct(0.95).c_str(), pct(0.99).c_str());
+  }
+  if (rows.empty()) std::printf("  (no labeled series yet)\n");
+
+  if (f.slow_threshold_us > 0) {
+    std::printf("\n== slowest requests (threshold %s, %zu kept) ==\n",
+                fmt_us(f.slow_threshold_us).c_str(), f.slow.size());
+    if (f.slow.empty()) {
+      std::printf("  (none captured)\n");
+    } else {
+      std::printf("  %-8s %-12s %-10s %-10s %8s\n", "id", "tenant", "op",
+                  "outcome", "total");
+      std::size_t shown = 0;
+      for (const auto& [rid, tenant, op, outcome, total_us] : f.slow) {
+        if (top > 0 && ++shown > top) break;
+        std::printf("  %-8" PRId64 " %-12s %-10s %-10s %8s\n", rid,
+                    tenant.c_str(), op.c_str(), outcome.c_str(),
+                    fmt_us(total_us).c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool once = false;
+  double interval_sec = 2.0;
+  std::size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(usage());
+      return argv[++i];
+    };
+    if (arg == "--socket") socket_path = next();
+    else if (arg == "--once") once = true;
+    else if (arg == "--interval") interval_sec = std::atof(next());
+    else if (arg == "--top") top = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--help" || arg == "-h") return usage();
+    else {
+      std::fprintf(stderr, "msctop: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (socket_path.empty() || interval_sec <= 0) return usage();
+
+  try {
+    service::Client client;
+    client.connect(socket_path);
+    while (true) {
+      const Frame f = poll(client, 5000);
+      if (!once) std::printf("\x1b[2J\x1b[H");  // clear + home
+      render(f, socket_path, top);
+      std::fflush(stdout);
+      if (once) break;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(interval_sec * 1000)));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "msctop: %s\n", e.what());
+    return kInternal;
+  }
+  return kOk;
+}
